@@ -1,0 +1,178 @@
+// Command dbbench is this repository's counterpart of RocksDB's db_bench
+// — the tool the paper's micro-benchmarks and artifact use. It runs the
+// standard workloads (fillseq, fillrandom, updaterandom, readseq,
+// readrandom, scan) against any engine, standalone or under p2KVS,
+// optionally behind a simulated device, and prints db_bench-style result
+// lines.
+//
+// Example:
+//
+//	dbbench -benchmarks fillrandom,readrandom -num 100000 -threads 8 \
+//	        -engine rocksdb -p2 -workers 8 -device nvme -devscale 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/histogram"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/workload"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "fillseq,readrandom", "comma-separated workload list")
+		num        = flag.Int("num", 100000, "number of operations per workload")
+		valueSize  = flag.Int("value_size", 128, "value size in bytes")
+		threads    = flag.Int("threads", 1, "concurrent client threads")
+		engine     = flag.String("engine", "rocksdb", "engine: rocksdb, leveldb, pebblesdb, wiredtiger, kvell")
+		p2         = flag.Bool("p2", false, "run under p2KVS")
+		workers    = flag.Int("workers", 8, "p2KVS worker count")
+		dir        = flag.String("dir", "", "data directory (default: in-memory)")
+		dev        = flag.String("device", "", "simulated device: nvme, sata, hdd")
+		devScale   = flag.Float64("devscale", 1.0, "simulated device time scale")
+		scanSize   = flag.Int("scan_size", 100, "keys per scan op")
+		syncWAL    = flag.Bool("sync", false, "fsync per commit")
+	)
+	flag.Parse()
+
+	w := 1
+	if *p2 {
+		w = *workers
+	}
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:            orDefault(*dir, "dbbench-db"),
+		Workers:        w,
+		Engine:         p2kvs.EngineKind(*engine),
+		InMemory:       *dir == "",
+		SimulateDevice: *dev,
+		DeviceScale:    *devScale,
+		SyncWAL:        *syncWAL,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	fmt.Printf("engine=%s p2=%v workers=%d threads=%d num=%d value=%dB device=%q\n",
+		*engine, *p2, w, *threads, *num, *valueSize, *dev)
+	loaded := false
+	for _, name := range strings.Split(*benchmarks, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		needsData := name == "readseq" || name == "readrandom" || name == "updaterandom" || name == "scan"
+		if needsData && !loaded {
+			fmt.Fprintf(os.Stderr, "(implicit fillseq to populate %d keys)\n", *num)
+			runOne(store, "fillseq", *num, *valueSize, 1, *scanSize, false)
+			loaded = true
+		}
+		if name == "fillseq" || name == "fillrandom" {
+			loaded = true
+		}
+		runOne(store, name, *num, *valueSize, *threads, *scanSize, true)
+	}
+}
+
+func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, report bool) {
+	var h histogram.H
+	perThread := num / threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			if err := runThread(store, name, tid, perThread, num, valueSize, scanSize, &h); err != nil {
+				errCh <- err
+			}
+		}(t)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	default:
+	}
+	if !report {
+		return
+	}
+	elapsed := time.Since(start)
+	ops := perThread * threads
+	microsPerOp := float64(elapsed.Microseconds()) / float64(ops) * float64(threads)
+	mbps := float64(ops) * float64(valueSize+16) / elapsed.Seconds() / 1e6
+	fmt.Printf("%-14s : %10.3f micros/op; %8.1f ops/sec; %7.1f MB/s; %s\n",
+		name, microsPerOp, float64(ops)/elapsed.Seconds(), mbps, h.String())
+}
+
+func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, scanSize int, h *histogram.H) error {
+	kind, isRead, isScan := parseWorkload(name)
+	var ch workload.Chooser
+	if isScan {
+		ch = workload.NewUniform(uint64(num), int64(tid+1))
+	} else {
+		ch = workload.Micro(kind, uint64(num), int64(tid+1))
+	}
+	for i := 0; i < perThread; i++ {
+		idx := ch.Next()
+		opStart := time.Now()
+		var err error
+		switch {
+		case isScan:
+			_, err = store.Scan(workload.Key(idx), scanSize)
+		case isRead:
+			_, err = store.Get(workload.Key(idx))
+			if err == kv.ErrNotFound {
+				err = nil
+			}
+		default:
+			err = store.Put(workload.Key(idx), workload.Value(idx, valueSize))
+		}
+		h.Record(time.Since(opStart))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseWorkload(name string) (kind workload.MicroKind, isRead, isScan bool) {
+	switch name {
+	case "fillseq":
+		return workload.FillSeq, false, false
+	case "fillrandom":
+		return workload.FillRandom, false, false
+	case "updaterandom":
+		return workload.UpdateRandom, false, false
+	case "readseq":
+		return workload.ReadSeq, true, false
+	case "readrandom":
+		return workload.ReadRandom, true, false
+	case "scan":
+		return "", false, true
+	default:
+		fmt.Fprintf(os.Stderr, "dbbench: unknown workload %q\n", name)
+		os.Exit(2)
+		return
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+// Command p2kvs-bench regenerates the paper's tables and figures. Each
+// subcommand corresponds to one experiment ID from DESIGN.md's
+// per-experiment index; "all" runs everything.
+//
+// Usage:
+//
+//	p2kvs-bench [flags] <experiment>...
+//	p2kvs-bench -list
+//	p2kvs-bench -quick all
+//
+// All experiments run against the simulated device models (see
+// internal/device); throughput is reported in simulated QPS as described
+// in internal/bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2kvs/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment names and exit")
+		quick  = flag.Bool("quick", false, "shrink budgets for a fast smoke run")
+		budget = flag.Duration("budget", 2*time.Second, "wall-clock budget per measured cell")
+		keys   = flag.Int("keys", 20000, "preloaded key-space size")
+		value  = flag.Int("value", 128, "value size in bytes")
+		maxOps = flag.Int("maxops", 40000, "max operations per cell")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: p2kvs-bench [flags] <experiment>...|all (see -list)")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = bench.Names()
+	}
+
+	env := bench.Env{
+		Out:       os.Stdout,
+		Quick:     *quick,
+		Budget:    *budget,
+		Keys:      *keys,
+		ValueSize: *value,
+		MaxOps:    *maxOps,
+	}
+	for _, name := range args {
+		start := time.Now()
+		if _, err := bench.Run(name, env); err != nil {
+			fmt.Fprintf(os.Stderr, "p2kvs-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

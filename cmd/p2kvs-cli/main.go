@@ -1,0 +1,144 @@
+// Command p2kvs-cli is a small interactive shell over a p2KVS store:
+//
+//	p2kvs-cli -dir /tmp/db -workers 8
+//	> put greeting hello
+//	> get greeting
+//	hello
+//	> scan a 10
+//	> range a z
+//	> stats
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p2kvs"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "data directory (default: in-memory)")
+		workers = flag.Int("workers", 4, "worker count")
+		engine  = flag.String("engine", "rocksdb", "engine kind")
+	)
+	flag.Parse()
+
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:      orDefault(*dir, "cli-db"),
+		Workers:  *workers,
+		Engine:   p2kvs.EngineKind(*engine),
+		InMemory: *dir == "",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2kvs-cli:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("p2kvs shell — commands: put k v | get k | del k | scan start n | range lo hi | stats | quit")
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := execute(store, line); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(store *p2kvs.Store, line string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	fail := func(format string, a ...interface{}) {
+		fmt.Printf("error: "+format+"\n", a...)
+	}
+	switch cmd {
+	case "put":
+		if len(args) != 2 {
+			fail("usage: put <key> <value>")
+			return
+		}
+		if err := store.Put([]byte(args[0]), []byte(args[1])); err != nil {
+			fail("%v", err)
+		}
+	case "get":
+		if len(args) != 1 {
+			fail("usage: get <key>")
+			return
+		}
+		v, err := store.Get([]byte(args[0]))
+		switch err {
+		case nil:
+			fmt.Println(string(v))
+		case p2kvs.ErrNotFound:
+			fmt.Println("(not found)")
+		default:
+			fail("%v", err)
+		}
+	case "del", "delete":
+		if len(args) != 1 {
+			fail("usage: del <key>")
+			return
+		}
+		if err := store.Delete([]byte(args[0])); err != nil {
+			fail("%v", err)
+		}
+	case "scan":
+		if len(args) != 2 {
+			fail("usage: scan <start> <count>")
+			return
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fail("bad count: %v", err)
+			return
+		}
+		pairs, err := store.Scan([]byte(args[0]), n)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		for _, p := range pairs {
+			fmt.Printf("%s = %s\n", p.Key, p.Value)
+		}
+	case "range":
+		if len(args) != 2 {
+			fail("usage: range <lo> <hi>")
+			return
+		}
+		pairs, err := store.Range([]byte(args[0]), []byte(args[1]))
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		for _, p := range pairs {
+			fmt.Printf("%s = %s\n", p.Key, p.Value)
+		}
+	case "stats":
+		for _, ws := range store.Stats() {
+			fmt.Printf("worker %d: ops=%d batches=%d batched-ops=%d queue-wait=%v\n",
+				ws.ID, ws.Ops, ws.Batches, ws.BatchedOps, ws.QueueWait)
+		}
+	case "quit", "exit":
+		return true
+	default:
+		fail("unknown command %q", cmd)
+	}
+	return false
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+// Command ycsb runs a single YCSB workload phase against any of the
+// engines in this repository, standalone or under p2KVS, and prints
+// throughput and latency percentiles. It is the standalone counterpart
+// of the Figure 16/20 runners for ad-hoc exploration.
+//
+// Example:
+//
+//	ycsb -workload A -engine rocksdb -p2 -workers 8 -threads 16 -ops 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/histogram"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/workload"
+	"p2kvs/internal/ycsb"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "A", "YCSB workload: LOAD, A-F")
+		engine       = flag.String("engine", "rocksdb", "engine: rocksdb, leveldb, pebblesdb, wiredtiger, kvell")
+		p2           = flag.Bool("p2", true, "run under p2KVS (false = single instance)")
+		workers      = flag.Int("workers", 8, "p2KVS worker count")
+		threads      = flag.Int("threads", 8, "client threads")
+		ops          = flag.Int("ops", 100000, "operations to run")
+		load         = flag.Int("load", 50000, "keys to preload (non-LOAD workloads)")
+		valueSize    = flag.Int("value", 128, "value size")
+		dir          = flag.String("dir", "", "data directory (default: in-memory)")
+		dev          = flag.String("device", "", "simulated device: nvme, sata, hdd (default none)")
+		scale        = flag.Float64("devscale", 1.0, "simulated device time scale")
+	)
+	flag.Parse()
+
+	spec, ok := ycsb.Workloads[*workloadName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ycsb: unknown workload %q\n", *workloadName)
+		os.Exit(2)
+	}
+	w := *workers
+	if !*p2 {
+		w = 1
+	}
+	opts := p2kvs.Options{
+		Dir:            orDefault(*dir, "ycsb-db"),
+		Workers:        w,
+		Engine:         p2kvs.EngineKind(*engine),
+		InMemory:       *dir == "",
+		SimulateDevice: *dev,
+		DeviceScale:    *scale,
+	}
+	store, err := p2kvs.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsb:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	loaded := uint64(*load)
+	if spec.Name != "LOAD" {
+		fmt.Fprintf(os.Stderr, "loading %d keys...\n", *load)
+		for i := 0; i < *load; i++ {
+			if err := store.Put(workload.Key(uint64(i)), workload.Value(uint64(i), *valueSize)); err != nil {
+				fmt.Fprintln(os.Stderr, "ycsb load:", err)
+				os.Exit(1)
+			}
+		}
+		if err := store.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "ycsb flush:", err)
+			os.Exit(1)
+		}
+	}
+
+	frontier := ycsb.NewFrontier(loaded)
+	var h histogram.H
+	perThread := *ops / *threads
+	var wg sync.WaitGroup
+	errCh := make(chan error, *threads)
+	start := time.Now()
+	for t := 0; t < *threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			gen := ycsb.NewGenerator(spec, loaded, frontier, int64(tid+1))
+			for i := 0; i < perThread; i++ {
+				op := gen.Next()
+				key := workload.Key(op.KeyIdx)
+				opStart := time.Now()
+				var err error
+				switch op.Type {
+				case ycsb.OpInsert, ycsb.OpUpdate:
+					err = store.Put(key, workload.Value(op.KeyIdx, *valueSize))
+				case ycsb.OpRead:
+					_, err = store.Get(key)
+					if err == kv.ErrNotFound {
+						err = nil
+					}
+				case ycsb.OpScan:
+					_, err = store.Scan(key, op.ScanLen)
+				case ycsb.OpRMW:
+					if _, err = store.Get(key); err == kv.ErrNotFound {
+						err = nil
+					}
+					if err == nil {
+						err = store.Put(key, workload.Value(op.KeyIdx, *valueSize))
+					}
+				}
+				h.Record(time.Since(opStart))
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "ycsb:", err)
+		os.Exit(1)
+	default:
+	}
+	elapsed := time.Since(start)
+	total := perThread * *threads
+	fmt.Printf("workload=%s engine=%s p2=%v workers=%d threads=%d\n",
+		spec.Name, *engine, *p2, w, *threads)
+	fmt.Printf("ops=%d elapsed=%v qps=%.0f\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	fmt.Printf("latency: %v\n", h.String())
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package p2kvs_test
+
+import (
+	"fmt"
+
+	"p2kvs"
+)
+
+// Example shows the basic open/put/get/scan lifecycle.
+func Example() {
+	store, err := p2kvs.Open(p2kvs.Options{Dir: "example-db", Workers: 4, InMemory: true})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	store.Put([]byte("fruit:apple"), []byte("red"))
+	store.Put([]byte("fruit:banana"), []byte("yellow"))
+
+	v, _ := store.Get([]byte("fruit:apple"))
+	fmt.Println(string(v))
+
+	pairs, _ := store.Scan([]byte("fruit:"), 2)
+	for _, p := range pairs {
+		fmt.Printf("%s=%s\n", p.Key, p.Value)
+	}
+	// Output:
+	// red
+	// fruit:apple=red
+	// fruit:banana=yellow
+}
+
+// ExampleStore_Write shows atomic batches; batches spanning workers
+// commit as GSN transactions.
+func ExampleStore_Write() {
+	store, _ := p2kvs.Open(p2kvs.Options{Dir: "example-db", Workers: 4, InMemory: true})
+	defer store.Close()
+
+	var b p2kvs.Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := store.Write(&b); err != nil {
+		panic(err)
+	}
+	_, err := store.Get([]byte("a"))
+	fmt.Println(err == p2kvs.ErrNotFound)
+	// Output: true
+}
+
+// ExampleStore_PutAsync shows the asynchronous write interface (§4.1 of
+// the paper): submission returns immediately; the callback fires on the
+// worker once the write is durable in its instance.
+func ExampleStore_PutAsync() {
+	store, _ := p2kvs.Open(p2kvs.Options{Dir: "example-db", Workers: 4, InMemory: true})
+	defer store.Close()
+
+	done := make(chan error, 1)
+	store.PutAsync([]byte("k"), []byte("v"), func(err error) { done <- err })
+	fmt.Println(<-done == nil)
+	// Output: true
+}
+
+// ExampleStore_MultiGet shows application-driven read batching: each
+// group of keys reaches its worker as one multiget.
+func ExampleStore_MultiGet() {
+	store, _ := p2kvs.Open(p2kvs.Options{Dir: "example-db", Workers: 4, InMemory: true})
+	defer store.Close()
+	store.Put([]byte("x"), []byte("1"))
+	store.Put([]byte("y"), []byte("2"))
+
+	vals, _ := store.MultiGet([][]byte{[]byte("x"), []byte("missing"), []byte("y")})
+	fmt.Printf("%s %v %s\n", vals[0], vals[1] == nil, vals[2])
+	// Output: 1 true 2
+}

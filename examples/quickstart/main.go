@@ -1,0 +1,74 @@
+// Quickstart: open a p2KVS store, write, read, batch, scan, close — the
+// five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2kvs"
+)
+
+func main() {
+	// Eight workers, each with a private RocksDB-style LSM instance, on
+	// an in-memory filesystem (set InMemory: false and a real Dir for
+	// durable data).
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:      "quickstart-db",
+		Workers:  8,
+		InMemory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Point operations: the accessing layer routes each key to its
+	// worker by hash; the caller sees one flat key space.
+	if err := store.Put([]byte("city:paris"), []byte("2.1M")); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Put([]byte("city:tokyo"), []byte("14.0M")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := store.Get([]byte("city:tokyo"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tokyo = %s\n", v)
+
+	// Batched writes commit atomically; batches that span workers become
+	// GSN transactions under the hood (§4.5 of the paper).
+	var batch p2kvs.Batch
+	batch.Put([]byte("city:berlin"), []byte("3.6M"))
+	batch.Put([]byte("city:madrid"), []byte("3.3M"))
+	batch.Delete([]byte("city:paris"))
+	if err := store.Write(&batch); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := store.Get([]byte("city:paris")); err == p2kvs.ErrNotFound {
+		fmt.Println("paris deleted")
+	}
+
+	// Asynchronous writes return immediately; the callback runs on the
+	// worker when the write is durable in its instance.
+	done := make(chan struct{})
+	store.PutAsync([]byte("city:rome"), []byte("2.8M"), func(err error) {
+		if err != nil {
+			log.Print(err)
+		}
+		close(done)
+	})
+	<-done
+
+	// Range and scan fan out to the workers in parallel and merge.
+	pairs, err := store.Scan([]byte("city:"), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cities in order:")
+	for _, p := range pairs {
+		fmt.Printf("  %s = %s\n", p.Key, p.Value)
+	}
+}

@@ -1,0 +1,103 @@
+// ycsb-demo reproduces the paper's headline comparison in miniature: the
+// same YCSB-A workload (50% update / 50% read, zipfian) against a single
+// RocksDB-style instance and against p2KVS-8, printing the speedup. It
+// is the workload the paper's introduction motivates: small KV pairs,
+// high concurrency, fast storage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/workload"
+	"p2kvs/internal/ycsb"
+)
+
+// The workload runs against the simulated Optane NVMe with the host
+// software costs charged in simulated time (see DESIGN.md "Time and cost
+// model") — the environment where the paper's bottleneck exists. On a
+// raw in-memory filesystem both configurations are equally unconstrained
+// and the comparison would be meaningless.
+const (
+	loadKeys  = 4000
+	opsTotal  = 6000
+	threads   = 16
+	valueSize = 128
+	devScale  = 300
+)
+
+func main() {
+	single := run("single RocksDB instance", 1)
+	sharded := run("p2KVS-8", 8)
+	fmt.Printf("\np2KVS-8 speedup over single instance on YCSB-A: %.2fx\n", sharded/single)
+}
+
+func run(label string, workers int) float64 {
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:               "ycsb-demo",
+		Workers:           workers,
+		InMemory:          true,
+		SimulateDevice:    "nvme",
+		DeviceScale:       devScale,
+		SimulateHostCosts: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Load phase.
+	var b p2kvs.Batch
+	for i := 0; i < loadKeys; i++ {
+		b.Put(workload.Key(uint64(i)), workload.Value(uint64(i), valueSize))
+		if b.Len() == 256 {
+			if err := store.Write(&b); err != nil {
+				log.Fatal(err)
+			}
+			b.Reset()
+		}
+	}
+	if err := store.Write(&b); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run phase: YCSB-A from Table 1.
+	spec := ycsb.Workloads["A"]
+	frontier := ycsb.NewFrontier(loadKeys)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			gen := ycsb.NewGenerator(spec, loadKeys, frontier, int64(tid+1))
+			for i := 0; i < opsTotal/threads; i++ {
+				op := gen.Next()
+				key := workload.Key(op.KeyIdx)
+				switch op.Type {
+				case ycsb.OpUpdate:
+					if err := store.Put(key, workload.Value(op.KeyIdx, valueSize)); err != nil {
+						log.Fatal(err)
+					}
+				case ycsb.OpRead:
+					if _, err := store.Get(key); err != nil && err != kv.ErrNotFound {
+						log.Fatal(err)
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Simulated QPS: measured rate times the device time scale.
+	qps := float64(opsTotal) / elapsed.Seconds() * devScale
+	fmt.Printf("%-28s %8.0f sim ops/s (%d threads, %v wall)\n", label, qps, threads, elapsed.Round(time.Millisecond))
+	return qps
+}

@@ -1,0 +1,3 @@
+module p2kvs
+
+go 1.22

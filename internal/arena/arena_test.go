@@ -1,0 +1,92 @@
+package arena
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New()
+	b := a.Alloc(16)
+	if len(b) != 16 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for _, c := range b {
+		if c != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+	if a.Size() <= 0 {
+		t.Fatal("size must reflect reserved chunks")
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	a := NewSize(64)
+	x := a.Alloc(10)
+	y := a.Alloc(10)
+	copy(x, "xxxxxxxxxx")
+	copy(y, "yyyyyyyyyy")
+	if !bytes.Equal(x, []byte("xxxxxxxxxx")) {
+		t.Fatal("allocation x was clobbered by y")
+	}
+}
+
+func TestChunkRollover(t *testing.T) {
+	a := NewSize(32)
+	for i := 0; i < 10; i++ {
+		b := a.Alloc(20)
+		if len(b) != 20 {
+			t.Fatal("bad alloc")
+		}
+	}
+	// 10 * 20 bytes with 32-byte chunks => 10 chunks.
+	if a.Size() < 200 {
+		t.Fatalf("size = %d, want >= 200", a.Size())
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	a := NewSize(16)
+	b := a.Alloc(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a := New()
+	src := []byte("hello")
+	dst := a.Copy(src)
+	src[0] = 'X'
+	if string(dst) != "hello" {
+		t.Fatalf("copy aliases source: %q", dst)
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	a := NewSize(1 << 10)
+	var wg sync.WaitGroup
+	results := make([][][]byte, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := a.Alloc(8)
+				b[0] = byte(g)
+				b[7] = byte(i)
+				results[g] = append(results[g], b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := range results {
+		for i, b := range results[g] {
+			if b[0] != byte(g) || b[7] != byte(i%256) {
+				t.Fatalf("goroutine %d alloc %d clobbered: %v", g, i, b)
+			}
+		}
+	}
+}

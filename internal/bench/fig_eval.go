@@ -1,0 +1,450 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"p2kvs/internal/core"
+	"p2kvs/internal/device"
+	"p2kvs/internal/histogram"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/metrics"
+	"p2kvs/internal/vfs"
+	"p2kvs/internal/workload"
+)
+
+// asyncFill drives the store's asynchronous write interface from
+// `threads` submitters (the paper enables the async interface for peak
+// write measurements, §5.1), waiting for all callbacks.
+func asyncFill(e Env, s *core.Store, threads int, scale float64, valueSize int) (Res, error) {
+	choosers := perThreadUniform(threads, e.Keys)
+	var pending sync.WaitGroup
+	start := time.Now()
+	res, err := e.measure(threads, scale, func(tid, _ int) error {
+		idx := choosers[tid].Next()
+		pending.Add(1)
+		return s.PutAsync(workload.Key(idx), workload.Value(idx, valueSize), func(error) {
+			pending.Done()
+		})
+	})
+	// Throughput counts completions, not submissions: the wall clock
+	// runs until every callback fired.
+	pending.Wait()
+	res.Wall = time.Since(start)
+	if res.Wall > 0 {
+		res.SimQPS = float64(res.Ops) * scale / res.Wall.Seconds()
+	}
+	return res, err
+}
+
+// RunFig12 reproduces Figure 12: random-write throughput, IO
+// amplification and bandwidth utilization for RocksDB, PebblesDB,
+// p2KVS-4 and p2KVS-8 under 16 user threads. Expected shape: p2KVS-8 >
+// p2KVS-4 > RocksDB in QPS; p2KVS-8 has the lowest IO amplification
+// (wider, shallower tree); p2KVS drives far higher bandwidth.
+func RunFig12(e Env) (*Table, error) {
+	e = e.WithDefaults()
+	const threads = 16
+	tbl := NewTable("Figure 12: random write, 16 user threads (NVMe, 128B)",
+		"system", "simQPS", "IO amplification", "bw util %")
+
+	type cfg struct {
+		name string
+		run  func() (Res, device.Stats, float64, int64, error)
+	}
+	kvBytes := func(p lsm.Perf) int64 { return p.UserBytes }
+	configs := []cfg{
+		{"RocksDB", func() (Res, device.Stats, float64, int64, error) {
+			fs, scale := newDevFS(device.NVMe)
+			db, err := openRocks(fs, "db")
+			if err != nil {
+				return Res{}, device.Stats{}, 0, 0, err
+			}
+			defer db.Close()
+			choosers := perThreadUniform(threads, e.Keys)
+			res, err := e.measure(threads, scale, func(tid, _ int) error {
+				idx := choosers[tid].Next()
+				return db.Put(workload.Key(idx), workload.Value(idx, e.ValueSize))
+			})
+			return res, fs.Device().Stats(), scale, kvBytes(db.Perf()), err
+		}},
+		{"PebblesDB", func() (Res, device.Stats, float64, int64, error) {
+			fs, scale := newDevFS(device.NVMe)
+			db, err := openPebbles(fs, "db")
+			if err != nil {
+				return Res{}, device.Stats{}, 0, 0, err
+			}
+			defer db.Close()
+			choosers := perThreadUniform(threads, e.Keys)
+			res, err := e.measure(threads, scale, func(tid, _ int) error {
+				idx := choosers[tid].Next()
+				return db.Put(workload.Key(idx), workload.Value(idx, e.ValueSize))
+			})
+			return res, fs.Device().Stats(), scale, kvBytes(db.Perf()), err
+		}},
+	}
+	for _, workers := range []int{4, 8} {
+		w := workers
+		configs = append(configs, cfg{fmt.Sprintf("p2KVS-%d", w), func() (Res, device.Stats, float64, int64, error) {
+			fs, scale := newDevFS(device.NVMe)
+			s, err := openP2(fs, "p2", w, true, lsm.RocksDBOptions, nil)
+			if err != nil {
+				return Res{}, device.Stats{}, 0, 0, err
+			}
+			defer s.Close()
+			res, err := asyncFill(e, s, threads, scale, e.ValueSize)
+			var user int64
+			for i := 0; i < w; i++ {
+				user += s.Engine(i).(*lsm.DB).Perf().UserBytes
+			}
+			return res, fs.Device().Stats(), scale, user, err
+		}})
+	}
+
+	for _, c := range configs {
+		res, st, scale, userBytes, err := c.run()
+		if err != nil {
+			return nil, err
+		}
+		amp := 0.0
+		if userBytes > 0 {
+			amp = float64(st.WrittenBytes) / float64(userBytes)
+		}
+		simSec := res.Wall.Seconds() / scale
+		tbl.Add(c.name, res.SimQPS, amp, 100*writeUtilization(st, device.NVMe, simSec))
+	}
+	tbl.Print(e.Out)
+	return tbl, nil
+}
+
+// RunTable2 reproduces Table 2: memory and (virtual) CPU usage under the
+// random-write workload. Memory is engine-reported structure memory plus
+// Go heap delta; CPU is metered worker busy-share in core-equivalents.
+func RunTable2(e Env) (*Table, error) {
+	e = e.WithDefaults()
+	const threads = 16
+	tbl := NewTable("Table 2: memory and CPU under random writes",
+		"system", "mem (MB)", "CPU (core-%)")
+
+	heapNow := func() float64 {
+		var m runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc) / 1e6
+	}
+
+	// RocksDB single instance: user threads each occupy ~a core.
+	{
+		fs, scale := newDevFS(device.NVMe)
+		base := heapNow()
+		db, err := openRocks(fs, "db")
+		if err != nil {
+			return nil, err
+		}
+		g := metrics.NewGroup()
+		meters := make([]*metrics.Meter, threads)
+		for i := range meters {
+			meters[i] = g.Meter(fmt.Sprintf("user-%d", i))
+		}
+		choosers := perThreadUniform(threads, e.Keys)
+		if _, err := e.measure(threads, scale, func(tid, _ int) error {
+			meters[tid].Busy()
+			defer meters[tid].Idle()
+			idx := choosers[tid].Next()
+			return db.Put(workload.Key(idx), workload.Value(idx, e.ValueSize))
+		}); err != nil {
+			db.Close()
+			return nil, err
+		}
+		_, cores := g.Snapshot()
+		mem := heapNow() - base
+		db.Close()
+		tbl.Add("RocksDB (16 user threads)", mem, 100*cores)
+	}
+	// p2KVS-4 and p2KVS-8: workers busy, user threads asleep.
+	for _, workers := range []int{4, 8} {
+		fs, scale := newDevFS(device.NVMe)
+		base := heapNow()
+		g := metrics.NewGroup()
+		s, err := openP2(fs, "p2", workers, true, lsm.RocksDBOptions, g)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := asyncFill(e, s, threads, scale, e.ValueSize); err != nil {
+			s.Close()
+			return nil, err
+		}
+		_, cores := g.Snapshot()
+		mem := heapNow() - base
+		s.Close()
+		tbl.Add(fmt.Sprintf("p2KVS-%d", workers), mem, 100*cores)
+	}
+	tbl.Print(e.Out)
+	return tbl, nil
+}
+
+// RunFig13 reproduces Figure 13: average and p99 latency as a function
+// of offered load (open loop) for RocksDB, RocksDB+OBM (p2KVS with one
+// worker) and p2KVS-8. Expected shape: all systems track the offered
+// rate at low intensity; RocksDB's latency blows up first; p2KVS-8
+// sustains several times higher intensity at bounded tails.
+func RunFig13(e Env) (*Table, error) {
+	e = e.WithDefaults()
+	tbl := NewTable("Figure 13: latency vs request intensity (open loop, NVMe, 128B)",
+		"intensity (sim KQPS)", "system", "avg lat (sim ms)", "p99 lat (sim ms)")
+
+	type sys struct {
+		name    string
+		workers int
+		obm     bool
+	}
+	systems := []sys{{"RocksDB", 1, false}, {"RocksDB+OBM", 1, true}, {"p2KVS-8", 8, true}}
+	intensities := []float64{50_000, 100_000, 200_000, 400_000}
+	if e.Quick {
+		intensities = []float64{50_000, 200_000}
+	}
+	for _, intensity := range intensities {
+		for _, sy := range systems {
+			fs, scale := newDevFS(device.NVMe)
+			s, err := openP2(fs, "p2", sy.workers, sy.obm, lsm.RocksDBOptions, nil)
+			if err != nil {
+				return nil, err
+			}
+			var h histogram.H
+			var pending sync.WaitGroup
+			ch := workload.NewUniform(uint64(e.Keys), 1)
+			// Open loop: one pacer submits at the target *simulated*
+			// rate, i.e. realRate = intensity/scale, in 5ms ticks.
+			realRate := intensity / scale
+			tick := 5 * time.Millisecond
+			perTick := int(realRate * tick.Seconds())
+			if perTick < 1 {
+				perTick = 1
+			}
+			deadline := time.Now().Add(e.Budget)
+			overloaded := false
+			for time.Now().Before(deadline) {
+				tickStart := time.Now()
+				for j := 0; j < perTick; j++ {
+					idx := ch.Next()
+					submitted := time.Now()
+					pending.Add(1)
+					err := s.PutAsync(workload.Key(idx), workload.Value(idx, e.ValueSize), func(error) {
+						h.Record(time.Since(submitted))
+						pending.Done()
+					})
+					if err != nil {
+						pending.Done()
+						s.Close()
+						return nil, err
+					}
+				}
+				sleep := tick - time.Since(tickStart)
+				if sleep > 0 {
+					time.Sleep(sleep)
+				} else {
+					overloaded = true
+				}
+			}
+			pending.Wait()
+			s.Close()
+			label := sy.name
+			if overloaded {
+				label += " (saturated)"
+			}
+			tbl.Add(fmt.Sprintf("%.0f", intensity/1000), label,
+				float64(h.Mean().Microseconds())/scale/1000,
+				float64(h.Quantile(0.99).Microseconds())/scale/1000)
+		}
+	}
+	tbl.Print(e.Out)
+	return tbl, nil
+}
+
+// RunFig14 reproduces Figure 14: point-query throughput with and without
+// OBM as client threads grow. Expected shape: without OBM p2KVS tracks
+// RocksDB; with OBM (multiget batching) p2KVS pulls ahead as concurrency
+// rises.
+func RunFig14(e Env) (*Table, error) {
+	e = e.WithDefaults()
+	tbl := NewTable("Figure 14: GET throughput (NVMe, 128B, preloaded)",
+		"threads", "RocksDB", "p2KVS-8 no OBM", "p2KVS-8 OBM")
+	threadCounts := []int{1, 4, 8, 16, 32}
+	if e.Quick {
+		threadCounts = []int{1, 8}
+	}
+	for _, threads := range threadCounts {
+		row := []interface{}{threads}
+		// RocksDB direct.
+		{
+			mem := vfs.NewMem()
+			loadDB, err := openRocks(device.WrapFS(mem, device.New(device.Null, 1)), "db")
+			if err != nil {
+				return nil, err
+			}
+			if err := preloadFast(loadDB, e.Keys, e.ValueSize); err != nil {
+				return nil, err
+			}
+			loadDB.Close()
+			scale := scaleFor(device.NVMe)
+			db, err := openRocks(device.WrapFS(mem, device.New(device.NVMe, scale)), "db")
+			if err != nil {
+				return nil, err
+			}
+			choosers := perThreadUniform(threads, e.Keys)
+			res, err := e.measure(threads, scale, func(tid, _ int) error {
+				_, err := db.Get(workload.Key(choosers[tid].Next()))
+				if err == kv.ErrNotFound {
+					err = nil
+				}
+				return err
+			})
+			db.Close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.SimQPS)
+		}
+		for _, obm := range []bool{false, true} {
+			mem := vfs.NewMem()
+			loadS, err := openP2(device.WrapFS(mem, device.New(device.Null, 1)), "p2", 8, true, lsm.RocksDBOptions, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := preloadFast(loadS, e.Keys, e.ValueSize); err != nil {
+				return nil, err
+			}
+			loadS.Close()
+			scale := scaleFor(device.NVMe)
+			s, err := openP2(device.WrapFS(mem, device.New(device.NVMe, scale)), "p2", 8, obm, lsm.RocksDBOptions, nil)
+			if err != nil {
+				return nil, err
+			}
+			choosers := perThreadUniform(threads, e.Keys)
+			res, err := e.measure(threads, scale, func(tid, _ int) error {
+				_, err := s.Get(workload.Key(choosers[tid].Next()))
+				if err == kv.ErrNotFound {
+					err = nil
+				}
+				return err
+			})
+			s.Close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.SimQPS)
+		}
+		tbl.Add(row...)
+	}
+	tbl.Print(e.Out)
+	return tbl, nil
+}
+
+// RunFig15 reproduces Figure 15: RANGE and SCAN throughput versus scan
+// size, single user thread, p2KVS-8 vs RocksDB. Expected shape: p2KVS
+// wins on RANGE (parallel disjoint sub-ranges) and on short SCANs; the
+// gap closes at large scan sizes when read amplification saturates the
+// device.
+func RunFig15(e Env) (*Table, error) {
+	e = e.WithDefaults()
+	tbl := NewTable("Figure 15: RANGE / SCAN queries per second vs scan size (1 thread)",
+		"scan size", "RocksDB RANGE", "p2KVS RANGE", "RocksDB SCAN", "p2KVS SCAN")
+	sizes := []int{10, 100, 1000}
+	if e.Quick {
+		sizes = []int{10, 100}
+	}
+
+	// Preload both systems on null devices, then re-open on NVMe.
+	memR := vfs.NewMem()
+	loadDB, err := openRocks(device.WrapFS(memR, device.New(device.Null, 1)), "db")
+	if err != nil {
+		return nil, err
+	}
+	if err := preloadFast(loadDB, e.Keys, e.ValueSize); err != nil {
+		return nil, err
+	}
+	loadDB.Close()
+	scale := scaleFor(device.NVMe)
+	db, err := openRocks(device.WrapFS(memR, device.New(device.NVMe, scale)), "db")
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	memP := vfs.NewMem()
+	loadS, err := openP2(device.WrapFS(memP, device.New(device.Null, 1)), "p2", 8, true, lsm.RocksDBOptions, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := preloadFast(loadS, e.Keys, e.ValueSize); err != nil {
+		return nil, err
+	}
+	loadS.Close()
+	s, err := openP2(device.WrapFS(memP, device.New(device.NVMe, scale)), "p2", 8, true, lsm.RocksDBOptions, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	for _, size := range sizes {
+		ch := workload.NewUniform(uint64(e.Keys-size), 7)
+		rocksRange, err := e.measure(1, scale, func(_, _ int) error {
+			start := ch.Next()
+			return rocksRangeQuery(db, workload.Key(start), workload.Key(start+uint64(size)-1))
+		})
+		if err != nil {
+			return nil, err
+		}
+		p2Range, err := e.measure(1, scale, func(_, _ int) error {
+			start := ch.Next()
+			_, err := s.Range(workload.Key(start), workload.Key(start+uint64(size)-1))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rocksScan, err := e.measure(1, scale, func(_, _ int) error {
+			return rocksScanQuery(db, workload.Key(ch.Next()), size)
+		})
+		if err != nil {
+			return nil, err
+		}
+		p2Scan, err := e.measure(1, scale, func(_, _ int) error {
+			_, err := s.Scan(workload.Key(ch.Next()), size)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.Add(size, rocksRange.SimQPS, p2Range.SimQPS, rocksScan.SimQPS, p2Scan.SimQPS)
+	}
+	tbl.Print(e.Out)
+	return tbl, nil
+}
+
+func rocksRangeQuery(db *lsm.DB, begin, end []byte) error {
+	it, err := db.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Seek(begin); it.Valid() && string(it.Key()) <= string(end); it.Next() {
+	}
+	return it.Error()
+}
+
+func rocksScanQuery(db *lsm.DB, start []byte, n int) error {
+	it, err := db.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	count := 0
+	for it.Seek(start); it.Valid() && count < n; it.Next() {
+		count++
+	}
+	return it.Error()
+}

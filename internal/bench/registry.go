@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Env) (*Table, error)
+
+// Experiments maps experiment IDs (cmd/p2kvs-bench subcommands) to
+// runners; the per-experiment index in DESIGN.md mirrors this table.
+var Experiments = map[string]Runner{
+	"fig1":               RunFig1,
+	"fig4":               RunFig4,
+	"fig5":               RunFig5,
+	"fig6":               RunFig6,
+	"fig7":               RunFig7,
+	"fig8":               RunFig8,
+	"fig12":              RunFig12,
+	"table2":             RunTable2,
+	"fig13":              RunFig13,
+	"fig14":              RunFig14,
+	"fig15":              RunFig15,
+	"fig16":              RunFig16,
+	"fig17":              RunFig17,
+	"fig18":              RunFig18,
+	"fig20":              RunFig20,
+	"fig21":              RunFig21,
+	"fig22":              RunFig22,
+	"fig23":              RunFig23,
+	"ablation-batch":     RunAblationBatch,
+	"ablation-cache":     RunAblationCache,
+	"ablation-partition": RunAblationPartition,
+	"ablation-scan":      RunAblationScan,
+}
+
+// Names returns the experiment IDs in stable order.
+func Names() []string {
+	out := make([]string, 0, len(Experiments))
+	for name := range Experiments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, e Env) (*Table, error) {
+	r, ok := Experiments[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(e)
+}

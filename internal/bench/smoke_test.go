@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeAllExperiments runs every registered experiment in Quick mode:
+// each must complete without error and produce at least one data row.
+// (The full-budget runs live in the repo-root bench_test.go and in
+// cmd/p2kvs-bench; this is the correctness gate.)
+func TestSmokeAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiments are seconds-long each; skipped in -short")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			tbl, err := Run(name, Env{Quick: true, Out: &sb})
+			if err != nil {
+				t.Fatalf("%s failed: %v", name, err)
+			}
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", name)
+			}
+			if !strings.Contains(sb.String(), tbl.Title) {
+				t.Fatalf("%s did not print its table", name)
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("bogus", Env{Quick: true}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestMeasureRespectsBudget(t *testing.T) {
+	e := Env{Quick: true}.WithDefaults()
+	res, err := e.measure(2, 10, func(tid, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= 0 || res.SimQPS <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Ops > int64(e.MaxOps) {
+		t.Fatalf("ops %d exceeded MaxOps %d", res.Ops, e.MaxOps)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.Add("x", 1234567.0)
+	tbl.Add("y", 0.5)
+	var sb strings.Builder
+	tbl.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "1.23M") || !strings.Contains(out, "0.500") {
+		t.Fatalf("formatting: %q", out)
+	}
+}

@@ -1,0 +1,250 @@
+// Package block implements the sorted key/value blocks that SSTables are
+// made of, using LevelDB's restart-point prefix compression: within a run
+// of entries, each key stores only its divergence from the previous key;
+// every restartInterval entries a full key is stored and indexed so
+// readers can binary-search restarts then scan at most one interval.
+package block
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const restartInterval = 16
+
+// Builder accumulates entries (added in ascending key order) and emits the
+// encoded block.
+type Builder struct {
+	buf      bytes.Buffer
+	restarts []uint32
+	counter  int
+	lastKey  []byte
+	entries  int
+}
+
+// Add appends an entry. Keys must be strictly ascending.
+func (b *Builder) Add(key, value []byte) {
+	shared := 0
+	if b.counter < restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(b.buf.Len()))
+		b.counter = 0
+	}
+	var tmp [3 * binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(key)-shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(value)))
+	b.buf.Write(tmp[:n])
+	b.buf.Write(key[shared:])
+	b.buf.Write(value)
+
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.entries++
+}
+
+// EstimatedSize reports the current encoded size.
+func (b *Builder) EstimatedSize() int {
+	return b.buf.Len() + 4*(len(b.restarts)+2)
+}
+
+// Empty reports whether no entries were added.
+func (b *Builder) Empty() bool { return b.entries == 0 }
+
+// Entries reports the number of entries added.
+func (b *Builder) Entries() int { return b.entries }
+
+// Finish encodes the restart array and returns the complete block.
+func (b *Builder) Finish() []byte {
+	restarts := append([]uint32{0}, b.restarts...)
+	var tmp [4]byte
+	for _, r := range restarts {
+		binary.LittleEndian.PutUint32(tmp[:], r)
+		b.buf.Write(tmp[:])
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(restarts)))
+	b.buf.Write(tmp[:])
+	return b.buf.Bytes()
+}
+
+// Reset clears the builder for reuse.
+func (b *Builder) Reset() {
+	b.buf.Reset()
+	b.restarts = b.restarts[:0]
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.entries = 0
+}
+
+// ---------------------------------------------------------------------------
+// Reader / iterator
+// ---------------------------------------------------------------------------
+
+// ErrCorrupt reports a malformed block.
+var ErrCorrupt = errors.New("block: corrupt")
+
+// Iter iterates over an encoded block.
+type Iter struct {
+	data     []byte // entry region
+	restarts []uint32
+
+	off   int // offset of the *next* entry to decode
+	key   []byte
+	value []byte
+	valid bool
+	err   error
+}
+
+// NewIter parses an encoded block.
+func NewIter(block []byte) (*Iter, error) {
+	if len(block) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(block[len(block)-4:]))
+	tail := 4 + 4*n
+	if n < 1 || tail > len(block) {
+		return nil, ErrCorrupt
+	}
+	restartOff := len(block) - tail
+	restarts := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		restarts[i] = binary.LittleEndian.Uint32(block[restartOff+4*i:])
+		if int(restarts[i]) > restartOff {
+			return nil, ErrCorrupt
+		}
+	}
+	return &Iter{data: block[:restartOff], restarts: restarts}, nil
+}
+
+// decodeAt decodes the entry at off given the previous key state in
+// it.key; returns the offset of the next entry.
+func (it *Iter) decodeAt(off int) (next int, ok bool) {
+	if off >= len(it.data) {
+		it.valid = false
+		return off, false
+	}
+	shared, n1 := binary.Uvarint(it.data[off:])
+	if n1 <= 0 {
+		it.err = ErrCorrupt
+		it.valid = false
+		return off, false
+	}
+	unshared, n2 := binary.Uvarint(it.data[off+n1:])
+	if n2 <= 0 {
+		it.err = ErrCorrupt
+		it.valid = false
+		return off, false
+	}
+	vlen, n3 := binary.Uvarint(it.data[off+n1+n2:])
+	if n3 <= 0 {
+		it.err = ErrCorrupt
+		it.valid = false
+		return off, false
+	}
+	p := off + n1 + n2 + n3
+	end := p + int(unshared) + int(vlen)
+	if int(shared) > len(it.key) || end > len(it.data) {
+		it.err = ErrCorrupt
+		it.valid = false
+		return off, false
+	}
+	it.key = append(it.key[:shared], it.data[p:p+int(unshared)]...)
+	it.value = it.data[p+int(unshared) : end]
+	it.valid = true
+	return end, true
+}
+
+// SeekToFirst positions at the first entry.
+func (it *Iter) SeekToFirst() {
+	it.key = it.key[:0]
+	it.off, _ = it.decodeAt(0)
+}
+
+// Seek positions at the first entry with key >= target under bytewise
+// ordering.
+func (it *Iter) Seek(target []byte) { it.SeekWith(bytes.Compare, target) }
+
+// SeekWith positions at the first entry with cmp(key, target) >= 0. The
+// block must have been built in cmp order; SSTables use this with the
+// internal-key comparator.
+func (it *Iter) SeekWith(cmp func(a, b []byte) int, target []byte) {
+	// Binary search the restart points for the last restart whose full
+	// key is < target.
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		it.key = it.key[:0]
+		if _, ok := it.decodeAt(int(it.restarts[mid])); !ok {
+			return
+		}
+		if cmp(it.key, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	// Linear scan from the chosen restart.
+	it.key = it.key[:0]
+	off := int(it.restarts[lo])
+	for {
+		next, ok := it.decodeAt(off)
+		if !ok {
+			return
+		}
+		it.off = next
+		if cmp(it.key, target) >= 0 {
+			return
+		}
+		off = next
+	}
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() {
+	if !it.valid {
+		return
+	}
+	it.off, _ = it.decodeAt(it.off)
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter) Valid() bool { return it.valid }
+
+// Key returns the current key (valid until the next call).
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.value }
+
+// Err returns the first corruption error encountered.
+func (it *Iter) Err() error { return it.err }
+
+// Get is a convenience point lookup inside one block.
+func Get(blk, key []byte) ([]byte, bool, error) {
+	it, err := NewIter(blk)
+	if err != nil {
+		return nil, false, err
+	}
+	it.Seek(key)
+	if it.Err() != nil {
+		return nil, false, it.Err()
+	}
+	if it.Valid() && bytes.Equal(it.Key(), key) {
+		return it.Value(), true, nil
+	}
+	return nil, false, nil
+}
+
+// String renders a small debug description.
+func (it *Iter) String() string {
+	return fmt.Sprintf("block.Iter{entries-region=%dB restarts=%d}", len(it.data), len(it.restarts))
+}

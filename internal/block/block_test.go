@@ -1,0 +1,195 @@
+package block
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildBlock(pairs [][2]string) []byte {
+	var b Builder
+	for _, p := range pairs {
+		b.Add([]byte(p[0]), []byte(p[1]))
+	}
+	return b.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	pairs := [][2]string{
+		{"apple", "1"}, {"apples", "2"}, {"banana", "3"},
+		{"bananb", "4"}, {"cherry", "5"},
+	}
+	blk := buildBlock(pairs)
+	it, err := NewIter(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if string(it.Key()) != pairs[i][0] || string(it.Value()) != pairs[i][1] {
+			t.Fatalf("entry %d = %q/%q, want %q/%q", i, it.Key(), it.Value(), pairs[i][0], pairs[i][1])
+		}
+		i++
+	}
+	if i != len(pairs) {
+		t.Fatalf("iterated %d, want %d", i, len(pairs))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestRestartPointsExercised(t *testing.T) {
+	// More entries than the restart interval so multiple restarts exist.
+	var pairs [][2]string
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, [2]string{fmt.Sprintf("key%04d", i), fmt.Sprintf("v%d", i)})
+	}
+	blk := buildBlock(pairs)
+	it, err := NewIter(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(it.restarts) < 2 {
+		t.Fatalf("expected multiple restarts, got %d", len(it.restarts))
+	}
+	// Seek to each key exactly.
+	for _, p := range pairs {
+		it.Seek([]byte(p[0]))
+		if !it.Valid() || string(it.Key()) != p[0] {
+			t.Fatalf("Seek(%q) landed on %q", p[0], it.Key())
+		}
+		if string(it.Value()) != p[1] {
+			t.Fatalf("Seek(%q) value %q, want %q", p[0], it.Value(), p[1])
+		}
+	}
+	// Seek between keys.
+	it.Seek([]byte("key0042x"))
+	if !it.Valid() || string(it.Key()) != "key0043" {
+		t.Fatalf("between-seek landed on %q", it.Key())
+	}
+	// Seek past the end.
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+}
+
+func TestGet(t *testing.T) {
+	blk := buildBlock([][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	v, ok, err := Get(blk, []byte("b"))
+	if err != nil || !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = %q %v %v", v, ok, err)
+	}
+	_, ok, err = Get(blk, []byte("bb"))
+	if err != nil || ok {
+		t.Fatalf("Get(bb) found=%v err=%v", ok, err)
+	}
+}
+
+func TestEmptyValuesAndSharedPrefixes(t *testing.T) {
+	pairs := [][2]string{{"k", ""}, {"ka", ""}, {"kaa", "x"}, {"kab", ""}}
+	blk := buildBlock(pairs)
+	it, _ := NewIter(blk)
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if string(it.Key()) != pairs[i][0] || string(it.Value()) != pairs[i][1] {
+			t.Fatalf("entry %d mismatch: %q/%q", i, it.Key(), it.Value())
+		}
+		i++
+	}
+	if i != 4 {
+		t.Fatalf("iterated %d", i)
+	}
+}
+
+func TestCorruptBlocks(t *testing.T) {
+	if _, err := NewIter(nil); err == nil {
+		t.Fatal("nil block must error")
+	}
+	if _, err := NewIter([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short block must error")
+	}
+	// A block claiming absurd restart count.
+	bad := make([]byte, 16)
+	bad[12] = 0xff
+	bad[13] = 0xff
+	if _, err := NewIter(bad); err == nil {
+		t.Fatal("bogus restart count must error")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	var b Builder
+	b.Add([]byte("a"), []byte("1"))
+	b.Reset()
+	if !b.Empty() || b.Entries() != 0 {
+		t.Fatal("reset did not clear builder")
+	}
+	b.Add([]byte("b"), []byte("2"))
+	blk := b.Finish()
+	v, ok, err := Get(blk, []byte("b"))
+	if err != nil || !ok || string(v) != "2" {
+		t.Fatal("builder unusable after reset")
+	}
+}
+
+func TestSeekWithCustomComparator(t *testing.T) {
+	// Build in reverse-bytewise order and seek with the matching
+	// comparator.
+	rev := func(a, b []byte) int { return bytes.Compare(b, a) }
+	var b Builder
+	keys := []string{"z", "m", "a"}
+	for _, k := range keys {
+		b.Add([]byte(k), []byte(k))
+	}
+	it, _ := NewIter(b.Finish())
+	it.SeekWith(rev, []byte("n"))
+	if !it.Valid() || string(it.Key()) != "m" {
+		t.Fatalf("SeekWith landed on %q, want m", it.Key())
+	}
+}
+
+func TestQuickRoundTripAndSeek(t *testing.T) {
+	fn := func(raw map[string]string, probe string) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b Builder
+		for _, k := range keys {
+			b.Add([]byte(k), []byte(raw[k]))
+		}
+		it, err := NewIter(b.Finish())
+		if err != nil {
+			return false
+		}
+		// Full iteration matches.
+		i := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if string(it.Key()) != keys[i] || string(it.Value()) != raw[keys[i]] {
+				return false
+			}
+			i++
+		}
+		if i != len(keys) || it.Err() != nil {
+			return false
+		}
+		// Seek agrees with sort.SearchStrings.
+		idx := sort.SearchStrings(keys, probe)
+		it.Seek([]byte(probe))
+		if idx == len(keys) {
+			return !it.Valid()
+		}
+		return it.Valid() && string(it.Key()) == keys[idx]
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

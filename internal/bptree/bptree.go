@@ -1,0 +1,201 @@
+// Package bptree implements an in-memory B+-tree with byte-string keys.
+// It is the ordered index substrate for the two non-LSM engines the paper
+// compares against: KVell keeps one such tree per worker mapping keys to
+// slab locations (§5.5), and the WiredTiger-style engine uses it as its
+// in-memory row store between checkpoints.
+package bptree
+
+import "bytes"
+
+const order = 64 // max children per inner node; leaves hold order-1 items
+
+// Tree is a single-writer B+-tree. Concurrent readers are safe only with
+// external synchronization (both consuming engines are per-worker
+// single-threaded or hold a store lock, matching the systems they model).
+type Tree[V any] struct {
+	root  node[V]
+	size  int
+	bytes int64 // approximate memory footprint of keys
+}
+
+type node[V any] interface {
+	isLeaf() bool
+}
+
+type leaf[V any] struct {
+	keys [][]byte
+	vals []V
+	next *leaf[V]
+}
+
+func (*leaf[V]) isLeaf() bool { return true }
+
+type inner[V any] struct {
+	// keys[i] is the smallest key reachable via children[i+1].
+	keys     [][]byte
+	children []node[V]
+}
+
+func (*inner[V]) isLeaf() bool { return false }
+
+// New creates an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &leaf[V]{}}
+}
+
+// Len reports the number of keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// ApproxBytes reports the approximate memory held by keys (Figure 21b's
+// in-memory-index accounting).
+func (t *Tree[V]) ApproxBytes() int64 { return t.bytes + int64(t.size)*32 }
+
+// findLeaf descends to the leaf that may contain key.
+func (t *Tree[V]) findLeaf(key []byte) *leaf[V] {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*inner[V])
+		idx := 0
+		for idx < len(in.keys) && bytes.Compare(key, in.keys[idx]) >= 0 {
+			idx++
+		}
+		n = in.children[idx]
+	}
+	return n.(*leaf[V])
+}
+
+// Get returns the value for key.
+func (t *Tree[V]) Get(key []byte) (V, bool) {
+	l := t.findLeaf(key)
+	for i, k := range l.keys {
+		switch bytes.Compare(k, key) {
+		case 0:
+			return l.vals[i], true
+		case 1:
+			var zero V
+			return zero, false
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Set inserts or overwrites key.
+func (t *Tree[V]) Set(key []byte, val V) {
+	promoted, right := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &inner[V]{keys: [][]byte{promoted}, children: []node[V]{t.root, right}}
+	}
+}
+
+// insert recursively inserts; on split it returns the separator key and
+// the new right sibling.
+func (t *Tree[V]) insert(n node[V], key []byte, val V) ([]byte, node[V]) {
+	if n.isLeaf() {
+		l := n.(*leaf[V])
+		idx := 0
+		for idx < len(l.keys) && bytes.Compare(l.keys[idx], key) < 0 {
+			idx++
+		}
+		if idx < len(l.keys) && bytes.Equal(l.keys[idx], key) {
+			l.vals[idx] = val
+			return nil, nil
+		}
+		kcopy := append([]byte(nil), key...)
+		l.keys = append(l.keys, nil)
+		copy(l.keys[idx+1:], l.keys[idx:])
+		l.keys[idx] = kcopy
+		var zero V
+		l.vals = append(l.vals, zero)
+		copy(l.vals[idx+1:], l.vals[idx:])
+		l.vals[idx] = val
+		t.size++
+		t.bytes += int64(len(key))
+		if len(l.keys) < order {
+			return nil, nil
+		}
+		// Split the leaf.
+		mid := len(l.keys) / 2
+		right := &leaf[V]{
+			keys: append([][]byte(nil), l.keys[mid:]...),
+			vals: append([]V(nil), l.vals[mid:]...),
+			next: l.next,
+		}
+		l.keys = l.keys[:mid:mid]
+		l.vals = l.vals[:mid:mid]
+		l.next = right
+		return right.keys[0], right
+	}
+
+	in := n.(*inner[V])
+	idx := 0
+	for idx < len(in.keys) && bytes.Compare(key, in.keys[idx]) >= 0 {
+		idx++
+	}
+	promoted, right := t.insert(in.children[idx], key, val)
+	if right == nil {
+		return nil, nil
+	}
+	in.keys = append(in.keys, nil)
+	copy(in.keys[idx+1:], in.keys[idx:])
+	in.keys[idx] = promoted
+	in.children = append(in.children, nil)
+	copy(in.children[idx+2:], in.children[idx+1:])
+	in.children[idx+1] = right
+	if len(in.children) <= order {
+		return nil, nil
+	}
+	// Split the inner node.
+	midIdx := len(in.keys) / 2
+	sep := in.keys[midIdx]
+	rightNode := &inner[V]{
+		keys:     append([][]byte(nil), in.keys[midIdx+1:]...),
+		children: append([]node[V](nil), in.children[midIdx+1:]...),
+	}
+	in.keys = in.keys[:midIdx:midIdx]
+	in.children = in.children[: midIdx+1 : midIdx+1]
+	return sep, rightNode
+}
+
+// Delete removes key, reporting whether it was present. Leaves are
+// allowed to underflow (no rebalancing): both consuming engines tolerate
+// sparse leaves, and deletions in the modeled workloads are rare.
+func (t *Tree[V]) Delete(key []byte) bool {
+	l := t.findLeaf(key)
+	for i, k := range l.keys {
+		if bytes.Equal(k, key) {
+			l.keys = append(l.keys[:i], l.keys[i+1:]...)
+			l.vals = append(l.vals[:i], l.vals[i+1:]...)
+			t.size--
+			t.bytes -= int64(len(key))
+			return true
+		}
+	}
+	return false
+}
+
+// Ascend walks entries with key >= start (nil = from the beginning) in
+// order, until fn returns false.
+func (t *Tree[V]) Ascend(start []byte, fn func(key []byte, val V) bool) {
+	var l *leaf[V]
+	if start == nil {
+		n := t.root
+		for !n.isLeaf() {
+			n = n.(*inner[V]).children[0]
+		}
+		l = n.(*leaf[V])
+	} else {
+		l = t.findLeaf(start)
+	}
+	for l != nil {
+		for i, k := range l.keys {
+			if start != nil && bytes.Compare(k, start) < 0 {
+				continue
+			}
+			if !fn(k, l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+	}
+}

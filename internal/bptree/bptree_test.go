@@ -1,0 +1,179 @@
+package bptree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	tr := New[string]()
+	tr.Set([]byte("b"), "2")
+	tr.Set([]byte("a"), "1")
+	tr.Set([]byte("c"), "3")
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if v, ok := tr.Get([]byte("b")); !ok || v != "2" {
+		t.Fatalf("Get(b) = %q %v", v, ok)
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("found absent key")
+	}
+	tr.Set([]byte("b"), "2b")
+	if v, _ := tr.Get([]byte("b")); v != "2b" {
+		t.Fatal("overwrite lost")
+	}
+	if tr.Len() != 3 {
+		t.Fatal("overwrite changed len")
+	}
+	if !tr.Delete([]byte("b")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete([]byte("b")) {
+		t.Fatal("double delete reported success")
+	}
+	if _, ok := tr.Get([]byte("b")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len after delete = %d", tr.Len())
+	}
+}
+
+func TestManyKeysSplits(t *testing.T) {
+	tr := New[int]()
+	const n = 20000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set([]byte(fmt.Sprintf("key%08d", i)), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i += 371 {
+		v, ok := tr.Get([]byte(fmt.Sprintf("key%08d", i)))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d %v", i, v, ok)
+		}
+	}
+	// Ordered full scan.
+	prev := ""
+	count := 0
+	tr.Ascend(nil, func(k []byte, v int) bool {
+		if prev != "" && string(k) <= prev {
+			t.Fatalf("out of order: %q after %q", k, prev)
+		}
+		prev = string(k)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scanned %d", count)
+	}
+	if tr.ApproxBytes() <= 0 {
+		t.Fatal("ApproxBytes must be positive")
+	}
+}
+
+func TestAscendFromStart(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i += 2 {
+		tr.Set([]byte(fmt.Sprintf("k%04d", i)), i)
+	}
+	var got []int
+	tr.Ascend([]byte("k0501"), func(k []byte, v int) bool {
+		got = append(got, v)
+		return len(got) < 5
+	})
+	want := []int{502, 504, 506, 508, 510}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Set([]byte(fmt.Sprintf("k%03d", i)), i)
+	}
+	n := 0
+	tr.Ascend(nil, func([]byte, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestKeyNotAliased(t *testing.T) {
+	tr := New[int]()
+	k := []byte("mutate")
+	tr.Set(k, 1)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutate")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key    uint16
+		Val    int
+		Delete bool
+	}
+	fn := func(ops []op, probe uint16) bool {
+		tr := New[int]()
+		model := map[string]int{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%05d", o.Key)
+			if o.Delete {
+				delete(model, k)
+				tr.Delete([]byte(k))
+			} else {
+				model[k] = o.Val
+				tr.Set([]byte(k), o.Val)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			if v, ok := tr.Get([]byte(k)); !ok || v != want {
+				return false
+			}
+		}
+		// Ascend yields exactly the sorted model keys.
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okScan := true
+		tr.Ascend(nil, func(k []byte, v int) bool {
+			if i >= len(keys) || string(k) != keys[i] || v != model[keys[i]] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		if !okScan || i != len(keys) {
+			return false
+		}
+		// Probe must agree with the model.
+		pk := fmt.Sprintf("k%05d", probe)
+		v, ok := tr.Get([]byte(pk))
+		want, wantOk := model[pk]
+		return ok == wantOk && (!ok || v == want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,500 @@
+// Package btreekv is the WiredTiger-style B+-tree engine used in the
+// paper's portability study (§4.6, Figure 23). Its characteristics, as
+// relevant to p2KVS, are: a WAL for durability, an in-memory B+-tree of
+// recent updates in front of an on-disk checkpoint, a coarse store-level
+// latch serializing writers (single-instance writes scale poorly — the
+// premise of Figure 23), and NO batch-write capability, which disables
+// p2KVS's OBM-write path on this engine.
+//
+// Checkpoints are modeled as full sorted serializations of the store
+// (reusing the SSTable format as the page file): WiredTiger reconciles
+// dirty pages into its on-disk B-tree; here the reconciliation granularity
+// is the whole tree, which preserves the cost shape (periodic large
+// sequential writes, point reads via an on-disk index) at much lower
+// implementation complexity. Documented in DESIGN.md as a substitution.
+package btreekv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2kvs/internal/bptree"
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/sstable"
+	"p2kvs/internal/vfs"
+	"p2kvs/internal/wal"
+)
+
+// Options configures the engine.
+type Options struct {
+	// FS hosts the engine's files. Required.
+	FS vfs.FS
+	// SyncWAL fsyncs the journal on every commit.
+	SyncWAL bool
+	// CheckpointBytes is the dirty-buffer budget that triggers a
+	// checkpoint (default 8 MiB).
+	CheckpointBytes int64
+	// PerUpdateCost / PerReadCost model the per-request host software
+	// path (tree descent, journal encode) in simulated time — zero for
+	// production use, set by the scaled-time benchmarks. Updates pay
+	// theirs under the store latch (the serialization Figure 23 shows
+	// p2KVS sharding away); reads pay theirs under the shared latch.
+	PerUpdateCost time.Duration
+	PerReadCost   time.Duration
+}
+
+type dirtyVal struct {
+	val  []byte
+	tomb bool
+}
+
+// DB is one WiredTiger-style instance.
+type DB struct {
+	opts Options
+	dir  string
+
+	mu     sync.RWMutex
+	dirty  *bptree.Tree[dirtyVal]
+	dirtyB int64
+	base   *sstable.Reader // current checkpoint, nil when none
+	gen    uint64
+	wal    *wal.Writer
+	closed bool
+}
+
+var _ kv.Engine = (*DB)(nil)
+
+func ckptName(dir string, gen uint64) string { return fmt.Sprintf("%s/ckpt-%06d.db", dir, gen) }
+func walName(dir string, gen uint64) string  { return fmt.Sprintf("%s/journal-%06d.log", dir, gen) }
+func metaName(dir string) string             { return dir + "/META" }
+
+// Open opens (creating if necessary) the store at dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.FS == nil {
+		return nil, errors.New("btreekv: Options.FS is required")
+	}
+	if opts.CheckpointBytes <= 0 {
+		opts.CheckpointBytes = 8 << 20
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	d := &DB{opts: opts, dir: dir, dirty: bptree.New[dirtyVal]()}
+
+	// Load the checkpoint generation from META.
+	if opts.FS.Exists(metaName(dir)) {
+		f, err := opts.FS.Open(metaName(dir))
+		if err != nil {
+			return nil, err
+		}
+		var buf [32]byte
+		n, _ := f.ReadAt(buf[:], 0)
+		f.Close()
+		if _, err := fmt.Sscanf(string(buf[:n]), "gen=%d", &d.gen); err != nil {
+			return nil, fmt.Errorf("btreekv: corrupt META: %w", err)
+		}
+	}
+	// A generation can legitimately lack a checkpoint file: a checkpoint
+	// whose merged content was empty (everything deleted) bumps the
+	// generation without writing one.
+	if d.gen > 0 && opts.FS.Exists(ckptName(dir, d.gen)) {
+		f, err := opts.FS.Open(ckptName(dir, d.gen))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sstable.Open(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		d.base = r
+	}
+
+	// Replay the journal into the dirty tree.
+	if opts.FS.Exists(walName(dir, d.gen)) {
+		f, err := opts.FS.Open(walName(dir, d.gen))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := wal.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			key, val, tomb, err := decodeRec(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			d.applyDirty(key, val, tomb)
+		}
+	}
+
+	wf, err := opts.FS.Create(walName(dir, d.gen) + ".new")
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal.NewWriter(wf, wal.Options{SyncOnCommit: opts.SyncWAL})
+	// Re-log replayed state, then swap the journal in atomically.
+	reErr := error(nil)
+	d.dirty.Ascend(nil, func(k []byte, v dirtyVal) bool {
+		if err := d.wal.Append(0, encodeRec(k, v.val, v.tomb)); err != nil {
+			reErr = err
+			return false
+		}
+		return true
+	})
+	if reErr != nil {
+		return nil, reErr
+	}
+	if err := d.wal.Sync(); err != nil {
+		return nil, err
+	}
+	if err := opts.FS.Rename(walName(dir, d.gen)+".new", walName(dir, d.gen)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func encodeRec(key, val []byte, tomb bool) []byte {
+	b := make([]byte, 0, 5+len(key)+len(val))
+	if tomb {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, byte(len(key)), byte(len(key)>>8))
+	b = append(b, key...)
+	return append(b, val...)
+}
+
+func decodeRec(p []byte) (key, val []byte, tomb bool, err error) {
+	if len(p) < 3 {
+		return nil, nil, false, errors.New("btreekv: short journal record")
+	}
+	tomb = p[0] == 1
+	klen := int(p[1]) | int(p[2])<<8
+	if 3+klen > len(p) {
+		return nil, nil, false, errors.New("btreekv: truncated journal key")
+	}
+	key = append([]byte(nil), p[3:3+klen]...)
+	val = append([]byte(nil), p[3+klen:]...)
+	return key, val, tomb, nil
+}
+
+func (d *DB) applyDirty(key, val []byte, tomb bool) {
+	d.dirty.Set(key, dirtyVal{val: val, tomb: tomb})
+	d.dirtyB += int64(len(key) + len(val) + 16)
+}
+
+// Put implements kv.Engine. Writers serialize on the store latch — the
+// behaviour Figure 23 shows p2KVS working around with instance sharding.
+func (d *DB) Put(key, value []byte) error { return d.update(key, value, false) }
+
+// Delete implements kv.Engine.
+func (d *DB) Delete(key []byte) error { return d.update(key, nil, true) }
+
+func (d *DB) update(key, value []byte, tomb bool) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return kv.ErrClosed
+	}
+	if d.opts.PerUpdateCost > 0 {
+		time.Sleep(d.opts.PerUpdateCost)
+	}
+	if err := d.wal.Append(0, encodeRec(key, value, tomb)); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.applyDirty(append([]byte(nil), key...), append([]byte(nil), value...), tomb)
+	needCkpt := d.dirtyB >= d.opts.CheckpointBytes
+	if needCkpt {
+		err := d.checkpointLocked()
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Get implements kv.Engine. Readers share the latch.
+func (d *DB) Get(key []byte) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, kv.ErrClosed
+	}
+	if d.opts.PerReadCost > 0 {
+		time.Sleep(d.opts.PerReadCost)
+	}
+	if dv, ok := d.dirty.Get(key); ok {
+		if dv.tomb {
+			return nil, kv.ErrNotFound
+		}
+		return append([]byte(nil), dv.val...), nil
+	}
+	if d.base != nil {
+		v, _, found, deleted, err := d.base.Get(key, ikey.MaxSeq)
+		if err != nil {
+			return nil, err
+		}
+		if found && !deleted {
+			return v, nil
+		}
+	}
+	return nil, kv.ErrNotFound
+}
+
+// Checkpoint forces reconciliation of the dirty buffer to disk.
+func (d *DB) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return kv.ErrClosed
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked merges dirty + base into a new checkpoint file,
+// updates META, and truncates the journal. Caller holds the write latch
+// (checkpoints stall the store, a real WiredTiger behaviour under heavy
+// dirty growth).
+func (d *DB) checkpointLocked() error {
+	if d.dirty.Len() == 0 {
+		return nil
+	}
+	newGen := d.gen + 1
+	f, err := d.opts.FS.Create(ckptName(d.dir, newGen))
+	if err != nil {
+		return err
+	}
+	w := sstable.NewWriter(f, newGen)
+
+	// Merge dirty (wins) with base in key order.
+	var baseIt *sstable.Iter
+	if d.base != nil {
+		baseIt = d.base.NewIterator()
+		baseIt.SeekToFirst()
+	}
+	emitBaseUpTo := func(bound []byte) error {
+		for baseIt != nil && baseIt.Valid() {
+			uk := ikey.UserKey(baseIt.Key())
+			if bound != nil && bytes.Compare(uk, bound) >= 0 {
+				return nil
+			}
+			if err := w.Add(ikey.Make(uk, 1, ikey.KindSet), baseIt.Value()); err != nil {
+				return err
+			}
+			baseIt.Next()
+		}
+		if baseIt != nil {
+			return baseIt.Err()
+		}
+		return nil
+	}
+	var mergeErr error
+	d.dirty.Ascend(nil, func(k []byte, v dirtyVal) bool {
+		if err := emitBaseUpTo(k); err != nil {
+			mergeErr = err
+			return false
+		}
+		// Skip the base's version of k, if any.
+		if baseIt != nil && baseIt.Valid() && bytes.Equal(ikey.UserKey(baseIt.Key()), k) {
+			baseIt.Next()
+		}
+		if !v.tomb {
+			if err := w.Add(ikey.Make(k, 1, ikey.KindSet), v.val); err != nil {
+				mergeErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if mergeErr == nil {
+		mergeErr = emitBaseUpTo(nil)
+	}
+	if mergeErr != nil {
+		f.Close()
+		d.opts.FS.Remove(ckptName(d.dir, newGen))
+		return mergeErr
+	}
+	if _, err := w.Finish(); err != nil {
+		// An entirely-empty store (all tombstones) is legal: treat as no
+		// checkpoint.
+		f.Close()
+		d.opts.FS.Remove(ckptName(d.dir, newGen))
+		if err.Error() != "sstable: empty table" {
+			return err
+		}
+	}
+	f.Close()
+
+	// Fresh journal for the new generation, then commit META atomically.
+	wf, err := d.opts.FS.Create(walName(d.dir, newGen))
+	if err != nil {
+		return err
+	}
+	mf, err := d.opts.FS.Create(metaName(d.dir) + ".new")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(mf, "gen=%d", newGen)
+	if err := mf.Sync(); err != nil {
+		return err
+	}
+	mf.Close()
+	if err := d.opts.FS.Rename(metaName(d.dir)+".new", metaName(d.dir)); err != nil {
+		return err
+	}
+
+	// Swap in-memory state; retire the old generation.
+	oldWAL, oldBase, oldGen := d.wal, d.base, d.gen
+	d.wal = wal.NewWriter(wf, wal.Options{SyncOnCommit: d.opts.SyncWAL})
+	d.dirty = bptree.New[dirtyVal]()
+	d.dirtyB = 0
+	d.gen = newGen
+	if d.opts.FS.Exists(ckptName(d.dir, newGen)) {
+		cf, err := d.opts.FS.Open(ckptName(d.dir, newGen))
+		if err != nil {
+			return err
+		}
+		r, err := sstable.Open(cf)
+		if err != nil {
+			cf.Close()
+			return err
+		}
+		d.base = r
+	} else {
+		d.base = nil
+	}
+	oldWAL.Close()
+	d.opts.FS.Remove(walName(d.dir, oldGen))
+	if oldBase != nil {
+		oldBase.Close()
+		d.opts.FS.Remove(ckptName(d.dir, oldGen))
+	}
+	return nil
+}
+
+// Flush implements kv.Engine (checkpoint + journal sync).
+func (d *DB) Flush() error { return d.Checkpoint() }
+
+// Caps reports no batch capabilities: WiredTiger has neither WriteBatch
+// nor multiget (§4.6).
+func (d *DB) Caps() kv.Caps { return kv.Caps{} }
+
+// Metrics reports structure sizes.
+type Metrics struct {
+	DirtyBytes int64
+	DirtyKeys  int
+	Gen        uint64
+}
+
+// Metrics snapshots the store.
+func (d *DB) Metrics() Metrics {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return Metrics{DirtyBytes: d.dirtyB, DirtyKeys: d.dirty.Len(), Gen: d.gen}
+}
+
+// Close implements kv.Engine.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.wal.Close()
+	if d.base != nil {
+		d.base.Close()
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+type iterEntry struct {
+	key, val []byte
+}
+
+// NewIterator implements kv.Engine. It materializes the merged view at
+// call time (the dirty tree is small by construction — bounded by
+// CheckpointBytes — and the base is immutable).
+func (d *DB) NewIterator() (kv.Iterator, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, kv.ErrClosed
+	}
+	var dirtyEntries []iterEntry
+	tombs := map[string]bool{}
+	d.dirty.Ascend(nil, func(k []byte, v dirtyVal) bool {
+		if v.tomb {
+			tombs[string(k)] = true
+		} else {
+			dirtyEntries = append(dirtyEntries, iterEntry{key: append([]byte(nil), k...), val: append([]byte(nil), v.val...)})
+		}
+		return true
+	})
+	var merged []iterEntry
+	di := 0
+	emitDirtyUpTo := func(bound []byte) {
+		for di < len(dirtyEntries) && (bound == nil || bytes.Compare(dirtyEntries[di].key, bound) < 0) {
+			merged = append(merged, dirtyEntries[di])
+			di++
+		}
+	}
+	if d.base != nil {
+		it := d.base.NewIterator()
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			uk := ikey.UserKey(it.Key())
+			emitDirtyUpTo(uk)
+			if tombs[string(uk)] {
+				continue
+			}
+			if di < len(dirtyEntries) && bytes.Equal(dirtyEntries[di].key, uk) {
+				merged = append(merged, dirtyEntries[di])
+				di++
+				continue
+			}
+			merged = append(merged, iterEntry{key: append([]byte(nil), uk...), val: append([]byte(nil), it.Value()...)})
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	emitDirtyUpTo(nil)
+	return &sliceIter{entries: merged, pos: -1}, nil
+}
+
+type sliceIter struct {
+	entries []iterEntry
+	pos     int
+}
+
+func (it *sliceIter) Valid() bool  { return it.pos >= 0 && it.pos < len(it.entries) }
+func (it *sliceIter) SeekToFirst() { it.pos = 0 }
+func (it *sliceIter) Seek(target []byte) {
+	for it.pos = 0; it.pos < len(it.entries); it.pos++ {
+		if bytes.Compare(it.entries[it.pos].key, target) >= 0 {
+			return
+		}
+	}
+}
+func (it *sliceIter) Next() {
+	if it.pos < len(it.entries) {
+		it.pos++
+	}
+}
+func (it *sliceIter) Key() []byte   { return it.entries[it.pos].key }
+func (it *sliceIter) Value() []byte { return it.entries[it.pos].val }
+func (it *sliceIter) Error() error  { return nil }
+func (it *sliceIter) Close() error  { return nil }

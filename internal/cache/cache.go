@@ -1,0 +1,123 @@
+// Package cache implements the sharded LRU block cache the LSM engine
+// puts in front of SSTable data blocks — the "8 MB block cache of each
+// RocksDB instance" the paper's KVell comparison calls out (§5.5). Keys
+// are (cacheID, offset) pairs; cacheIDs are per-file and never reused
+// within a DB, so stale entries cannot alias.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+const numShards = 16
+
+// Cache is a byte-budgeted sharded LRU. Safe for concurrent use.
+type Cache struct {
+	shards [numShards]shard
+}
+
+type key struct {
+	id  uint64
+	off uint64
+}
+
+type entry struct {
+	k   key
+	val []byte
+}
+
+type shard struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent
+	m      map[key]*list.Element
+	hits   int64
+	misses int64
+}
+
+// New creates a cache with the given total byte budget. A nil *Cache is
+// valid and caches nothing, so callers need no nil checks.
+func New(budget int64) *Cache {
+	c := &Cache{}
+	per := budget / numShards
+	for i := range c.shards {
+		c.shards[i] = shard{budget: per, lru: list.New(), m: make(map[key]*list.Element)}
+	}
+	return c
+}
+
+func (c *Cache) shard(k key) *shard {
+	h := k.id*0x9E3779B97F4A7C15 ^ k.off*0xC2B2AE3D27D4EB4F
+	return &c.shards[(h>>59)%numShards]
+}
+
+// Get returns the cached block and whether it was present.
+func (c *Cache) Get(id, off uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	k := key{id, off}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry).val, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// Put inserts a block. The cache takes ownership of val (callers must not
+// mutate it afterwards — SSTable blocks are immutable, so this is free).
+func (c *Cache) Put(id, off uint64, val []byte) {
+	if c == nil {
+		return
+	}
+	k := key{id, off}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget <= 0 {
+		return
+	}
+	if el, ok := s.m[k]; ok {
+		old := el.Value.(*entry)
+		s.used += int64(len(val) - len(old.val))
+		old.val = val
+		s.lru.MoveToFront(el)
+	} else {
+		el := s.lru.PushFront(&entry{k: k, val: val})
+		s.m[k] = el
+		s.used += int64(len(val)) + 48
+	}
+	for s.used > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.m, e.k)
+		s.used -= int64(len(e.val)) + 48
+	}
+}
+
+// Stats reports aggregate hit/miss counts and resident bytes.
+func (c *Cache) Stats() (hits, misses, bytes int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		bytes += s.used
+		s.mu.Unlock()
+	}
+	return hits, misses, bytes
+}

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 0, []byte("block-a"))
+	v, ok := c.Get(1, 0)
+	if !ok || string(v) != "block-a" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	// Distinct ids and offsets don't alias.
+	c.Put(2, 0, []byte("other-file"))
+	c.Put(1, 4096, []byte("other-off"))
+	if v, _ := c.Get(1, 0); string(v) != "block-a" {
+		t.Fatal("entry aliased")
+	}
+	// Overwrite.
+	c.Put(1, 0, []byte("block-a2"))
+	if v, _ := c.Get(1, 0); string(v) != "block-a2" {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	c := New(16 * 1024) // 1 KiB per shard
+	for i := 0; i < 200; i++ {
+		c.Put(1, uint64(i*4096), make([]byte, 512))
+	}
+	_, _, bytes := c.Stats()
+	if bytes > 16*1024 {
+		t.Fatalf("cache over budget: %d", bytes)
+	}
+	hits, misses, _ := c.Stats()
+	_ = hits
+	_ = misses
+	// Recent entries should mostly survive; verify at least one of the
+	// last few inserted is present.
+	found := false
+	for i := 195; i < 200; i++ {
+		if _, ok := c.Get(1, uint64(i*4096)); ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("LRU evicted even the most recent entries")
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	c := New(numShards * 600) // tiny: ~1 entry per shard
+	// Two entries in (likely) the same shard: touch the first, insert a
+	// third; with per-entry overhead 48B + 400B values, only one fits.
+	c.Put(1, 0, make([]byte, 400))
+	c.Get(1, 0) // refresh
+	c.Put(1, 1, make([]byte, 400))
+	// The most recently used one must be resident.
+	_, ok0 := c.Get(1, 0)
+	_, ok1 := c.Get(1, 1)
+	if !ok0 && !ok1 {
+		t.Fatal("both entries evicted")
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	c.Put(1, 0, []byte("x"))
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if h, m, b := c.Stats(); h != 0 || m != 0 || b != 0 {
+		t.Fatal("nil cache stats nonzero")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(1, 0, []byte("v"))
+	c.Get(1, 0)
+	c.Get(1, 1)
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := uint64(i % 64)
+				c.Put(uint64(g), key, []byte(fmt.Sprintf("g%d-%d", g, i)))
+				c.Get(uint64(g), key)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

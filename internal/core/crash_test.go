@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"p2kvs/internal/keyspace"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+// TestCrashDurabilityRandomOps is the store-level crash property: with
+// per-commit durability, every acknowledged operation must survive a
+// power failure, across any random op mix, on every worker.
+func TestCrashDurabilityRandomOps(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			fs := vfs.NewMem()
+			s := openStore(t, fs, 3)
+			r := rand.New(rand.NewSource(int64(trial)))
+			model := map[string]string{}
+			deleted := map[string]bool{}
+			for i := 0; i < 600; i++ {
+				k := fmt.Sprintf("key-%03d", r.Intn(120))
+				switch r.Intn(10) {
+				case 0:
+					if err := s.Delete([]byte(k)); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, k)
+					deleted[k] = true
+				case 1, 2:
+					// Small batch (may span partitions — GSN txn).
+					var b kv.Batch
+					for j := 0; j < 3; j++ {
+						bk := fmt.Sprintf("key-%03d", r.Intn(120))
+						bv := fmt.Sprintf("b%d-%d", i, j)
+						b.Put([]byte(bk), []byte(bv))
+						model[bk] = bv
+						delete(deleted, bk)
+					}
+					if err := s.Write(&b); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					v := fmt.Sprintf("v-%d", i)
+					if err := s.Put([]byte(k), []byte(v)); err != nil {
+						t.Fatal(err)
+					}
+					model[k] = v
+					delete(deleted, k)
+				}
+			}
+			fs.Crash()
+			s.Close()
+			fs.Restart()
+
+			s2 := openStore(t, fs, 3)
+			defer s2.Close()
+			for k, want := range model {
+				v, err := s2.Get([]byte(k))
+				if err != nil || string(v) != want {
+					t.Fatalf("Get(%s) after crash = %q %v, want %q", k, v, err, want)
+				}
+			}
+			for k := range deleted {
+				if _, ok := model[k]; ok {
+					continue
+				}
+				if _, err := s2.Get([]byte(k)); err != kv.ErrNotFound {
+					t.Fatalf("deleted key %s resurrected: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWritePreparedCommitSurvives checks the other half of the prepared
+// API: a prepared-then-committed transaction survives a crash.
+func TestWritePreparedCommitSurvives(t *testing.T) {
+	fs := vfs.NewMem()
+	s := openStore(t, fs, 4)
+	var b kv.Batch
+	for i := 0; i < 10; i++ {
+		b.Put([]byte(fmt.Sprintf("p-%02d", i)), []byte("v"))
+	}
+	commit, err := s.WritePrepared(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	s.Close()
+	fs.Restart()
+
+	s2 := openStore(t, fs, 4)
+	defer s2.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := s2.Get([]byte(fmt.Sprintf("p-%02d", i))); err != nil {
+			t.Fatalf("committed prepared txn key %d lost: %v", i, err)
+		}
+	}
+}
+
+// TestMigrateReshard covers the §4.2 future-work path: reshard a store
+// from 3 to 5 workers via Migrate with consistent-hash partitioners; all
+// data must survive on the new layout.
+func TestMigrateReshard(t *testing.T) {
+	fs := vfs.NewMem()
+	openN := func(root string, workers int) *Store {
+		opts := DefaultOptions(lsmFactory(fs, root))
+		opts.Workers = workers
+		opts.Partitioner = keyspace.NewConsistent(workers, 64)
+		opts.TxnFS = fs
+		opts.TxnDir = root + "/txn"
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	src := openN("old", 3)
+	const n = 800
+	for i := 0; i < n; i++ {
+		if err := src.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := openN("new", 5)
+	moved, err := Migrate(src, dst, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != n {
+		t.Fatalf("migrated %d pairs, want %d", moved, n)
+	}
+	src.Close()
+	defer dst.Close()
+	for i := 0; i < n; i += 7 {
+		key := fmt.Sprintf("key-%05d", i)
+		v, err := dst.Get([]byte(key))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) on resharded store = %q %v", key, v, err)
+		}
+	}
+	// Every destination worker received data.
+	for _, ws := range dst.Stats() {
+		if ws.Ops == 0 {
+			t.Fatalf("worker %d got nothing during reshard", ws.ID)
+		}
+	}
+}

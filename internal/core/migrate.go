@@ -1,0 +1,53 @@
+package core
+
+import (
+	"p2kvs/internal/kv"
+)
+
+// Migrate streams every live pair from src into dst, in batches. It is
+// the offline resharding path the paper defers to future work (§4.2:
+// "Extending N or adjusting hash function may lead to a reconstruction
+// of the entire set of KVS instances"): open a new store with the new
+// worker count or partitioner, Migrate, then retire the old store.
+//
+// With a consistent-hash partitioner on both sides, most batches land on
+// the partition that already holds neighbouring data, so the rewrite
+// volume approaches the theoretical minimum moved-key fraction.
+//
+// src is read through a snapshot-consistent global iterator; writes to
+// src during migration are not reflected in dst (offline semantics).
+func Migrate(src, dst *Store, batchSize int) (pairs int64, err error) {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	it, err := src.NewIterator()
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+
+	var b kv.Batch
+	flush := func() error {
+		if b.Len() == 0 {
+			return nil
+		}
+		if err := dst.Write(&b); err != nil {
+			return err
+		}
+		b.Reset()
+		return nil
+	}
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		b.Put(append([]byte(nil), it.Key()...), append([]byte(nil), it.Value()...))
+		pairs++
+		if b.Len() >= batchSize {
+			if err := flush(); err != nil {
+				return pairs, err
+			}
+		}
+	}
+	if err := it.Error(); err != nil {
+		return pairs, err
+	}
+	return pairs, flush()
+}

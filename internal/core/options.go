@@ -1,0 +1,93 @@
+package core
+
+import (
+	"p2kvs/internal/keyspace"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/metrics"
+	"p2kvs/internal/vfs"
+)
+
+// EngineFactory opens the KVS instance for one worker. recoverFilter is
+// non-nil when the store is recovering from a crash with uncommitted
+// cross-instance transactions; factories for engines that support GSN
+// tagging (the LSM engine's OpenOptions.RecoverFilter) should pass it
+// through, others may ignore it — they simply don't get cross-instance
+// atomicity, matching §4.6's capability-dependent behaviour.
+type EngineFactory func(workerID int, recoverFilter func(gsn uint64) bool) (kv.Engine, error)
+
+// ScanStrategy selects how SCAN(start, n) is executed (§4.4).
+type ScanStrategy int
+
+// Scan strategies.
+const (
+	// ScanParallel runs the same scan-size on every instance in parallel
+	// and filters the union — extra reads, minimum latency; the paper's
+	// recommended mode on fast SSDs.
+	ScanParallel ScanStrategy = iota
+	// ScanMerged drives a global merged iterator over per-instance
+	// iterators, reading exactly n keys serially (the conservative
+	// RocksDB MergeIterator-style approach).
+	ScanMerged
+)
+
+// Options configures a p2KVS store.
+type Options struct {
+	// Workers is the number of KVS instances / worker threads. The paper
+	// defaults to 8 (matched to hardware parallelism, §4.2).
+	Workers int
+	// EngineFactory opens each worker's instance. Required.
+	EngineFactory EngineFactory
+	// Partitioner maps keys to workers; defaults to the modular hash.
+	Partitioner keyspace.Partitioner
+	// OBM enables opportunistic request batching (§4.3). Default on via
+	// DefaultOptions; the sensitivity study (Figure 17) disables it.
+	OBM bool
+	// MaxBatch bounds requests per OBM batch (32 by default, the paper's
+	// tail-latency guard).
+	MaxBatch int
+	// QueueDepth bounds each worker's request queue (backpressure for
+	// the async interface).
+	QueueDepth int
+	// PinWorkers locks each worker goroutine to an OS thread,
+	// approximating the paper's core pinning (Go cannot bind to a
+	// specific core; LockOSThread removes goroutine migration, the
+	// scheduling noise the paper's 10-15%% binding gain comes from).
+	PinWorkers bool
+	// Scan selects the SCAN strategy.
+	Scan ScanStrategy
+	// TxnFS + TxnDir host the transaction GSN log (§4.5). Required for
+	// cross-instance Write atomicity and crash recovery; single-instance
+	// requests never touch it.
+	TxnFS  vfs.FS
+	TxnDir string
+	// Meters, when non-nil, receives one busy meter per worker.
+	Meters *metrics.Group
+}
+
+// DefaultOptions returns the paper's default configuration (8 workers,
+// OBM on, batch cap 32).
+func DefaultOptions(factory EngineFactory) Options {
+	return Options{
+		Workers:       8,
+		EngineFactory: factory,
+		OBM:           true,
+		MaxBatch:      32,
+		QueueDepth:    4096,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = keyspace.NewHash(o.Workers)
+	}
+	return o
+}

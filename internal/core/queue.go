@@ -1,0 +1,172 @@
+// Package core implements p2KVS itself — the paper's contribution: an
+// accessing layer that hash-partitions the key space over N worker
+// threads, each owning a private KVS instance, with a queue-based
+// opportunistic batching mechanism (OBM, Algorithm 1) on every worker,
+// synchronous and asynchronous request interfaces, parallel range
+// queries, and GSN-based cross-instance transactions with crash recovery.
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// reqType is the request-type OBM merges by: consecutive same-type
+// requests form one batched request (§4.3); SCAN never merges.
+type reqType uint8
+
+// Request types.
+const (
+	reqWrite reqType = iota // PUT / UPDATE / DELETE (always batchable together)
+	reqRead                 // GET
+	reqScan                 // SCAN / RANGE leg — executed alone
+)
+
+// request is one unit of work in a worker queue.
+type request struct {
+	typ reqType
+
+	// Write-type payload: one or more ops (a user WriteBatch keeps its
+	// ops together in a single request).
+	batch batchRef
+	gsn   uint64
+	// noMerge excludes this request from OBM (transaction legs, §4.5).
+	noMerge bool
+
+	// Read-type payload.
+	key []byte
+
+	// Scan payload. scanEnd, when non-nil, bounds a RANGE leg
+	// (inclusive); scanLimit bounds a SCAN leg.
+	scanStart []byte
+	scanEnd   []byte
+	scanLimit int
+
+	// Results.
+	val     []byte
+	found   bool
+	err     error
+	scanOut [][2][]byte
+
+	// Completion: exactly one of done / callback is set. The sync path
+	// blocks on done (the paper's "suspends itself without further CPU
+	// consumption", ②); the async path gets callback(err) from the
+	// worker (the Put(K,V,callback) extension, §4.1).
+	done     chan struct{}
+	callback func(err error)
+
+	enqueuedAt time.Time
+}
+
+// batchRef is the write payload; ops reference kv.BatchOp semantics but
+// avoid importing kv here (worker.go converts).
+type batchRef struct {
+	ops []wop
+}
+
+type wop struct {
+	del   bool
+	key   []byte
+	value []byte
+}
+
+func (r *request) complete(err error) {
+	r.err = err
+	if r.callback != nil {
+		r.callback(err)
+		return
+	}
+	close(r.done)
+}
+
+// reqQueue is the per-worker request queue. It is a mutex-guarded deque
+// rather than a channel because OBM needs to *peek* at the head request's
+// type without committing to dequeue it (Algorithm 1 line 8).
+type reqQueue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	items    []*request
+	head     int
+	capacity int
+	closed   bool
+}
+
+func newReqQueue(capacity int) *reqQueue {
+	q := &reqQueue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *reqQueue) len() int { return len(q.items) - q.head }
+
+// push enqueues, blocking while the queue is full (backpressure for the
+// async interface). Returns false if the queue is closed.
+func (q *reqQueue) push(r *request) bool {
+	q.mu.Lock()
+	for !q.closed && q.len() >= q.capacity {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	r.enqueuedAt = time.Now()
+	q.items = append(q.items, r)
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return true
+}
+
+// popBatch implements the queue side of Algorithm 1: it blocks for the
+// first request, then — when obm is true — greedily takes consecutive
+// same-type mergeable requests up to max. SCANs and noMerge requests are
+// returned alone.
+func (q *reqQueue) popBatch(obm bool, max int) []*request {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.len() == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.len() == 0 {
+		return nil // closed and drained
+	}
+	first := q.items[q.head]
+	q.head++
+	out := []*request{first}
+	if obm && first.typ != reqScan && !first.noMerge {
+		for q.len() > 0 && len(out) < max {
+			next := q.items[q.head]
+			if next.typ != first.typ || next.noMerge {
+				break
+			}
+			q.head++
+			out = append(out, next)
+		}
+	}
+	q.compact()
+	q.notFull.Broadcast()
+	return out
+}
+
+// compact reclaims consumed prefix space once it dominates the slice.
+func (q *reqQueue) compact() {
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// close wakes all waiters; pending items remain poppable.
+func (q *reqQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}

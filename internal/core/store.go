@@ -1,0 +1,547 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"p2kvs/internal/kv"
+)
+
+// Store is a p2KVS instance: the accessing layer plus N workers (Figure
+// 9a). It implements kv.Engine, so applications see one standard KV store
+// while requests are transparently sharded (§4.1).
+type Store struct {
+	opts    Options
+	workers []*worker
+	gsn     atomic.Uint64
+	txn     *txnLog
+	closed  atomic.Bool
+}
+
+var _ kv.Engine = (*Store)(nil)
+var _ kv.BatchWriter = (*Store)(nil)
+
+// Open builds the store: recovers the transaction log, opens every
+// worker's instance (rolling back uncommitted cross-instance
+// transactions), and starts the worker threads.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.EngineFactory == nil {
+		return nil, errors.New("core: Options.EngineFactory is required")
+	}
+	if opts.Partitioner.N() != opts.Workers {
+		return nil, errors.New("core: partitioner size must match worker count")
+	}
+	s := &Store{opts: opts}
+
+	var filter func(gsn uint64) bool
+	if opts.TxnFS != nil {
+		t, committed, maxGSN, err := openTxnLog(opts.TxnFS, opts.TxnDir)
+		if err != nil {
+			return nil, err
+		}
+		s.txn = t
+		s.gsn.Store(maxGSN)
+		filter = func(gsn uint64) bool { return committed[gsn] }
+	}
+
+	for i := 0; i < opts.Workers; i++ {
+		engine, err := opts.EngineFactory(i, filter)
+		if err != nil {
+			for _, w := range s.workers {
+				w.stop()
+			}
+			return nil, err
+		}
+		w := newWorker(i, engine, opts)
+		s.workers = append(s.workers, w)
+	}
+	for _, w := range s.workers {
+		w.start()
+	}
+	return s, nil
+}
+
+func (s *Store) pick(key []byte) *worker {
+	return s.workers[s.opts.Partitioner.Pick(key)]
+}
+
+func (s *Store) submit(w *worker, r *request) error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	r.done = make(chan struct{})
+	if !w.q.push(r) {
+		return kv.ErrClosed
+	}
+	<-r.done
+	return r.err
+}
+
+// Put implements kv.Engine (①②③ in Figure 9b: submit, enqueue, sleep
+// until the worker completes the request).
+func (s *Store) Put(key, value []byte) error {
+	return s.submit(s.pick(key), &request{
+		typ:   reqWrite,
+		batch: batchRef{ops: []wop{{key: key, value: value}}},
+	})
+}
+
+// Delete implements kv.Engine.
+func (s *Store) Delete(key []byte) error {
+	return s.submit(s.pick(key), &request{
+		typ:   reqWrite,
+		batch: batchRef{ops: []wop{{del: true, key: key}}},
+	})
+}
+
+// PutAsync is the asynchronous write interface (§4.1): it enqueues and
+// returns immediately; cb runs on the worker when the write completes.
+// Backpressure applies when the worker queue is full.
+func (s *Store) PutAsync(key, value []byte, cb func(error)) error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	r := &request{
+		typ:      reqWrite,
+		batch:    batchRef{ops: []wop{{key: key, value: value}}},
+		callback: cb,
+	}
+	if !s.pick(key).q.push(r) {
+		return kv.ErrClosed
+	}
+	return nil
+}
+
+// DeleteAsync is the asynchronous deletion interface.
+func (s *Store) DeleteAsync(key []byte, cb func(error)) error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	r := &request{
+		typ:      reqWrite,
+		batch:    batchRef{ops: []wop{{del: true, key: key}}},
+		callback: cb,
+	}
+	if !s.pick(key).q.push(r) {
+		return kv.ErrClosed
+	}
+	return nil
+}
+
+// Get implements kv.Engine.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	r := &request{typ: reqRead, key: key}
+	if err := s.submit(s.pick(key), r); err != nil {
+		return nil, err
+	}
+	if !r.found {
+		return nil, kv.ErrNotFound
+	}
+	return r.val, nil
+}
+
+// GetAsync is the asynchronous read interface; cb receives the value (nil
+// when absent along with kv.ErrNotFound).
+func (s *Store) GetAsync(key []byte, cb func([]byte, error)) error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	r := &request{typ: reqRead, key: key}
+	r.callback = func(err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if !r.found {
+			cb(nil, kv.ErrNotFound)
+			return
+		}
+		cb(r.val, nil)
+	}
+	if !s.pick(key).q.push(r) {
+		return kv.ErrClosed
+	}
+	return nil
+}
+
+// MultiGet resolves several keys in one call: keys are grouped per
+// worker, each group travels as read requests that OBM merges into the
+// engine's multiget, and results return positionally (nil = not found).
+// This is the application-facing face of the paper's read batching — a
+// caller with a natural read batch gets the Figure 10b path
+// deterministically instead of opportunistically.
+func (s *Store) MultiGet(keys [][]byte) ([][]byte, error) {
+	if s.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	out := make([][]byte, len(keys))
+	reqs := make([]*request, len(keys))
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for i, k := range keys {
+		r := &request{typ: reqRead, key: k}
+		reqs[i] = r
+		wg.Add(1)
+		r.callback = func(err error) {
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			wg.Done()
+		}
+		if !s.pick(k).q.push(r) {
+			r.callback(kv.ErrClosed)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, r := range reqs {
+		if r.found {
+			out[i] = r.val
+		}
+	}
+	return out, nil
+}
+
+// Write implements kv.BatchWriter. A batch confined to one partition
+// commits directly on that instance. A batch spanning partitions becomes
+// a GSN transaction (§4.5): begin is persisted, the split WriteBatches
+// carry the same GSN into each instance's WAL and are excluded from OBM
+// merging, and commit is persisted once every instance acknowledges. A
+// crash between begin and commit rolls the pieces back at recovery.
+func (s *Store) Write(b *kv.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	subs := make(map[*worker]*batchRef)
+	for _, op := range b.Ops() {
+		w := s.pick(op.Key)
+		ref := subs[w]
+		if ref == nil {
+			ref = &batchRef{}
+			subs[w] = ref
+		}
+		ref.ops = append(ref.ops, wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value})
+	}
+	if len(subs) == 1 {
+		for w, ref := range subs {
+			return s.submit(w, &request{typ: reqWrite, batch: *ref})
+		}
+	}
+	commit, err := s.writePrepared(subs)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// WritePrepared applies the batch like Write but separates the two
+// transaction phases: it returns once every instance has durably applied
+// its WriteBatch under a fresh GSN, leaving the caller to invoke commit.
+// A crash before commit rolls the whole transaction back at recovery on
+// every instance (Figure 11) — which is also what makes this the hook
+// for layering higher isolation levels, the extension §4.5 sketches.
+func (s *Store) WritePrepared(b *kv.Batch) (commit func() error, err error) {
+	if b.Len() == 0 {
+		return func() error { return nil }, nil
+	}
+	subs := make(map[*worker]*batchRef)
+	for _, op := range b.Ops() {
+		w := s.pick(op.Key)
+		ref := subs[w]
+		if ref == nil {
+			ref = &batchRef{}
+			subs[w] = ref
+		}
+		ref.ops = append(ref.ops, wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value})
+	}
+	return s.writePrepared(subs)
+}
+
+func (s *Store) writePrepared(subs map[*worker]*batchRef) (commit func() error, err error) {
+	if s.txn == nil {
+		return nil, errors.New("core: cross-partition batch requires Options.TxnFS for atomicity")
+	}
+	gsn := s.gsn.Add(1)
+	if err := s.txn.begin(gsn); err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(subs))
+	var mu sync.Mutex
+	for w, ref := range subs {
+		r := &request{typ: reqWrite, batch: *ref, gsn: gsn, noMerge: true}
+		r.callback = func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+			wg.Done()
+		}
+		wg.Add(1)
+		if !w.q.push(r) {
+			wg.Done()
+			mu.Lock()
+			errs = append(errs, kv.ErrClosed)
+			mu.Unlock()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Leave the transaction uncommitted: recovery rolls it back
+			// on every instance.
+			return nil, err
+		}
+	}
+	return func() error { return s.txn.commit(gsn) }, nil
+}
+
+// ---------------------------------------------------------------------------
+// Range queries (§4.4)
+// ---------------------------------------------------------------------------
+
+// Pair is a key/value result.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Range reads every live pair with begin <= key <= end. The request is
+// forked into per-instance sub-RANGEs executed in parallel and merged —
+// no extra reads, since partitions are disjoint.
+func (s *Store) Range(begin, end []byte) ([]Pair, error) {
+	legs := make([]*request, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		legs[i] = &request{typ: reqScan, scanStart: begin, scanEnd: end, scanLimit: int(^uint(0) >> 1)}
+		wg.Add(1)
+		go func(w *worker, r *request) {
+			defer wg.Done()
+			r.err = s.submit(w, r)
+		}(w, legs[i])
+	}
+	wg.Wait()
+	var all []Pair
+	for _, r := range legs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, p := range r.scanOut {
+			all = append(all, Pair{Key: p[0], Value: p[1]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	return all, nil
+}
+
+// Scan reads up to n pairs with key >= start. Under ScanParallel every
+// instance scans n pairs and the union is filtered (extra reads traded
+// for parallelism, §4.4); under ScanMerged a global merged iterator reads
+// exactly n pairs serially.
+func (s *Store) Scan(start []byte, n int) ([]Pair, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if s.opts.Scan == ScanMerged {
+		return s.scanMerged(start, n)
+	}
+	legs := make([]*request, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		legs[i] = &request{typ: reqScan, scanStart: start, scanLimit: n}
+		wg.Add(1)
+		go func(w *worker, r *request) {
+			defer wg.Done()
+			r.err = s.submit(w, r)
+		}(w, legs[i])
+	}
+	wg.Wait()
+	var all []Pair
+	for _, r := range legs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, p := range r.scanOut {
+			all = append(all, Pair{Key: p[0], Value: p[1]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+func (s *Store) scanMerged(start []byte, n int) ([]Pair, error) {
+	it, err := s.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []Pair
+	if start == nil {
+		it.SeekToFirst()
+	} else {
+		it.Seek(start)
+	}
+	for ; it.Valid() && len(out) < n; it.Next() {
+		out = append(out, Pair{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Error()
+}
+
+// NewIterator implements kv.Engine with a global merged iterator over the
+// per-instance iterators — the RocksDB-MergeIterator-style construction
+// from §4.4. It bypasses the worker queues (engines are thread-safe and
+// iterators snapshot).
+func (s *Store) NewIterator() (kv.Iterator, error) {
+	if s.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	children := make([]kv.Iterator, 0, len(s.workers))
+	for _, w := range s.workers {
+		it, err := w.engine.NewIterator()
+		if err != nil {
+			for _, c := range children {
+				c.Close()
+			}
+			return nil, err
+		}
+		children = append(children, it)
+	}
+	return &mergedIter{children: children}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle / stats
+// ---------------------------------------------------------------------------
+
+// Flush implements kv.Engine: flushes every instance.
+func (s *Store) Flush() error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	for _, w := range s.workers {
+		if err := w.engine.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Caps reports the store's capabilities (batch writes always; reads are
+// per-key with internal OBM batching).
+func (s *Store) Caps() kv.Caps { return kv.Caps{BatchWrite: true} }
+
+// Workers reports the configured worker count.
+func (s *Store) Workers() int { return len(s.workers) }
+
+// Engine exposes worker i's engine for instrumentation (benchmarks pull
+// per-instance Perf counters).
+func (s *Store) Engine(i int) kv.Engine { return s.workers[i].engine }
+
+// Stats aggregates per-worker activity.
+func (s *Store) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.stats()
+	}
+	return out
+}
+
+// Close implements kv.Engine: drains queues, stops workers, closes
+// instances and the transaction log. A crash of any worker engine close
+// is reported but the remaining workers still close (§4.6: a crash of any
+// worker triggers closing the whole system).
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var firstErr error
+	for _, w := range s.workers {
+		if err := w.stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.txn != nil {
+		if err := s.txn.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Merged iterator
+// ---------------------------------------------------------------------------
+
+type mergedIter struct {
+	children []kv.Iterator
+	cur      int // index of child with the smallest key, -1 when invalid
+	err      error
+}
+
+func (m *mergedIter) refresh() {
+	m.cur = -1
+	for i, c := range m.children {
+		if err := c.Error(); err != nil && m.err == nil {
+			m.err = err
+		}
+		if !c.Valid() {
+			continue
+		}
+		if m.cur < 0 || bytes.Compare(c.Key(), m.children[m.cur].Key()) < 0 {
+			m.cur = i
+		}
+	}
+}
+
+func (m *mergedIter) SeekToFirst() {
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.refresh()
+}
+
+func (m *mergedIter) Seek(target []byte) {
+	for _, c := range m.children {
+		c.Seek(target)
+	}
+	m.refresh()
+}
+
+func (m *mergedIter) Next() {
+	if m.cur < 0 {
+		return
+	}
+	m.children[m.cur].Next()
+	m.refresh()
+}
+
+func (m *mergedIter) Valid() bool   { return m.err == nil && m.cur >= 0 }
+func (m *mergedIter) Key() []byte   { return m.children[m.cur].Key() }
+func (m *mergedIter) Value() []byte { return m.children[m.cur].Value() }
+func (m *mergedIter) Error() error  { return m.err }
+
+func (m *mergedIter) Close() error {
+	var first error
+	for _, c := range m.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

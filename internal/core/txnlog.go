@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"p2kvs/internal/vfs"
+	"p2kvs/internal/wal"
+)
+
+// txnLog persists transaction begin/commit records keyed by GSN (§4.5,
+// Figure 11). On recovery, transactions with a begin but no commit are
+// rolled back by filtering their GSN out of every instance's WAL replay.
+type txnLog struct {
+	mu sync.Mutex
+	w  *wal.Writer
+}
+
+const (
+	txnBegin  = 1
+	txnCommit = 2
+)
+
+// openTxnLog loads the committed-GSN set and highest GSN seen, then
+// starts a fresh log seeded with the still-relevant commits.
+func openTxnLog(fs vfs.FS, dir string) (_ *txnLog, committed map[uint64]bool, maxGSN uint64, err error) {
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, 0, err
+	}
+	name := dir + "/TXNLOG"
+	committed = make(map[uint64]bool)
+	if fs.Exists(name) {
+		f, err := fs.Open(name)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		recs, err := wal.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for _, r := range recs {
+			typ, gsn, err := decodeTxnRec(r.Payload)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if gsn > maxGSN {
+				maxGSN = gsn
+			}
+			if typ == txnCommit {
+				committed[gsn] = true
+			}
+		}
+	}
+	// Rewrite compacted (commits only) into a fresh log, swap atomically.
+	f, err := fs.Create(name + ".new")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	w := wal.NewWriter(f, wal.Options{SyncOnCommit: true})
+	for gsn := range committed {
+		if err := w.Append(gsn, encodeTxnRec(txnCommit, gsn)); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if err := fs.Rename(name+".new", name); err != nil {
+		return nil, nil, 0, err
+	}
+	return &txnLog{w: w}, committed, maxGSN, nil
+}
+
+func encodeTxnRec(typ byte, gsn uint64) []byte {
+	var b [9]byte
+	b[0] = typ
+	binary.LittleEndian.PutUint64(b[1:], gsn)
+	return b[:]
+}
+
+func decodeTxnRec(p []byte) (typ byte, gsn uint64, err error) {
+	if len(p) != 9 {
+		return 0, 0, fmt.Errorf("core: bad txn record length %d", len(p))
+	}
+	return p[0], binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+// begin durably records that gsn's WriteBatches are about to be issued.
+func (t *txnLog) begin(gsn uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Append(gsn, encodeTxnRec(txnBegin, gsn))
+}
+
+// commit durably records that every instance acknowledged gsn.
+func (t *txnLog) commit(gsn uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Append(gsn, encodeTxnRec(txnCommit, gsn))
+}
+
+func (t *txnLog) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Close()
+}

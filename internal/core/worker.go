@@ -1,0 +1,263 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/metrics"
+)
+
+// gsnWriter is the optional engine capability of tagging a batch's WAL
+// record with a p2KVS Global Sequence Number (the LSM engine implements
+// it; see §4.5 — GSN is "a prefix of the original log sequence number").
+type gsnWriter interface {
+	WriteGSN(b *kv.Batch, gsn uint64) error
+}
+
+// worker owns one KVS instance, one request queue, and one goroutine —
+// the horizontal dimension of p2KVS (§4.1). The worker never proactively
+// waits for requests to accumulate: batching is opportunistic.
+type worker struct {
+	id     int
+	engine kv.Engine
+	caps   kv.Caps
+	q      *reqQueue
+	obm    bool
+	max    int
+	pin    bool
+	meter  *metrics.Meter
+
+	wg sync.WaitGroup
+
+	// Stats for the sensitivity studies.
+	ops         atomic.Int64
+	batches     atomic.Int64
+	batchedOps  atomic.Int64
+	queueWaitNs atomic.Int64
+}
+
+func newWorker(id int, engine kv.Engine, opts Options) *worker {
+	w := &worker{
+		id:     id,
+		engine: engine,
+		caps:   kv.CapsOf(engine),
+		q:      newReqQueue(opts.QueueDepth),
+		obm:    opts.OBM,
+		max:    opts.MaxBatch,
+		pin:    opts.PinWorkers,
+	}
+	if opts.Meters != nil {
+		w.meter = opts.Meters.Meter(workerName(id))
+	}
+	return w
+}
+
+func workerName(id int) string {
+	return "p2kvs-w" + string(rune('0'+id/10)) + string(rune('0'+id%10))
+}
+
+func (w *worker) start() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+// loop is the worker thread (Figure 9b): dequeue-batch (❶), perform
+// processing on the private instance (❷), finish and wake submitters (❸).
+func (w *worker) loop() {
+	defer w.wg.Done()
+	if w.pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for {
+		reqs := w.q.popBatch(w.obm, w.max)
+		if reqs == nil {
+			return
+		}
+		if w.meter != nil {
+			w.meter.Busy()
+		}
+		now := time.Now()
+		for _, r := range reqs {
+			w.queueWaitNs.Add(int64(now.Sub(r.enqueuedAt)))
+		}
+		w.execute(reqs)
+		if w.meter != nil {
+			w.meter.Idle()
+		}
+	}
+}
+
+func (w *worker) execute(reqs []*request) {
+	w.ops.Add(int64(len(reqs)))
+	w.batches.Add(1)
+	if len(reqs) > 1 {
+		w.batchedOps.Add(int64(len(reqs)))
+	}
+	switch reqs[0].typ {
+	case reqWrite:
+		w.executeWrites(reqs)
+	case reqRead:
+		w.executeReads(reqs)
+	case reqScan:
+		w.executeScan(reqs[0])
+	}
+}
+
+// executeWrites applies a run of write-type requests. With OBM and an
+// engine that supports WriteBatch, the whole run commits as a single
+// batch — one log IO instead of len(reqs) (Figure 10a). The batch-write
+// path is also what a single multi-op user WriteBatch takes.
+func (w *worker) executeWrites(reqs []*request) {
+	if bw, ok := w.engine.(kv.BatchWriter); ok && w.caps.BatchWrite {
+		var b kv.Batch
+		gsn := reqs[0].gsn
+		uniformGSN := true
+		for _, r := range reqs {
+			if r.gsn != gsn {
+				uniformGSN = false
+			}
+			appendOps(&b, r)
+		}
+		var err error
+		if gw, ok := w.engine.(gsnWriter); ok && uniformGSN && gsn != 0 {
+			err = gw.WriteGSN(&b, gsn)
+		} else {
+			err = bw.Write(&b)
+		}
+		for _, r := range reqs {
+			r.complete(err)
+		}
+		return
+	}
+	// Engine without batch-write (e.g. WiredTiger, §4.6): per-op path;
+	// OBM-write degenerates gracefully.
+	for _, r := range reqs {
+		var err error
+		for _, op := range r.batch.ops {
+			if op.del {
+				err = w.engine.Delete(op.key)
+			} else {
+				err = w.engine.Put(op.key, op.value)
+			}
+			if err != nil {
+				break
+			}
+		}
+		r.complete(err)
+	}
+}
+
+func appendOps(b *kv.Batch, r *request) {
+	for _, op := range r.batch.ops {
+		if op.del {
+			b.Delete(op.key)
+		} else {
+			b.Put(op.key, op.value)
+		}
+	}
+}
+
+// executeReads resolves a run of GETs, via multiget when the engine has
+// it (Figure 10b); otherwise the reads are issued concurrently to exploit
+// the engine's internal read parallelism (§4.6's LevelDB/WiredTiger
+// fallback).
+func (w *worker) executeReads(reqs []*request) {
+	if mg, ok := w.engine.(kv.MultiGetter); ok && w.caps.MultiGet && len(reqs) > 1 {
+		keys := make([][]byte, len(reqs))
+		for i, r := range reqs {
+			keys[i] = r.key
+		}
+		vals, err := mg.MultiGet(keys)
+		for i, r := range reqs {
+			if err != nil {
+				r.complete(err)
+				continue
+			}
+			if vals[i] != nil {
+				r.val, r.found = vals[i], true
+			}
+			r.complete(nil)
+		}
+		return
+	}
+	if len(reqs) == 1 {
+		w.doGet(reqs[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range reqs {
+		wg.Add(1)
+		go func(r *request) {
+			defer wg.Done()
+			w.doGet(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (w *worker) doGet(r *request) {
+	v, err := w.engine.Get(r.key)
+	switch err {
+	case nil:
+		r.val, r.found = v, true
+		r.complete(nil)
+	case kv.ErrNotFound:
+		r.complete(nil)
+	default:
+		r.complete(err)
+	}
+}
+
+// executeScan serves one SCAN leg on this worker's instance.
+func (w *worker) executeScan(r *request) {
+	it, err := w.engine.NewIterator()
+	if err != nil {
+		r.complete(err)
+		return
+	}
+	defer it.Close()
+	if r.scanStart == nil {
+		it.SeekToFirst()
+	} else {
+		it.Seek(r.scanStart)
+	}
+	for ; it.Valid() && len(r.scanOut) < r.scanLimit; it.Next() {
+		if r.scanEnd != nil && string(it.Key()) > string(r.scanEnd) {
+			break
+		}
+		k := append([]byte(nil), it.Key()...)
+		v := append([]byte(nil), it.Value()...)
+		r.scanOut = append(r.scanOut, [2][]byte{k, v})
+	}
+	r.complete(it.Error())
+}
+
+// stop drains and joins the worker, then closes its engine.
+func (w *worker) stop() error {
+	w.q.close()
+	w.wg.Wait()
+	return w.engine.Close()
+}
+
+// WorkerStats summarizes one worker's activity.
+type WorkerStats struct {
+	ID         int
+	Ops        int64
+	Batches    int64
+	BatchedOps int64 // ops that traveled in a batch of >= 2
+	QueueWait  time.Duration
+}
+
+func (w *worker) stats() WorkerStats {
+	return WorkerStats{
+		ID:         w.id,
+		Ops:        w.ops.Load(),
+		Batches:    w.batches.Load(),
+		BatchedOps: w.batchedOps.Load(),
+		QueueWait:  time.Duration(w.queueWaitNs.Load()),
+	}
+}

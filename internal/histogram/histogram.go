@@ -1,0 +1,127 @@
+// Package histogram provides the latency histograms behind the paper's
+// average/p99 plots (Figure 13) and the db_bench-style summaries. It uses
+// exponential buckets (~4.6% relative error) so recording is a couple of
+// atomic adds and safe for concurrent writers.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// bucketsPerDecade controls resolution: 51 buckets per 10x range.
+	bucketsPerDecade = 51
+	numBuckets       = 8 * bucketsPerDecade // covers 1ns .. ~100s
+)
+
+var bucketUpper [numBuckets]float64
+
+func init() {
+	for i := range bucketUpper {
+		bucketUpper[i] = math.Pow(10, float64(i+1)/bucketsPerDecade)
+	}
+}
+
+// H is a concurrent latency histogram. The zero value is ready to use.
+type H struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64
+}
+
+// Record adds one sample.
+func (h *H) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	idx := int(math.Log10(float64(ns)) * bucketsPerDecade)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *H) Count() int64 { return h.count.Load() }
+
+// Mean returns the average sample.
+func (h *H) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest sample.
+func (h *H) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-quantile (q in [0,1]), e.g. 0.99 for p99.
+func (h *H) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return time.Duration(bucketUpper[i])
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's samples into h.
+func (h *H) Merge(other *H) {
+	for i := 0; i < numBuckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *H) Reset() {
+	for i := 0; i < numBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// String summarizes the distribution.
+func (h *H) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

@@ -1,0 +1,120 @@
+package histogram
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasicStats(t *testing.T) {
+	var h H
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Microsecond || mean > 56*time.Microsecond {
+		t.Fatalf("mean = %v, want ~50.5us", mean)
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Microsecond || p50 > 62*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~50us (±bucket error)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Microsecond || p99 > 115*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~99us", p99)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	var h H
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(r.Intn(1_000_000)+1) * time.Nanosecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	// Exponential buckets guarantee bounded relative error; verify the
+	// p50 of a point mass lands within ~5%.
+	var h H
+	for i := 0; i < 1000; i++ {
+		h.Record(123456 * time.Nanosecond)
+	}
+	got := float64(h.Quantile(0.5))
+	want := 123456.0
+	if got < want*0.95 || got > want*1.10 {
+		t.Fatalf("point mass p50 = %v, want within 10%% of %v", got, want)
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b H
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 || a.Mean() != 0 {
+		t.Fatal("reset did not zero histogram")
+	}
+}
+
+func TestZeroAndHugeSamples(t *testing.T) {
+	var h H
+	h.Record(0)
+	h.Record(time.Hour * 1000)
+	if h.Count() != 2 {
+		t.Fatal("samples lost")
+	}
+	if h.Quantile(0.0) <= 0 {
+		t.Fatal("zero-duration sample should clamp to >= 1ns")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h H
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(r.Intn(10000) + 1))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestString(t *testing.T) {
+	var h H
+	h.Record(time.Microsecond)
+	if s := h.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,75 @@
+package ikey
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	fn := func(ukey []byte, seq uint64, isSet bool) bool {
+		seq &= MaxSeq
+		kind := KindDelete
+		if isSet {
+			kind = KindSet
+		}
+		ik := Make(ukey, seq, kind)
+		gu, gs, gk, err := Decode(ik)
+		return err == nil && bytes.Equal(gu, ukey) && gs == seq && gk == kind &&
+			bytes.Equal(UserKey(ik), ukey)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short key")
+	}
+}
+
+func TestCompareUserKeyDominates(t *testing.T) {
+	a := Make([]byte("aaa"), 1, KindSet)
+	b := Make([]byte("bbb"), 100, KindSet)
+	if Compare(a, b) >= 0 {
+		t.Fatal("user key must dominate ordering")
+	}
+}
+
+func TestCompareNewerFirst(t *testing.T) {
+	older := Make([]byte("k"), 5, KindSet)
+	newer := Make([]byte("k"), 9, KindSet)
+	if Compare(newer, older) >= 0 {
+		t.Fatal("newer version must sort before older")
+	}
+	// Delete at same seq sorts after set (kind is low bits).
+	del := Make([]byte("k"), 5, KindDelete)
+	if Compare(older, del) >= 0 {
+		t.Fatal("set must sort before delete at equal seq")
+	}
+	same := Make([]byte("k"), 5, KindSet)
+	if Compare(older, same) != 0 {
+		t.Fatal("identical keys must compare equal")
+	}
+}
+
+func TestSeekKeyFindsNewestVisible(t *testing.T) {
+	// SeekKey(k, snapshotSeq) must sort <= every version with seq <=
+	// snapshot and > every version with seq > snapshot.
+	k := []byte("key")
+	snapshot := uint64(50)
+	seek := SeekKey(k, snapshot)
+	visible := Make(k, 50, KindSet)
+	tooNew := Make(k, 51, KindSet)
+	oldv := Make(k, 10, KindSet)
+	if Compare(seek, visible) > 0 {
+		t.Fatal("seek key must not skip the version at the snapshot")
+	}
+	if Compare(seek, oldv) > 0 {
+		t.Fatal("seek key must not skip older versions")
+	}
+	if Compare(seek, tooNew) <= 0 {
+		t.Fatal("seek key must sort after too-new versions")
+	}
+}

@@ -1,0 +1,154 @@
+package keyspace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHashInRangeAndDeterministic(t *testing.T) {
+	p := NewHash(8)
+	if p.N() != 8 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		w := p.Pick(k)
+		if w < 0 || w >= 8 {
+			t.Fatalf("Pick out of range: %d", w)
+		}
+		if p.Pick(k) != w {
+			t.Fatal("Pick not deterministic")
+		}
+	}
+}
+
+func TestHashBalanceUniform(t *testing.T) {
+	p := NewHash(8)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[p.Pick([]byte(fmt.Sprintf("user%d", i)))]++
+	}
+	expect := float64(n) / 8
+	for w, c := range counts {
+		if math.Abs(float64(c)-expect)/expect > 0.05 {
+			t.Fatalf("worker %d has %d keys, expected ~%.0f (±5%%)", w, c, expect)
+		}
+	}
+}
+
+// TestHashBalanceZipfian reproduces the paper's claim (§4.2): even under
+// highly skewed Zipfian request streams, hashing spreads the hot keys
+// evenly enough across partitions.
+func TestHashBalanceZipfian(t *testing.T) {
+	p := NewHash(8)
+	r := rand.New(rand.NewSource(42))
+	z := rand.NewZipf(r, 1.01, 1, 1_000_000)
+	counts := make([]int, 8)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("user%d", z.Uint64()))
+		counts[p.Pick(key)]++
+	}
+	// The hottest zipfian key alone carries several percent of all
+	// requests and necessarily lands on one worker, so perfect balance is
+	// impossible; the property to check is that hashing prevents
+	// *collapse* — every worker stays within 2x of fair share.
+	expect := float64(n) / 8
+	for w, c := range counts {
+		if math.Abs(float64(c)-expect)/expect > 1.0 {
+			t.Fatalf("zipfian skew overwhelmed hashing: worker %d has %d, expected ~%.0f", w, c, expect)
+		}
+		if float64(c) < expect*0.3 {
+			t.Fatalf("worker %d starved: %d", w, c)
+		}
+	}
+}
+
+func TestHashSingleWorker(t *testing.T) {
+	p := NewHash(0) // clamps to 1
+	if p.N() != 1 || p.Pick([]byte("x")) != 0 {
+		t.Fatal("degenerate partitioner broken")
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := NewRange([][]byte{[]byte("g"), []byte("p")})
+	if p.N() != 3 {
+		t.Fatalf("N = %d", p.N())
+	}
+	cases := map[string]int{"a": 0, "f": 0, "g": 1, "o": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := p.Pick([]byte(k)); got != want {
+			t.Fatalf("Pick(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestConsistentBasics(t *testing.T) {
+	p := NewConsistent(8, 0) // 0 -> DefaultReplicas
+	if p.N() != 8 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		w := p.Pick(k)
+		if w < 0 || w >= 8 {
+			t.Fatalf("out of range: %d", w)
+		}
+		if p.Pick(k) != w {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestConsistentBalance(t *testing.T) {
+	// Consistent hashing trades some balance for minimal relocation; arc
+	// variance shrinks as 1/sqrt(replicas), so use a high replica count
+	// here and a tolerance reflecting the technique's real behaviour.
+	p := NewConsistent(8, 512)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[p.Pick([]byte(fmt.Sprintf("user%d", i)))]++
+	}
+	expect := float64(n) / 8
+	for w, c := range counts {
+		if math.Abs(float64(c)-expect)/expect > 0.35 {
+			t.Fatalf("worker %d has %d keys, expected ~%.0f (±35%%)", w, c, expect)
+		}
+	}
+}
+
+func TestConsistentMinimalRelocation(t *testing.T) {
+	// The defining property vs modular hashing: going N -> N+1 relocates
+	// ~1/(N+1) of keys under consistent hashing, but ~N/(N+1) under
+	// modular hashing.
+	const n = 40000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	measure := func(a, b Partitioner) float64 {
+		moved := 0
+		for _, k := range keys {
+			if a.Pick(k) != b.Pick(k) {
+				moved++
+			}
+		}
+		return float64(moved) / n
+	}
+	consMoved := measure(NewConsistent(8, 128), NewConsistent(9, 128))
+	hashMoved := measure(NewHash(8), NewHash(9))
+	if consMoved > 0.30 {
+		t.Fatalf("consistent hashing moved %.1f%% of keys on 8->9, want ~11%%", 100*consMoved)
+	}
+	if hashMoved < 0.5 {
+		t.Fatalf("modular hashing moved only %.1f%%, expected most keys", 100*hashMoved)
+	}
+	if consMoved >= hashMoved {
+		t.Fatal("consistent hashing gave no relocation advantage")
+	}
+}

@@ -1,0 +1,176 @@
+// Package kv defines the engine contract shared by every storage engine in
+// this repository (the RocksDB/LevelDB/PebblesDB-style LSM engine, the
+// WiredTiger-style B+-tree engine, and the KVell-style slab engine) and
+// consumed by the p2KVS framework.
+//
+// The interface is deliberately minimal: p2KVS (the paper's contribution)
+// treats engines as black boxes and only relies on standard point
+// operations plus two *optional* capabilities — batched writes and batched
+// reads — which it discovers via interface assertions, mirroring §4.6 of
+// the paper (OBM-write is disabled on engines without batch support).
+package kv
+
+import "errors"
+
+// ErrNotFound is returned by Get when the key does not exist (or its most
+// recent version is a tombstone).
+var ErrNotFound = errors.New("kv: key not found")
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("kv: engine closed")
+
+// Engine is the minimal synchronous key-value store contract.
+type Engine interface {
+	// Put inserts or overwrites a key.
+	Put(key, value []byte) error
+	// Get returns the value for key, or ErrNotFound.
+	// The returned slice is owned by the caller.
+	Get(key []byte) ([]byte, error)
+	// Delete removes a key. Deleting an absent key is not an error.
+	Delete(key []byte) error
+	// NewIterator returns an iterator over the live keys in ascending
+	// order. The iterator observes a consistent snapshot of the store.
+	NewIterator() (Iterator, error)
+	// Flush forces all buffered writes down to the persistent substrate.
+	Flush() error
+	// Close releases all resources. The engine must not be used after.
+	Close() error
+}
+
+// BatchWriter is the optional capability of committing several write-type
+// operations atomically with a single journal IO (RocksDB/LevelDB
+// WriteBatch). Engines lacking it (e.g. the WiredTiger-style engine) make
+// p2KVS fall back to per-request writes.
+type BatchWriter interface {
+	// Write applies the batch atomically.
+	Write(batch *Batch) error
+}
+
+// MultiGetter is the optional capability of resolving several point
+// lookups in one call (RocksDB multiget). p2KVS's OBM uses it for
+// read-type batched requests.
+type MultiGetter interface {
+	// MultiGet returns one value slot per key; a nil slot means the key
+	// was not found. The error reports infrastructure failures only.
+	MultiGet(keys [][]byte) ([][]byte, error)
+}
+
+// Caps describes which optional capabilities an engine supports under its
+// *current configuration*. Interface assertions only reveal what methods
+// exist; Caps lets a configurable engine (e.g. the LSM engine with
+// MultiGet disabled to model LevelDB) report what is actually usable.
+type Caps struct {
+	BatchWrite bool
+	MultiGet   bool
+}
+
+// CapabilityReporter is implemented by engines that report their
+// configured capabilities. p2KVS consults it before enabling OBM's batch
+// paths; engines without it are probed via interface assertions.
+type CapabilityReporter interface {
+	Caps() Caps
+}
+
+// CapsOf determines an engine's capabilities, preferring its own report.
+func CapsOf(e Engine) Caps {
+	if r, ok := e.(CapabilityReporter); ok {
+		return r.Caps()
+	}
+	var c Caps
+	if _, ok := e.(BatchWriter); ok {
+		c.BatchWrite = true
+	}
+	if _, ok := e.(MultiGetter); ok {
+		c.MultiGet = true
+	}
+	return c
+}
+
+// Syncer is the optional capability of exposing durability control.
+type Syncer interface {
+	// Sync persists the journal up to the last acknowledged write.
+	Sync() error
+}
+
+// Iterator walks keys in ascending byte order.
+//
+// Usage:
+//
+//	it, _ := db.NewIterator()
+//	defer it.Close()
+//	for it.SeekToFirst(); it.Valid(); it.Next() { ... }
+type Iterator interface {
+	// Valid reports whether the iterator is positioned at a live entry.
+	Valid() bool
+	// SeekToFirst positions at the smallest key.
+	SeekToFirst()
+	// Seek positions at the first key >= target.
+	Seek(target []byte)
+	// Next advances to the following key.
+	Next()
+	// Key returns the current key. Valid until the next positioning call.
+	Key() []byte
+	// Value returns the current value. Valid until the next positioning call.
+	Value() []byte
+	// Error returns the first IO error encountered, if any.
+	Error() error
+	// Close releases iterator resources.
+	Close() error
+}
+
+// OpKind discriminates write-type operations inside a Batch.
+type OpKind uint8
+
+// Batch operation kinds.
+const (
+	OpPut OpKind = iota + 1
+	OpDelete
+)
+
+// BatchOp is a single operation recorded in a Batch.
+type BatchOp struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte // nil for OpDelete
+}
+
+// Batch accumulates write-type operations to be applied atomically by a
+// BatchWriter. The zero value is an empty, usable batch.
+type Batch struct {
+	ops  []BatchOp
+	size int
+}
+
+// Put appends an insert/overwrite to the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, BatchOp{Kind: OpPut, Key: key, Value: value})
+	b.size += len(key) + len(value)
+}
+
+// Delete appends a deletion to the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, BatchOp{Kind: OpDelete, Key: key})
+	b.size += len(key)
+}
+
+// Append copies all operations from other into b.
+func (b *Batch) Append(other *Batch) {
+	b.ops = append(b.ops, other.ops...)
+	b.size += other.size
+}
+
+// Ops exposes the recorded operations in insertion order.
+func (b *Batch) Ops() []BatchOp { return b.ops }
+
+// Len reports the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Size reports the accumulated key+value byte size, used for batching
+// heuristics and group-commit accounting.
+func (b *Batch) Size() int { return b.size }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}

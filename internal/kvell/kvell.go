@@ -1,0 +1,640 @@
+// Package kvell reimplements the design of KVell (Lepers et al., SOSP'19)
+// as the paper's non-LSM baseline (§5.5): share-nothing worker threads,
+// each owning an in-memory B+-tree index that maps keys to slots in
+// size-classed slab files, in-place updates with no write-ahead log and no
+// compaction, and a page cache in front of the slabs. Items are unsorted
+// on disk, so scans walk the index and issue random reads — the cost
+// profile Figures 20/21 contrast with p2KVS.
+//
+// Slot layout inside a slab: klen u16 | vlen u32 | key | value, padded to
+// the class size. klen == 0xFFFF marks a free slot (tombstone), which is
+// how recovery distinguishes live items when it rebuilds the in-memory
+// index by scanning the slabs (KVell's documented recovery strategy).
+package kvell
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2kvs/internal/bloom"
+	"p2kvs/internal/bptree"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/metrics"
+	"p2kvs/internal/vfs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// FS hosts the slab files. Required.
+	FS vfs.FS
+	// Workers is the number of share-nothing partitions (KVell-4/8 in the
+	// paper). Default 4.
+	Workers int
+	// CacheBytes is the per-store page-cache budget (the paper gives
+	// KVell 4 GB; scale accordingly). Default 64 MiB.
+	CacheBytes int64
+	// QueueDepth bounds each worker's request queue. Default 64.
+	QueueDepth int
+	// Meters, when non-nil, receives one busy-time meter per worker
+	// (Figure 21d per-core utilization).
+	Meters *metrics.Group
+	// PerOpCost models the per-request software path (index walk, slab
+	// bookkeeping) in simulated time; zero for production use, set by
+	// the scaled-time benchmarks.
+	PerOpCost time.Duration
+}
+
+var slabClasses = []int{128, 256, 512, 1024, 2048, 4096}
+
+const freeMark = 0xFFFF
+
+type loc struct {
+	class int   // index into slabClasses
+	slot  int64 // slot number within the slab
+}
+
+// Store is a KVell-style store.
+type Store struct {
+	opts    Options
+	dir     string
+	workers []*worker
+	closed  bool
+	// mu guards closed: submitters hold it shared while enqueueing so
+	// Close cannot close a queue mid-send.
+	mu sync.RWMutex
+}
+
+var _ kv.Engine = (*Store)(nil)
+
+type request struct {
+	op    kv.OpKind // OpPut / OpDelete; 0 = get, 3 = scan-collect
+	key   []byte
+	value []byte
+	// scan support
+	start []byte
+	limit int
+	// reply
+	out   [][2][]byte
+	err   error
+	found bool
+	done  chan struct{}
+}
+
+const opGet kv.OpKind = 0
+const opScan kv.OpKind = 3
+
+type worker struct {
+	id        int
+	fs        vfs.FS
+	dir       string
+	queue     chan *request
+	meter     *metrics.Meter
+	perOpCost time.Duration
+
+	index *bptree.Tree[loc]
+	slabs [len6]*slab
+	cache *pageCache
+	wg    sync.WaitGroup
+}
+
+// len6 keeps the slab array sized to the class table.
+const len6 = 6
+
+type slab struct {
+	f        vfs.File
+	slotSize int64
+	nslots   int64
+	free     []int64
+}
+
+// Open opens (creating or recovering) a store at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.FS == nil {
+		return nil, errors.New("kvell: Options.FS is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, dir: dir}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{
+			id:        i,
+			fs:        opts.FS,
+			dir:       fmt.Sprintf("%s/w%02d", dir, i),
+			queue:     make(chan *request, opts.QueueDepth),
+			index:     bptree.New[loc](),
+			cache:     newPageCache(opts.CacheBytes / int64(opts.Workers)),
+			perOpCost: opts.PerOpCost,
+		}
+		if opts.Meters != nil {
+			w.meter = opts.Meters.Meter(fmt.Sprintf("kvell-w%d", i))
+		}
+		if err := w.open(); err != nil {
+			return nil, err
+		}
+		w.wg.Add(1)
+		go w.loop()
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+func (w *worker) slabName(class int) string {
+	return fmt.Sprintf("%s/slab-%d.dat", w.dir, slabClasses[class])
+}
+
+// open creates or recovers the worker's slabs, rebuilding the in-memory
+// index by scanning every slot (KVell's recovery path).
+func (w *worker) open() error {
+	if err := w.fs.MkdirAll(w.dir); err != nil {
+		return err
+	}
+	for class := range slabClasses {
+		name := w.slabName(class)
+		var f vfs.File
+		var err error
+		if w.fs.Exists(name) {
+			f, err = w.fs.Open(name)
+		} else {
+			f, err = w.fs.Create(name)
+		}
+		if err != nil {
+			return err
+		}
+		sl := &slab{f: f, slotSize: int64(slabClasses[class])}
+		size, err := f.Size()
+		if err != nil {
+			return err
+		}
+		sl.nslots = size / sl.slotSize
+		// Rebuild the index by scanning the slab with large sequential
+		// reads (KVell's recovery path streams slabs, it does not issue
+		// one IO per slot).
+		const chunkSlots = 512
+		buf := make([]byte, sl.slotSize*chunkSlots)
+		for base := int64(0); base < sl.nslots; base += chunkSlots {
+			n := sl.nslots - base
+			if n > chunkSlots {
+				n = chunkSlots
+			}
+			chunk := buf[:n*sl.slotSize]
+			if _, err := f.ReadAt(chunk, base*sl.slotSize); err != nil {
+				return err
+			}
+			for i := int64(0); i < n; i++ {
+				rec := chunk[i*sl.slotSize : (i+1)*sl.slotSize]
+				slot := base + i
+				klen := binary.LittleEndian.Uint16(rec)
+				if klen == freeMark || klen == 0 {
+					sl.free = append(sl.free, slot)
+					continue
+				}
+				key := append([]byte(nil), rec[6:6+int(klen)]...)
+				w.index.Set(key, loc{class: class, slot: slot})
+			}
+		}
+		w.slabs[class] = sl
+	}
+	return nil
+}
+
+func classFor(need int) (int, error) {
+	for i, c := range slabClasses {
+		if need <= c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("kvell: item of %d bytes exceeds largest slab class %d", need, slabClasses[len(slabClasses)-1])
+}
+
+// loop is the worker's single thread: all index and slab access is
+// unsynchronized because only this goroutine touches them (KVell's
+// share-nothing concurrency model).
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for req := range w.queue {
+		if w.meter != nil {
+			w.meter.Busy()
+		}
+		w.handle(req)
+		if w.meter != nil {
+			w.meter.Idle()
+		}
+		close(req.done)
+	}
+}
+
+func (w *worker) handle(req *request) {
+	if w.perOpCost > 0 {
+		time.Sleep(w.perOpCost)
+	}
+	switch req.op {
+	case opGet:
+		req.value, req.found, req.err = w.get(req.key)
+	case kv.OpPut:
+		req.err = w.put(req.key, req.value)
+	case kv.OpDelete:
+		req.err = w.delete(req.key)
+	case opScan:
+		req.out, req.err = w.scan(req.start, req.limit)
+	}
+}
+
+func (w *worker) get(key []byte) ([]byte, bool, error) {
+	l, ok := w.index.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	if v, ok := w.cache.get(key); ok {
+		return v, true, nil
+	}
+	v, err := w.readSlot(l, key)
+	if err != nil {
+		return nil, false, err
+	}
+	w.cache.put(key, v)
+	return v, true, nil
+}
+
+func (w *worker) readSlot(l loc, key []byte) ([]byte, error) {
+	sl := w.slabs[l.class]
+	buf := make([]byte, sl.slotSize)
+	if _, err := sl.f.ReadAt(buf, l.slot*sl.slotSize); err != nil {
+		return nil, err
+	}
+	klen := int(binary.LittleEndian.Uint16(buf))
+	vlen := int(binary.LittleEndian.Uint32(buf[2:]))
+	if klen == freeMark || 6+klen+vlen > len(buf) {
+		return nil, errors.New("kvell: corrupt slot")
+	}
+	if key != nil && !bytes.Equal(buf[6:6+klen], key) {
+		return nil, errors.New("kvell: index/slot mismatch")
+	}
+	return append([]byte(nil), buf[6+klen:6+klen+vlen]...), nil
+}
+
+func (w *worker) put(key, value []byte) error {
+	need := 6 + len(key) + len(value)
+	class, err := classFor(need)
+	if err != nil {
+		return err
+	}
+	old, existed := w.index.Get(key)
+
+	var slot int64
+	sl := w.slabs[class]
+	switch {
+	case existed && old.class == class:
+		// In-place update — KVell's headline write path: one random IO,
+		// no log, no compaction.
+		slot = old.slot
+	case len(sl.free) > 0:
+		slot = sl.free[len(sl.free)-1]
+		sl.free = sl.free[:len(sl.free)-1]
+	default:
+		slot = sl.nslots
+		sl.nslots++
+	}
+
+	buf := make([]byte, sl.slotSize)
+	binary.LittleEndian.PutUint16(buf, uint16(len(key)))
+	binary.LittleEndian.PutUint32(buf[2:], uint32(len(value)))
+	copy(buf[6:], key)
+	copy(buf[6+len(key):], value)
+	if _, err := sl.f.WriteAt(buf, slot*sl.slotSize); err != nil {
+		return err
+	}
+	if existed && old.class != class {
+		if err := w.freeSlot(old); err != nil {
+			return err
+		}
+	}
+	w.index.Set(key, loc{class: class, slot: slot})
+	w.cache.put(key, append([]byte(nil), value...))
+	return nil
+}
+
+func (w *worker) freeSlot(l loc) error {
+	sl := w.slabs[l.class]
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], freeMark)
+	if _, err := sl.f.WriteAt(hdr[:], l.slot*sl.slotSize); err != nil {
+		return err
+	}
+	sl.free = append(sl.free, l.slot)
+	return nil
+}
+
+func (w *worker) delete(key []byte) error {
+	l, ok := w.index.Get(key)
+	if !ok {
+		return nil
+	}
+	if err := w.freeSlot(l); err != nil {
+		return err
+	}
+	w.index.Delete(key)
+	w.cache.drop(key)
+	return nil
+}
+
+// scan returns up to limit (key, value) pairs with key >= start from this
+// worker's partition. Values are fetched with random reads — the reason
+// KVell scans underperform LSM scans (workload E, Figure 20).
+func (w *worker) scan(start []byte, limit int) ([][2][]byte, error) {
+	var out [][2][]byte
+	var scanErr error
+	w.index.Ascend(start, func(k []byte, l loc) bool {
+		v, err := w.readSlot(l, k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out = append(out, [2][]byte{append([]byte(nil), k...), v})
+		return len(out) < limit
+	})
+	return out, scanErr
+}
+
+// ---------------------------------------------------------------------------
+// Store API
+// ---------------------------------------------------------------------------
+
+func (s *Store) pick(key []byte) *worker {
+	return s.workers[int(bloom.Hash(key))%len(s.workers)]
+}
+
+func (s *Store) submit(w *worker, req *request) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return kv.ErrClosed
+	}
+	req.done = make(chan struct{})
+	w.queue <- req
+	s.mu.RUnlock()
+	<-req.done
+	return req.err
+}
+
+// Put implements kv.Engine.
+func (s *Store) Put(key, value []byte) error {
+	return s.submit(s.pick(key), &request{op: kv.OpPut, key: key, value: value})
+}
+
+// Get implements kv.Engine.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	req := &request{op: opGet, key: key}
+	if err := s.submit(s.pick(key), req); err != nil {
+		return nil, err
+	}
+	if !req.found {
+		return nil, kv.ErrNotFound
+	}
+	return req.value, nil
+}
+
+// Delete implements kv.Engine.
+func (s *Store) Delete(key []byte) error {
+	return s.submit(s.pick(key), &request{op: kv.OpDelete, key: key})
+}
+
+// Scan returns up to limit pairs with key >= start across all partitions,
+// globally sorted. Each partition is asked for limit items (the key
+// distribution across partitions is unknown a priori — the same
+// over-read p2KVS's parallel SCAN performs, §4.4).
+func (s *Store) Scan(start []byte, limit int) ([][2][]byte, error) {
+	reqs := make([]*request, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		reqs[i] = &request{op: opScan, start: start, limit: limit}
+		wg.Add(1)
+		go func(w *worker, r *request) {
+			defer wg.Done()
+			r.errOnce(s.submit(w, r))
+		}(w, reqs[i])
+	}
+	wg.Wait()
+	var all [][2][]byte
+	for _, r := range reqs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		all = append(all, r.out...)
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i][0], all[j][0]) < 0 })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+func (r *request) errOnce(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// NewIterator implements kv.Engine by snapshotting the merged key set.
+// KVell has no ordered on-disk layout, so a full iterator is inherently a
+// scan of the in-memory indexes; values are fetched lazily per key.
+func (s *Store) NewIterator() (kv.Iterator, error) {
+	pairs, err := s.Scan(nil, 1<<31-1)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotIter{pairs: pairs, pos: -1}, nil
+}
+
+// Flush implements kv.Engine: syncs every slab.
+func (s *Store) Flush() error {
+	for _, w := range s.workers {
+		for _, sl := range w.slabs {
+			if sl == nil {
+				continue
+			}
+			if err := sl.f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Caps reports no batch capabilities (KVell's API is per-request; its
+// parallelism is internal).
+func (s *Store) Caps() kv.Caps { return kv.Caps{} }
+
+// Metrics reports memory accounting (Figure 21b): in-memory indexes plus
+// page cache.
+type Metrics struct {
+	IndexBytes int64
+	CacheBytes int64
+	Keys       int
+}
+
+// Metrics snapshots the store. Approximate: indexes are read without
+// pausing workers.
+func (s *Store) Metrics() Metrics {
+	var m Metrics
+	for _, w := range s.workers {
+		m.IndexBytes += w.index.ApproxBytes()
+		m.CacheBytes += w.cache.bytes()
+		m.Keys += w.index.Len()
+	}
+	return m
+}
+
+// Close implements kv.Engine.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		close(w.queue)
+		w.wg.Wait()
+		for _, sl := range w.slabs {
+			if sl != nil {
+				sl.f.Sync()
+				sl.f.Close()
+			}
+		}
+	}
+	return nil
+}
+
+type snapshotIter struct {
+	pairs [][2][]byte
+	pos   int
+}
+
+func (it *snapshotIter) Valid() bool  { return it.pos >= 0 && it.pos < len(it.pairs) }
+func (it *snapshotIter) SeekToFirst() { it.pos = 0 }
+func (it *snapshotIter) Seek(target []byte) {
+	it.pos = sort.Search(len(it.pairs), func(i int) bool {
+		return bytes.Compare(it.pairs[i][0], target) >= 0
+	})
+}
+func (it *snapshotIter) Next() {
+	if it.pos < len(it.pairs) {
+		it.pos++
+	}
+}
+func (it *snapshotIter) Key() []byte   { return it.pairs[it.pos][0] }
+func (it *snapshotIter) Value() []byte { return it.pairs[it.pos][1] }
+func (it *snapshotIter) Error() error  { return nil }
+func (it *snapshotIter) Close() error  { return nil }
+
+// ---------------------------------------------------------------------------
+// Page cache
+// ---------------------------------------------------------------------------
+
+// pageCache is a byte-budgeted cache with CLOCK-ish second-chance
+// eviction, modeling KVell's page cache at item granularity.
+type pageCache struct {
+	budget int64
+	used   int64
+	m      map[string]*cacheEntry
+	ring   []string
+	hand   int
+}
+
+type cacheEntry struct {
+	val []byte
+	ref bool
+}
+
+func newPageCache(budget int64) *pageCache {
+	return &pageCache{budget: budget, m: make(map[string]*cacheEntry)}
+}
+
+func (c *pageCache) get(key []byte) ([]byte, bool) {
+	if e, ok := c.m[string(key)]; ok {
+		e.ref = true
+		return append([]byte(nil), e.val...), true
+	}
+	return nil, false
+}
+
+func (c *pageCache) put(key, val []byte) {
+	if c.budget <= 0 {
+		return
+	}
+	k := string(key)
+	if e, ok := c.m[k]; ok {
+		c.used += int64(len(val) - len(e.val))
+		e.val = val
+		e.ref = true
+	} else {
+		c.m[k] = &cacheEntry{val: val, ref: true}
+		c.ring = append(c.ring, k)
+		c.used += int64(len(k) + len(val))
+	}
+	for c.used > c.budget && len(c.ring) > 0 {
+		c.evictOne()
+	}
+}
+
+func (c *pageCache) evictOne() {
+	for range c.ring {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		k := c.ring[c.hand]
+		e, ok := c.m[k]
+		if !ok {
+			// Stale ring slot (dropped key): compact it away.
+			c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			c.hand++
+			continue
+		}
+		c.used -= int64(len(k) + len(e.val))
+		delete(c.m, k)
+		c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+		return
+	}
+	// Everything referenced: evict at hand anyway.
+	if len(c.ring) > 0 {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		k := c.ring[c.hand]
+		if e, ok := c.m[k]; ok {
+			c.used -= int64(len(k) + len(e.val))
+			delete(c.m, k)
+		}
+		c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+	}
+}
+
+func (c *pageCache) drop(key []byte) {
+	k := string(key)
+	if e, ok := c.m[k]; ok {
+		c.used -= int64(len(k) + len(e.val))
+		delete(c.m, k)
+	}
+}
+
+func (c *pageCache) bytes() int64 { return c.used }

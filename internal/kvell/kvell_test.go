@@ -1,0 +1,305 @@
+package kvell
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+func open(t *testing.T, fs vfs.FS, workers int) *Store {
+	t.Helper()
+	s, err := Open("kvell", Options{FS: fs, Workers: workers, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 4)
+	defer s.Close()
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q %v", v, err)
+	}
+	if _, err := s.Get([]byte("absent")); err != kv.ErrNotFound {
+		t.Fatalf("absent err = %v", err)
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k1")); err != kv.ErrNotFound {
+		t.Fatal("deleted key still readable")
+	}
+	// Deleting absent key is fine.
+	if err := s.Delete([]byte("never")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInPlaceUpdateReusesSlot(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 1)
+	defer s.Close()
+	key := []byte("key")
+	s.Put(key, []byte("v1"))
+	w := s.workers[0]
+	l1, ok := w.index.Get(key)
+	if !ok {
+		t.Fatal("index miss")
+	}
+	s.Put(key, []byte("v2"))
+	l2, _ := w.index.Get(key)
+	if l1 != l2 {
+		t.Fatalf("same-class update moved slots: %+v -> %+v", l1, l2)
+	}
+	if v, _ := s.Get(key); string(v) != "v2" {
+		t.Fatal("update lost")
+	}
+}
+
+func TestClassMigration(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 1)
+	defer s.Close()
+	key := []byte("key")
+	s.Put(key, make([]byte, 50))   // class 128
+	s.Put(key, make([]byte, 500))  // class 1024
+	s.Put(key, make([]byte, 3000)) // class 4096
+	v, err := s.Get(key)
+	if err != nil || len(v) != 3000 {
+		t.Fatalf("Get after migrations = %d bytes, %v", len(v), err)
+	}
+	// Old slots must be freed and reusable.
+	w := s.workers[0]
+	if len(w.slabs[0].free) == 0 {
+		t.Fatal("migrated-out slot was not freed")
+	}
+	if err := s.Put([]byte("other"), make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.slabs[0].free) != 0 {
+		t.Fatal("freed slot not reused")
+	}
+}
+
+func TestOversizedItemRejected(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 1)
+	defer s.Close()
+	if err := s.Put([]byte("big"), make([]byte, 8192)); err == nil {
+		t.Fatal("oversized item must be rejected")
+	}
+}
+
+func TestScanSortedAcrossPartitions(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 4)
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	pairs, err := s.Scan([]byte("k00100"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 20 {
+		t.Fatalf("scan returned %d", len(pairs))
+	}
+	for i, p := range pairs {
+		want := fmt.Sprintf("k%05d", 100+i)
+		if string(p[0]) != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, p[0], want)
+		}
+		if string(p[1]) != fmt.Sprintf("v%d", 100+i) {
+			t.Fatalf("scan[%d] value = %q", i, p[1])
+		}
+	}
+}
+
+func TestIterator(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 3)
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v"))
+	}
+	it, err := s.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	prev := ""
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		if prev != "" && k <= prev {
+			t.Fatalf("out of order: %q after %q", k, prev)
+		}
+		prev = k
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("iterated %d", n)
+	}
+	it.Seek([]byte("k00250"))
+	if !it.Valid() || string(it.Key()) != "k00250" {
+		t.Fatalf("Seek landed on %q", it.Key())
+	}
+}
+
+func TestRecoveryRebuildsIndex(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 2)
+	for i := 0; i < 400; i++ {
+		s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("k00003"))
+	s.Flush()
+	s.Close()
+
+	s2 := open(t, fs, 2)
+	defer s2.Close()
+	m := s2.Metrics()
+	if m.Keys != 399 {
+		t.Fatalf("recovered %d keys, want 399", m.Keys)
+	}
+	for i := 0; i < 400; i += 17 {
+		key := fmt.Sprintf("k%05d", i)
+		v, err := s2.Get([]byte(key))
+		if i == 3 {
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %q %v", key, v, err)
+		}
+	}
+	if _, err := s2.Get([]byte("k00003")); err != kv.ErrNotFound {
+		t.Fatal("deleted key resurrected by recovery")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 4)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("g%d-%04d", g, i))
+				if err := s.Put(key, key); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, err := s.Get(key); err != nil || !bytes.Equal(v, key) {
+					t.Errorf("readback %s = %q %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m := s.Metrics(); m.Keys != 1600 {
+		t.Fatalf("keys = %d", m.Keys)
+	}
+}
+
+func TestMetricsAndCaps(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 2)
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), make([]byte, 64))
+	}
+	m := s.Metrics()
+	if m.IndexBytes <= 0 || m.Keys != 100 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if caps := kv.CapsOf(s); caps.BatchWrite || caps.MultiGet {
+		t.Fatal("kvell must report no batch caps")
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	fs := vfs.NewMem()
+	s := open(t, fs, 1)
+	s.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal("double close")
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != kv.ErrClosed {
+		t.Fatalf("Put after close = %v", err)
+	}
+}
+
+func TestPageCacheEviction(t *testing.T) {
+	c := newPageCache(300)
+	for i := 0; i < 50; i++ {
+		c.put([]byte(fmt.Sprintf("key%02d", i)), make([]byte, 20))
+	}
+	if c.bytes() > 300 {
+		t.Fatalf("cache over budget: %d", c.bytes())
+	}
+	// Most recent insert should generally still be present.
+	if _, ok := c.get([]byte("key49")); !ok {
+		t.Fatal("most recent entry evicted immediately")
+	}
+	c.drop([]byte("key49"))
+	if _, ok := c.get([]byte("key49")); ok {
+		t.Fatal("dropped entry still cached")
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Len    uint8
+		Delete bool
+	}
+	fn := func(ops []op) bool {
+		fs := vfs.NewMem()
+		s, err := Open("q", Options{FS: fs, Workers: 3, CacheBytes: 4 << 10})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		model := map[string][]byte{}
+		for i, o := range ops {
+			k := fmt.Sprintf("key-%03d", o.Key%48)
+			if o.Delete {
+				delete(model, k)
+				if s.Delete([]byte(k)) != nil {
+					return false
+				}
+			} else {
+				v := bytes.Repeat([]byte{byte(i)}, int(o.Len)%200+1)
+				model[k] = v
+				if s.Put([]byte(k), v) != nil {
+					return false
+				}
+			}
+		}
+		for k, want := range model {
+			v, err := s.Get([]byte(k))
+			if err != nil || !bytes.Equal(v, want) {
+				return false
+			}
+		}
+		return s.Metrics().Keys == len(model)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package lsm
+
+import (
+	"sync"
+
+	"p2kvs/internal/cache"
+	"p2kvs/internal/sstable"
+	"p2kvs/internal/vfs"
+)
+
+// tableCache keeps SSTable readers open so point lookups don't re-read
+// index and filter blocks on every probe (RocksDB's table cache). Entries
+// are evicted when compaction deletes their files.
+type tableCache struct {
+	fs     vfs.FS
+	dir    string
+	blocks *cache.Cache // shared data-block cache (nil = disabled)
+
+	mu      sync.Mutex
+	readers map[uint64]*sstable.Reader
+}
+
+func newTableCache(fs vfs.FS, dir string, blocks *cache.Cache) *tableCache {
+	return &tableCache{fs: fs, dir: dir, blocks: blocks, readers: make(map[uint64]*sstable.Reader)}
+}
+
+func (c *tableCache) get(num uint64) (*sstable.Reader, error) {
+	c.mu.Lock()
+	if r, ok := c.readers[num]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+
+	f, err := c.fs.Open(sstName(c.dir, num))
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.OpenWithCache(f, c.blocks, num)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.readers[num]; ok {
+		// Lost a racing open; keep the first.
+		r.Close()
+		return existing, nil
+	}
+	c.readers[num] = r
+	return r, nil
+}
+
+// evict closes and forgets the reader for a deleted file.
+func (c *tableCache) evict(num uint64) {
+	c.mu.Lock()
+	r, ok := c.readers[num]
+	delete(c.readers, num)
+	c.mu.Unlock()
+	if ok {
+		r.Close()
+	}
+}
+
+// approximateMemory estimates pinned index+filter bytes (Table 2).
+func (c *tableCache) approximateMemory() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Index + filter are roughly 2% of table size at our block/key sizes.
+	var total int64
+	for _, r := range c.readers {
+		total += r.Size() / 50
+	}
+	return total
+}
+
+func (c *tableCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for num, r := range c.readers {
+		r.Close()
+		delete(c.readers, num)
+	}
+}

@@ -1,0 +1,381 @@
+package lsm
+
+import (
+	"bytes"
+
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/manifest"
+	"p2kvs/internal/sstable"
+)
+
+// CompactRange force-compacts every file overlapping [begin, end] (nil
+// bounds are open) down the tree until the range is fully merged — the
+// manual-compaction API production stores expose for space reclamation
+// and read-amp repair after bulk deletes.
+func (d *DB) CompactRange(begin, end []byte) error {
+	if d.closed.Load() {
+		return kv.ErrClosed
+	}
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	for level := 0; level < manifest.NumLevels-1; level++ {
+		for {
+			d.mu.Lock()
+			if d.bgErr != nil {
+				err := d.bgErr
+				d.mu.Unlock()
+				return err
+			}
+			if d.compacting {
+				// Wait out the background worker rather than race it.
+				d.cond.Wait()
+				d.mu.Unlock()
+				continue
+			}
+			d.compacting = true
+			v := d.vs.Current()
+			d.mu.Unlock()
+
+			var inputs []*manifest.FileMeta
+			for _, f := range v.Levels[level] {
+				if f.Overlaps(begin, end) {
+					inputs = append(inputs, f)
+				}
+			}
+			var err error
+			if len(inputs) > 0 {
+				err = d.compactFiles(v, level, inputs)
+			}
+			d.mu.Lock()
+			d.compacting = false
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// compactFiles merges the given level files (plus next-level overlap)
+// into level+1, the shared body of leveled compaction and CompactRange.
+func (d *DB) compactFiles(v *manifest.Version, level int, inputs []*manifest.FileMeta) error {
+	lo, hi := keyRange(inputs)
+	out := level + 1
+	var lower []*manifest.FileMeta
+	for _, f := range v.Levels[out] {
+		if f.Overlaps(lo, hi) {
+			lower = append(lower, f)
+		}
+	}
+	all := append(append([]*manifest.FileMeta(nil), inputs...), lower...)
+	dropTombs := d.noDataBelow(v, out, lo, hi)
+	outputs, err := d.mergeFiles(all, out, dropTombs, nil)
+	if err != nil {
+		return err
+	}
+	return d.installCompaction(level, inputs, out, lower, outputs)
+}
+
+// compactLoop is the background major-compaction thread (Figure 2 ③).
+func (d *DB) compactLoop() {
+	defer d.bgWG.Done()
+	for {
+		select {
+		case <-d.stopC:
+			return
+		case <-d.compactC:
+			for {
+				select {
+				case <-d.stopC:
+					return
+				default:
+				}
+				worked, err := d.compactOnce()
+				if err != nil {
+					d.mu.Lock()
+					d.bgErr = err
+					d.cond.Broadcast()
+					d.mu.Unlock()
+					return
+				}
+				if !worked {
+					break
+				}
+			}
+		}
+	}
+}
+
+// levelTarget returns the size budget of a level (>= 1).
+func (d *DB) levelTarget(level int) int64 {
+	t := d.opts.BaseLevelSize
+	for i := 1; i < level; i++ {
+		t *= int64(d.opts.LevelMultiplier)
+	}
+	return t
+}
+
+// pickCompaction chooses the level with the highest overfull score, the
+// LevelDB heuristic. Returns -1 when nothing is over budget.
+func (d *DB) pickCompaction(v *manifest.Version) int {
+	bestLevel, bestScore := -1, 1.0
+	l0Score := float64(len(v.Levels[0])) / float64(d.opts.L0CompactionTrigger)
+	if l0Score >= bestScore {
+		bestLevel, bestScore = 0, l0Score
+	}
+	for level := 1; level < manifest.NumLevels-1; level++ {
+		score := float64(v.LevelSize(level)) / float64(d.levelTarget(level))
+		if score > bestScore {
+			bestLevel, bestScore = level, score
+		}
+	}
+	return bestLevel
+}
+
+// compactOnce performs at most one compaction. It returns whether work
+// was done.
+func (d *DB) compactOnce() (bool, error) {
+	d.mu.Lock()
+	if d.compacting || d.bgErr != nil {
+		d.mu.Unlock()
+		return false, nil
+	}
+	v := d.vs.Current()
+	level := d.pickCompaction(v)
+	if level < 0 {
+		d.mu.Unlock()
+		return false, nil
+	}
+	d.compacting = true
+	d.mu.Unlock()
+
+	var err error
+	if d.opts.Style == Fragmented && level < manifest.NumLevels-2 {
+		err = d.compactFragmented(v, level)
+	} else {
+		err = d.compactLeveled(v, level)
+	}
+
+	d.mu.Lock()
+	d.compacting = false
+	d.kick()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return err == nil, err
+}
+
+// inputsForLevel selects the files to move out of a level. For L0 every
+// file participates (they overlap); for deeper levels one file is chosen
+// (largest first, a simple fairness heuristic).
+func (d *DB) inputsForLevel(v *manifest.Version, level int) []*manifest.FileMeta {
+	files := v.Levels[level]
+	if level == 0 || d.opts.Style == Fragmented {
+		return append([]*manifest.FileMeta(nil), files...)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	best := files[0]
+	for _, f := range files[1:] {
+		if f.Size > best.Size {
+			best = f
+		}
+	}
+	return []*manifest.FileMeta{best}
+}
+
+// keyRange computes the user-key span of a file set.
+func keyRange(files []*manifest.FileMeta) (lo, hi []byte) {
+	for _, f := range files {
+		fl, fh := ikey.UserKey(f.Smallest), ikey.UserKey(f.Largest)
+		if lo == nil || bytes.Compare(fl, lo) < 0 {
+			lo = fl
+		}
+		if hi == nil || bytes.Compare(fh, hi) > 0 {
+			hi = fh
+		}
+	}
+	return lo, hi
+}
+
+// compactLeveled merges inputs from level with the overlapping files of
+// level+1 and writes sorted, non-overlapping outputs into level+1.
+func (d *DB) compactLeveled(v *manifest.Version, level int) error {
+	inputs := d.inputsForLevel(v, level)
+	if len(inputs) == 0 {
+		return nil
+	}
+	lo, hi := keyRange(inputs)
+	out := level + 1
+	var lower []*manifest.FileMeta
+	for _, f := range v.Levels[out] {
+		if f.Overlaps(lo, hi) {
+			lower = append(lower, f)
+		}
+	}
+	all := append(append([]*manifest.FileMeta(nil), inputs...), lower...)
+	dropTombs := d.noDataBelow(v, out, lo, hi)
+	outputs, err := d.mergeFiles(all, out, dropTombs, nil)
+	if err != nil {
+		return err
+	}
+	return d.installCompaction(level, inputs, out, lower, outputs)
+}
+
+// compactFragmented implements the PebblesDB-style policy: the level's
+// files are merged among themselves and re-partitioned into level+1
+// WITHOUT rewriting level+1's existing data, so each byte is written once
+// per level instead of LevelMultiplier times. The next level tolerates
+// overlapping files (reads fan out, Get picks the newest version by
+// sequence number).
+func (d *DB) compactFragmented(v *manifest.Version, level int) error {
+	inputs := d.inputsForLevel(v, level)
+	if len(inputs) == 0 {
+		return nil
+	}
+	out := level + 1
+	lo, hi := keyRange(inputs)
+	dropTombs := d.noDataBelow(v, out, lo, hi) && len(v.Levels[out]) == 0
+	outputs, err := d.mergeFiles(inputs, out, dropTombs, nil)
+	if err != nil {
+		return err
+	}
+	return d.installCompaction(level, inputs, out, nil, outputs)
+}
+
+// noDataBelow reports whether no level deeper than out overlaps
+// [lo, hi] — the condition for dropping tombstones.
+func (d *DB) noDataBelow(v *manifest.Version, out int, lo, hi []byte) bool {
+	for level := out + 1; level < manifest.NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			if f.Overlaps(lo, hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mergeFiles merge-sorts the input tables and writes outputs split at
+// TargetFileSize. Older duplicate versions are dropped (no snapshot
+// support across compactions); tombstones are dropped when dropTombs.
+func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs bool, guards [][]byte) ([]manifest.FileMeta, error) {
+	var children []internalIterator
+	for _, fm := range inputs {
+		f, err := d.opts.FS.Open(sstName(d.dir, fm.Num))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sstable.OpenWithCache(f, d.blocks, fm.Num)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		children = append(children, tableIterAdapter{r.NewIterator(), r})
+		d.perf.compactRead.Add(fm.Size)
+	}
+	merge := newMergingIter(children)
+	defer merge.Close()
+
+	var (
+		outputs []manifest.FileMeta
+		w       *sstable.Writer
+		wf      interface{ Close() error }
+		curNum  uint64
+		lastUK  []byte
+		haveUK  bool
+	)
+	finishOutput := func() error {
+		if w == nil {
+			return nil
+		}
+		meta, err := w.Finish()
+		wf.Close()
+		w = nil
+		if err != nil {
+			d.opts.FS.Remove(sstName(d.dir, curNum))
+			return err
+		}
+		d.perf.compactWrite.Add(meta.Size)
+		outputs = append(outputs, manifest.FileMeta{
+			Num: meta.FileNum, Size: meta.Size, Entries: meta.Entries,
+			Smallest: meta.Smallest, Largest: meta.Largest,
+		})
+		return nil
+	}
+
+	written := int64(0)
+	for merge.SeekToFirst(); merge.Valid(); merge.Next() {
+		ik := merge.Key()
+		uk, _, kind, err := ikey.Decode(ik)
+		if err != nil {
+			return nil, err
+		}
+		if haveUK && bytes.Equal(uk, lastUK) {
+			continue // shadowed older version
+		}
+		lastUK = append(lastUK[:0], uk...)
+		haveUK = true
+		if kind == ikey.KindDelete && dropTombs {
+			continue
+		}
+		if w != nil && written >= d.opts.TargetFileSize {
+			if err := finishOutput(); err != nil {
+				return nil, err
+			}
+			written = 0
+		}
+		if w == nil {
+			curNum = d.vs.NewFileNum()
+			f, err := d.opts.FS.Create(sstName(d.dir, curNum))
+			if err != nil {
+				return nil, err
+			}
+			w = sstable.NewWriter(f, curNum)
+			if d.opts.Compression {
+				w.EnableCompression()
+			}
+			wf = f
+		}
+		if err := w.Add(ik, merge.Value()); err != nil {
+			return nil, err
+		}
+		written += int64(len(ik) + len(merge.Value()))
+	}
+	if err := merge.Err(); err != nil {
+		return nil, err
+	}
+	if err := finishOutput(); err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// installCompaction atomically swaps inputs for outputs in the manifest,
+// then deletes the obsolete files.
+func (d *DB) installCompaction(inLevel int, inputs []*manifest.FileMeta, outLevel int, lower []*manifest.FileMeta, outputs []manifest.FileMeta) error {
+	edit := &manifest.VersionEdit{}
+	for _, f := range inputs {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: inLevel, Num: f.Num})
+	}
+	for _, f := range lower {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: outLevel, Num: f.Num})
+	}
+	for _, m := range outputs {
+		edit.Added = append(edit.Added, manifest.AddedFile{Level: outLevel, Meta: m})
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+	d.perf.compactions.Add(1)
+	for _, f := range append(append([]*manifest.FileMeta(nil), inputs...), lower...) {
+		d.tcache.evict(f.Num)
+		d.opts.FS.Remove(sstName(d.dir, f.Num))
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package lsm
+
+import (
+	"p2kvs/internal/manifest"
+	"p2kvs/internal/sstable"
+)
+
+// flushLoop is the background minor-compaction thread (Figure 2 ③,
+// "minor compaction"): it drains the immutable-memtable queue to L0.
+func (d *DB) flushLoop() {
+	defer d.bgWG.Done()
+	for {
+		select {
+		case <-d.stopC:
+			return
+		case <-d.flushC:
+			for d.flushOne() {
+				select {
+				case <-d.stopC:
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
+// flushOne writes the oldest immutable memtable to an L0 SSTable and
+// retires its WAL. Returns true if it did work.
+func (d *DB) flushOne() bool {
+	d.mu.Lock()
+	if len(d.imm) == 0 || d.bgErr != nil {
+		d.mu.Unlock()
+		return false
+	}
+	h := d.imm[0]
+	d.mu.Unlock()
+
+	// Wait for in-flight writers that pinned this memtable before
+	// rotation; without this barrier a late insert could be acked,
+	// missed by the flush, and lost when the WAL is deleted.
+	h.writers.Wait()
+
+	if err := d.doFlush(h); err != nil {
+		d.mu.Lock()
+		d.bgErr = err
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		return false
+	}
+
+	d.mu.Lock()
+	d.imm = d.imm[1:]
+	d.kick()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return true
+}
+
+func (d *DB) doFlush(h *memHandle) error {
+	// The WAL is the only durable copy of this memtable until the flush
+	// is committed in the manifest, so it is deleted strictly *after* a
+	// successful LogAndApply — a failed or crash-interrupted flush must
+	// leave the log for recovery.
+	retireWAL := func() {
+		if h.walw != nil {
+			h.walw.Close()
+			d.opts.FS.Remove(walName(d.dir, h.logNum))
+		}
+	}
+	if d.opts.MemTableOnly || h.mem.Empty() {
+		// Figure 8b mode (or an empty rotation): drop without IO, but
+		// still advance the manifest's log number so recovery doesn't
+		// look for the removed WAL.
+		if err := d.vs.LogAndApply(&manifest.VersionEdit{
+			HasLogNum: true, LogNum: h.logNum + 1,
+			HasLastSeq: true, LastSeq: d.seq.Load(),
+		}); err != nil {
+			return err
+		}
+		retireWAL()
+		return nil
+	}
+
+	num := d.vs.NewFileNum()
+	f, err := d.opts.FS.Create(sstName(d.dir, num))
+	if err != nil {
+		return err
+	}
+	w := sstable.NewWriter(f, num)
+	if d.opts.Compression {
+		w.EnableCompression()
+	}
+	it := h.mem.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			f.Close()
+			d.opts.FS.Remove(sstName(d.dir, num))
+			return err
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		f.Close()
+		d.opts.FS.Remove(sstName(d.dir, num))
+		return err
+	}
+	f.Close()
+
+	d.perf.flushes.Add(1)
+	d.perf.flushBytes.Add(meta.Size)
+
+	if err := d.vs.LogAndApply(&manifest.VersionEdit{
+		HasLogNum: true, LogNum: h.logNum + 1,
+		HasLastSeq: true, LastSeq: d.seq.Load(),
+		HasNextFile: true, NextFile: num + 1,
+		Added: []manifest.AddedFile{{Level: 0, Meta: manifest.FileMeta{
+			Num: meta.FileNum, Size: meta.Size, Entries: meta.Entries,
+			Smallest: meta.Smallest, Largest: meta.Largest,
+		}}},
+	}); err != nil {
+		return err
+	}
+	retireWAL()
+	return nil
+}

@@ -1,0 +1,265 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/manifest"
+	"p2kvs/internal/memtable"
+	"p2kvs/internal/sstable"
+)
+
+// internalIterator walks internal keys in ikey order.
+type internalIterator interface {
+	SeekToFirst()
+	Seek(target []byte)
+	Next()
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+	Close() error
+}
+
+// memIterAdapter lifts memtable.Iter to internalIterator.
+type memIterAdapter struct{ *memtable.Iter }
+
+func (memIterAdapter) Err() error   { return nil }
+func (memIterAdapter) Close() error { return nil }
+
+// tableIterAdapter lifts sstable.Iter and owns its reader (iterators open
+// private readers so compaction deleting a file cannot yank a shared
+// handle out from under a live scan).
+type tableIterAdapter struct {
+	*sstable.Iter
+	r *sstable.Reader
+}
+
+func (t tableIterAdapter) Close() error { return t.r.Close() }
+
+// mergingIter merges children by internal-key order.
+type mergingIter struct {
+	children []internalIterator
+	h        iterHeap
+	err      error
+}
+
+type iterHeap []internalIterator
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	return ikey.Compare(h[i].Key(), h[j].Key()) < 0
+}
+func (h iterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x interface{}) { *h = append(*h, x.(internalIterator)) }
+func (h *iterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newMergingIter(children []internalIterator) *mergingIter {
+	return &mergingIter{children: children}
+}
+
+func (m *mergingIter) rebuild() {
+	m.h = m.h[:0]
+	for _, c := range m.children {
+		if err := c.Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		if c.Valid() {
+			m.h = append(m.h, c)
+		}
+	}
+	heap.Init(&m.h)
+}
+
+func (m *mergingIter) SeekToFirst() {
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) Seek(target []byte) {
+	for _, c := range m.children {
+		c.Seek(target)
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) Valid() bool { return m.err == nil && len(m.h) > 0 }
+
+func (m *mergingIter) Next() {
+	if !m.Valid() {
+		return
+	}
+	top := m.h[0]
+	top.Next()
+	if err := top.Err(); err != nil && m.err == nil {
+		m.err = err
+		return
+	}
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+func (m *mergingIter) Key() []byte   { return m.h[0].Key() }
+func (m *mergingIter) Value() []byte { return m.h[0].Value() }
+func (m *mergingIter) Err() error    { return m.err }
+
+func (m *mergingIter) Close() error {
+	var first error
+	for _, c := range m.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// DB iterator (user-facing)
+// ---------------------------------------------------------------------------
+
+// dbIter collapses internal versions into live user keys at a snapshot.
+type dbIter struct {
+	merge *mergingIter
+	snap  uint64
+
+	key    []byte
+	value  []byte
+	valid  bool
+	err    error
+	skipUK []byte // user key whose remaining (older) versions are shadowed
+}
+
+var _ kv.Iterator = (*dbIter)(nil)
+
+// newIterAt builds an internal iterator forest for a read state.
+func (d *DB) newIterAt(rs readState) (*dbIter, error) {
+	var children []internalIterator
+	children = append(children, memIterAdapter{rs.mem.NewIterator()})
+	for _, m := range rs.imms {
+		children = append(children, memIterAdapter{m.NewIterator()})
+	}
+	addTable := func(fm *manifest.FileMeta) error {
+		f, err := d.opts.FS.Open(sstName(d.dir, fm.Num))
+		if err != nil {
+			return err
+		}
+		r, err := sstable.OpenWithCache(f, d.blocks, fm.Num)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		children = append(children, tableIterAdapter{r.NewIterator(), r})
+		return nil
+	}
+	for level := 0; level < manifest.NumLevels; level++ {
+		for _, fm := range rs.ver.Levels[level] {
+			if err := addTable(fm); err != nil {
+				for _, c := range children {
+					c.Close()
+				}
+				return nil, err
+			}
+		}
+	}
+	return &dbIter{merge: newMergingIter(children), snap: rs.seq}, nil
+}
+
+// NewIterator implements kv.Engine.
+func (d *DB) NewIterator() (kv.Iterator, error) {
+	if d.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		it, err := d.newIterAt(d.acquireReadState())
+		if !isStaleFileErr(err) {
+			return it, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// advance walks the merged stream to the next live, visible user key.
+func (it *dbIter) advance() {
+	it.valid = false
+	for it.merge.Valid() {
+		uk, seq, kind, err := ikey.Decode(it.merge.Key())
+		if err != nil {
+			it.err = err
+			return
+		}
+		if seq > it.snap {
+			it.merge.Next()
+			continue
+		}
+		if it.skipUK != nil && bytes.Equal(uk, it.skipUK) {
+			// Older version of a key we already surfaced or tombstoned.
+			it.merge.Next()
+			continue
+		}
+		it.skipUK = append(it.skipUK[:0], uk...)
+		if kind == ikey.KindDelete {
+			it.merge.Next()
+			continue
+		}
+		it.key = append(it.key[:0], uk...)
+		it.value = append(it.value[:0], it.merge.Value()...)
+		it.valid = true
+		return
+	}
+	if err := it.merge.Err(); err != nil && it.err == nil {
+		it.err = err
+	}
+}
+
+// SeekToFirst implements kv.Iterator.
+func (it *dbIter) SeekToFirst() {
+	it.skipUK = nil
+	it.merge.SeekToFirst()
+	it.advance()
+}
+
+// Seek implements kv.Iterator.
+func (it *dbIter) Seek(target []byte) {
+	it.skipUK = nil
+	it.merge.Seek(ikey.SeekKey(target, it.snap))
+	it.advance()
+}
+
+// Next implements kv.Iterator.
+func (it *dbIter) Next() {
+	if !it.valid {
+		return
+	}
+	it.merge.Next()
+	it.advance()
+}
+
+// Valid implements kv.Iterator.
+func (it *dbIter) Valid() bool { return it.valid }
+
+// Key implements kv.Iterator.
+func (it *dbIter) Key() []byte { return it.key }
+
+// Value implements kv.Iterator.
+func (it *dbIter) Value() []byte { return it.value }
+
+// Error implements kv.Iterator.
+func (it *dbIter) Error() error { return it.err }
+
+// Close implements kv.Iterator.
+func (it *dbIter) Close() error { return it.merge.Close() }

@@ -1,0 +1,290 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+// TestQuickEngineAgainstModel is the engine-level property test: any
+// random sequence of puts/deletes/batches/flushes/compactions/reopens
+// must leave the engine agreeing with a map model — for all three
+// presets.
+func TestQuickEngineAgainstModel(t *testing.T) {
+	type op struct {
+		Kind   uint8 // 0-4 put, 5 delete, 6 batch of 3, 7 flush, 8 compact
+		Key    uint8
+		Val    uint16
+		Preset uint8
+		Reopen bool
+	}
+	fn := func(ops []op, presetPick uint8) bool {
+		fs := vfs.NewMem()
+		var opts Options
+		switch presetPick % 3 {
+		case 0:
+			opts = RocksDBOptions(fs)
+		case 1:
+			opts = LevelDBOptions(fs)
+		default:
+			opts = PebblesDBOptions(fs)
+		}
+		opts.MemTableSize = 4 << 10
+		opts.BaseLevelSize = 16 << 10
+		opts.TargetFileSize = 4 << 10
+
+		db, err := Open("m", opts)
+		if err != nil {
+			return false
+		}
+		defer func() { db.Close() }()
+		model := map[string]string{}
+
+		key := func(k uint8) string { return fmt.Sprintf("key-%03d", k%48) }
+		for i, o := range ops {
+			switch {
+			case o.Kind <= 4:
+				k, v := key(o.Key), fmt.Sprintf("v%d-%d", i, o.Val)
+				if db.Put([]byte(k), []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case o.Kind == 5:
+				k := key(o.Key)
+				if db.Delete([]byte(k)) != nil {
+					return false
+				}
+				delete(model, k)
+			case o.Kind == 6:
+				var b kv.Batch
+				for j := uint8(0); j < 3; j++ {
+					k, v := key(o.Key+j), fmt.Sprintf("b%d-%d", i, j)
+					b.Put([]byte(k), []byte(v))
+					model[k] = v
+				}
+				if db.Write(&b) != nil {
+					return false
+				}
+			case o.Kind == 7:
+				if db.Flush() != nil {
+					return false
+				}
+			default:
+				if db.CompactAll() != nil {
+					return false
+				}
+			}
+			if o.Reopen && i%7 == 0 {
+				if db.Close() != nil {
+					return false
+				}
+				db, err = Open("m", opts)
+				if err != nil {
+					return false
+				}
+			}
+		}
+		// Full agreement with the model, point reads and iteration.
+		for k, want := range model {
+			v, err := db.Get([]byte(k))
+			if err != nil || string(v) != want {
+				return false
+			}
+		}
+		it, err := db.NewIterator()
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		count := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if model[string(it.Key())] != string(it.Value()) {
+				return false
+			}
+			count++
+		}
+		return count == len(model) && it.Error() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteStallEngages verifies backpressure: with a tiny L0 stall
+// trigger and compaction disabled-in-practice (huge level targets are
+// not used — instead we flood faster than flush by disabling the
+// background worker's progress via many immutables), writers must block
+// rather than grow state unboundedly, and resume when flush catches up.
+func TestWriteStallEngages(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := RocksDBOptions(fs)
+	opts.MemTableSize = 2 << 10
+	opts.MaxImmutables = 1
+	opts.L0CompactionTrigger = 2
+	opts.L0StallTrigger = 4
+	opts.BaseLevelSize = 16 << 10
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := db.Perf()
+	if p.StallTime == 0 {
+		t.Log("note: no stall engaged (flush kept up); acceptable but unusual at these settings")
+	}
+	// Regardless of stalls, all data must be readable.
+	for i := 0; i < 3000; i += 501 {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%06d", i))); err != nil {
+			t.Fatalf("Get(%d) = %v", i, err)
+		}
+	}
+}
+
+// TestSecondCrashAfterRecovery covers the double-crash path: recover,
+// write more, crash again, recover again. The re-logged recovery WAL must
+// replay correctly the second time.
+func TestSecondCrashAfterRecovery(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := smallOpts(fs)
+	opts.SyncWAL = true
+
+	db, _ := Open("db", opts)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v1"))
+	}
+	// Overwrite some so the memtable holds multiple versions per key.
+	for i := 0; i < 100; i += 2 {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v2"))
+	}
+	fs.Crash()
+	db.Close()
+	fs.Restart()
+
+	db2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		db2.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v3"))
+	}
+	fs.Crash()
+	db2.Close()
+	fs.Restart()
+
+	db3, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	for i := 0; i < 150; i++ {
+		want := "v1"
+		if i%2 == 0 && i < 100 {
+			want = "v2"
+		}
+		if i >= 100 {
+			want = "v3"
+		}
+		v, err := db3.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != want {
+			t.Fatalf("after double crash: Get(k%03d) = %q %v, want %q", i, v, err, want)
+		}
+	}
+}
+
+// TestCompressionEndToEnd: the Compression option must round-trip through
+// flush, compaction and recovery, and shrink on-disk size for
+// compressible data.
+func TestCompressionEndToEnd(t *testing.T) {
+	run := func(compress bool) (int64, *DB, *vfs.MemFS) {
+		fs := vfs.NewMem()
+		opts := smallOpts(fs)
+		opts.Compression = compress
+		db, err := Open("db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := make([]byte, 256) // zeros: highly compressible
+		for i := 0; i < 2000; i++ {
+			db.Put([]byte(fmt.Sprintf("key%06d", i)), val)
+		}
+		if err := db.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+		m := db.Metrics()
+		var disk int64
+		for _, b := range m.LevelBytes {
+			disk += b
+		}
+		return disk, db, fs
+	}
+	rawSize, dbRaw, _ := run(false)
+	dbRaw.Close()
+	compSize, dbComp, fs := run(true)
+	if compSize >= rawSize/2 {
+		t.Fatalf("compression ineffective: %d vs %d raw", compSize, rawSize)
+	}
+	// Reads and recovery over compressed tables.
+	for i := 0; i < 2000; i += 333 {
+		if _, err := dbComp.Get([]byte(fmt.Sprintf("key%06d", i))); err != nil {
+			t.Fatalf("Get over compressed table: %v", err)
+		}
+	}
+	dbComp.Close()
+	opts := smallOpts(fs)
+	opts.Compression = true
+	db2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get([]byte("key000100")); err != nil {
+		t.Fatalf("Get after reopen of compressed store: %v", err)
+	}
+}
+
+func TestCompactRange(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("db", smallOpts(fs))
+	defer db.Close()
+	const n = 3000
+	fill(t, db, n, 1)
+	// Delete a band of keys, then manually compact that band: the
+	// tombstones and shadowed versions must be reclaimed.
+	for i := 1000; i < 2000; i++ {
+		db.Delete([]byte(fmt.Sprintf("key%06d", i)))
+	}
+	if err := db.CompactRange([]byte("key001000"), []byte("key001999")); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted band gone, surrounding data intact.
+	for i := 0; i < n; i += 97 {
+		key := fmt.Sprintf("key%06d", i)
+		_, err := db.Get([]byte(key))
+		if i >= 1000 && i < 2000 {
+			if err == nil {
+				t.Fatalf("deleted key %s survived CompactRange", key)
+			}
+		} else if err != nil {
+			t.Fatalf("key %s lost by CompactRange: %v", key, err)
+		}
+	}
+	// Full-range manual compaction leaves a clean tree and keeps data.
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.LevelFiles[0] != 0 {
+		t.Fatalf("L0 not drained by full CompactRange: %d files", m.LevelFiles[0])
+	}
+	if _, err := db.Get([]byte("key000000")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package memtable implements the in-memory write buffer of the LSM
+// engine (Figure 2's MemTable). Entries are stored in a skiplist —
+// exclusive (LevelDB-style) or concurrent (RocksDB's concurrent memtable)
+// per the engine's configuration — keyed by internal keys so multiple
+// versions of a user key coexist until flush.
+//
+// Entry encoding inside the skiplist: varint(len(ikey)) | ikey |
+// varint(len(value)) | value.
+package memtable
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"p2kvs/internal/arena"
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/skiplist"
+)
+
+// MemTable buffers writes until it reaches its budget and is flushed.
+type MemTable struct {
+	list  skiplist.List
+	arena *arena.Arena
+	size  atomic.Int64 // approximate payload bytes
+}
+
+// New creates a memtable. concurrent selects the CAS skiplist.
+func New(concurrent bool) *MemTable {
+	ar := arena.New()
+	var list skiplist.List
+	if concurrent {
+		list = skiplist.NewConcurrent(entryCompare, ar)
+	} else {
+		list = skiplist.NewBasic(entryCompare, ar)
+	}
+	return &MemTable{list: list, arena: ar}
+}
+
+// entryCompare orders encoded entries by their internal keys.
+func entryCompare(a, b []byte) int {
+	return ikey.Compare(entryKey(a), entryKey(b))
+}
+
+func entryKey(e []byte) []byte {
+	klen, n := binary.Uvarint(e)
+	return e[n : n+int(klen)]
+}
+
+func entryValue(e []byte) []byte {
+	klen, n := binary.Uvarint(e)
+	rest := e[n+int(klen):]
+	vlen, m := binary.Uvarint(rest)
+	return rest[m : m+int(vlen)]
+}
+
+func encodeEntry(dst []byte, ik, value []byte) []byte {
+	var tmp [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(ik)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, ik...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, value...)
+}
+
+// Add inserts a version of ukey. Concurrency rules follow the underlying
+// skiplist: the concurrent flavour accepts parallel Add calls, the basic
+// flavour requires the caller (the engine's write path) to serialize.
+func (m *MemTable) Add(seq uint64, kind ikey.Kind, ukey, value []byte) {
+	ik := ikey.Make(ukey, seq, kind)
+	entry := encodeEntry(make([]byte, 0, len(ik)+len(value)+8), ik, value)
+	m.list.Insert(entry)
+	m.size.Add(int64(len(entry)) + 32) // payload + node overhead estimate
+}
+
+// Get returns the newest version of ukey visible at snapshot seq.
+func (m *MemTable) Get(ukey []byte, seq uint64) (value []byte, found, deleted bool) {
+	seek := encodeEntry(nil, ikey.SeekKey(ukey, seq), nil)
+	e := m.list.FindGreaterOrEqual(seek)
+	if e == nil {
+		return nil, false, false
+	}
+	ik := entryKey(e)
+	gotUkey, _, kind, err := ikey.Decode(ik)
+	if err != nil || string(gotUkey) != string(ukey) {
+		return nil, false, false
+	}
+	if kind == ikey.KindDelete {
+		return nil, true, true
+	}
+	return entryValue(e), true, false
+}
+
+// ApproximateSize reports buffered bytes for flush decisions.
+func (m *MemTable) ApproximateSize() int64 { return m.size.Load() }
+
+// ArenaSize reports reserved arena memory (Table 2 accounting).
+func (m *MemTable) ArenaSize() int64 { return m.arena.Size() }
+
+// Len reports the number of buffered versions.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// Empty reports whether no entries are buffered.
+func (m *MemTable) Empty() bool { return m.list.Len() == 0 }
+
+// Iter walks the memtable's internal keys in ascending ikey order.
+type Iter struct {
+	it skiplist.Iterator
+}
+
+// NewIterator returns an iterator over (internal key, value) entries.
+func (m *MemTable) NewIterator() *Iter { return &Iter{it: m.list.Iterator()} }
+
+// SeekToFirst positions at the first entry.
+func (it *Iter) SeekToFirst() { it.it.SeekToFirst() }
+
+// Seek positions at the first entry with internal key >= target.
+func (it *Iter) Seek(target []byte) {
+	it.it.Seek(encodeEntry(nil, target, nil))
+}
+
+// Next advances.
+func (it *Iter) Next() { it.it.Next() }
+
+// Valid reports whether positioned at an entry.
+func (it *Iter) Valid() bool { return it.it.Valid() }
+
+// Key returns the current internal key.
+func (it *Iter) Key() []byte { return entryKey(it.it.Entry()) }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return entryValue(it.it.Entry()) }

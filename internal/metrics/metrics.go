@@ -1,0 +1,124 @@
+// Package metrics provides the virtual CPU accounting that replaces the
+// paper's per-core utilization measurements (mpstat/pidstat on a 44-core
+// machine). Each logical thread of interest — user threads, p2KVS
+// workers, engine background threads — owns a Meter and brackets its busy
+// sections with Busy()/Idle(). Utilization is busy-time divided by
+// wall-time over the measured window, which is exactly what the paper
+// plots in Figures 4, 5c, 21c/d and Table 2.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates busy nanoseconds for one logical thread.
+type Meter struct {
+	name string
+	busy atomic.Int64 // completed busy nanoseconds
+	// start of the current busy section, unix nanos; 0 when idle.
+	sectionStart atomic.Int64
+}
+
+// NewMeter creates a named meter.
+func NewMeter(name string) *Meter { return &Meter{name: name} }
+
+// Name returns the meter's label.
+func (m *Meter) Name() string { return m.name }
+
+// Busy marks the beginning of a busy section.
+func (m *Meter) Busy() {
+	m.sectionStart.Store(time.Now().UnixNano())
+}
+
+// Idle marks the end of the current busy section.
+func (m *Meter) Idle() {
+	start := m.sectionStart.Swap(0)
+	if start != 0 {
+		m.busy.Add(time.Now().UnixNano() - start)
+	}
+}
+
+// Add credits d of busy time directly (for code that measures sections
+// itself).
+func (m *Meter) Add(d time.Duration) { m.busy.Add(int64(d)) }
+
+// BusyTime reports accumulated busy time including any open section.
+func (m *Meter) BusyTime() time.Duration {
+	busy := m.busy.Load()
+	if start := m.sectionStart.Load(); start != 0 {
+		busy += time.Now().UnixNano() - start
+	}
+	return time.Duration(busy)
+}
+
+// Reset zeroes the accumulated busy time.
+func (m *Meter) Reset() {
+	m.busy.Store(0)
+	if m.sectionStart.Load() != 0 {
+		m.sectionStart.Store(time.Now().UnixNano())
+	}
+}
+
+// Group tracks a set of meters plus the wall-clock window they run in, and
+// turns them into per-thread and aggregate utilizations.
+type Group struct {
+	mu     sync.Mutex
+	meters []*Meter
+	start  time.Time
+}
+
+// NewGroup creates an empty meter group with the window starting now.
+func NewGroup() *Group { return &Group{start: time.Now()} }
+
+// Meter creates, registers and returns a new meter.
+func (g *Group) Meter(name string) *Meter {
+	m := NewMeter(name)
+	g.mu.Lock()
+	g.meters = append(g.meters, m)
+	g.mu.Unlock()
+	return m
+}
+
+// Restart resets the window and all meters.
+func (g *Group) Restart() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.start = time.Now()
+	for _, m := range g.meters {
+		m.Reset()
+	}
+}
+
+// Utilization describes one meter's share of its window.
+type Utilization struct {
+	Name string
+	Busy time.Duration
+	Frac float64 // busy / wall, i.e. fraction of one core
+}
+
+// Snapshot returns per-meter utilizations and the total (in units of
+// cores, i.e. 1.0 = one fully-busy core — the paper's "100%" notation).
+func (g *Group) Snapshot() (perMeter []Utilization, totalCores float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wall := time.Since(g.start)
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	for _, m := range g.meters {
+		busy := m.BusyTime()
+		frac := float64(busy) / float64(wall)
+		perMeter = append(perMeter, Utilization{Name: m.name, Busy: busy, Frac: frac})
+		totalCores += frac
+	}
+	return perMeter, totalCores
+}
+
+// Wall reports the elapsed window duration.
+func (g *Group) Wall() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Since(g.start)
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterBusyIdle(t *testing.T) {
+	m := NewMeter("w0")
+	m.Busy()
+	time.Sleep(20 * time.Millisecond)
+	m.Idle()
+	busy := m.BusyTime()
+	if busy < 15*time.Millisecond || busy > 200*time.Millisecond {
+		t.Fatalf("busy = %v, want ~20ms", busy)
+	}
+	if m.Name() != "w0" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestMeterOpenSectionCounts(t *testing.T) {
+	m := NewMeter("w")
+	m.Busy()
+	time.Sleep(10 * time.Millisecond)
+	if m.BusyTime() < 5*time.Millisecond {
+		t.Fatal("open busy section not counted")
+	}
+	m.Idle()
+}
+
+func TestMeterAddAndReset(t *testing.T) {
+	m := NewMeter("w")
+	m.Add(time.Second)
+	if m.BusyTime() != time.Second {
+		t.Fatalf("busy = %v", m.BusyTime())
+	}
+	m.Reset()
+	if m.BusyTime() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestGroupSnapshot(t *testing.T) {
+	g := NewGroup()
+	a := g.Meter("a")
+	b := g.Meter("b")
+	a.Busy()
+	time.Sleep(30 * time.Millisecond)
+	a.Idle()
+	b.Add(15 * time.Millisecond)
+
+	per, total := g.Snapshot()
+	if len(per) != 2 {
+		t.Fatalf("snapshot has %d meters", len(per))
+	}
+	if per[0].Frac <= 0 || per[0].Frac > 1.5 {
+		t.Fatalf("frac(a) = %v", per[0].Frac)
+	}
+	if total < per[0].Frac {
+		t.Fatal("total must be >= each fraction")
+	}
+	if g.Wall() <= 0 {
+		t.Fatal("wall must advance")
+	}
+
+	g.Restart()
+	_, total2 := g.Snapshot()
+	if total2 > total {
+		t.Fatalf("restart did not reset: %v -> %v", total, total2)
+	}
+}

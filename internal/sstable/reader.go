@@ -1,0 +1,256 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"p2kvs/internal/block"
+	"p2kvs/internal/bloom"
+	"p2kvs/internal/cache"
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/vfs"
+)
+
+// ErrCorrupt reports a malformed table.
+var ErrCorrupt = errors.New("sstable: corrupt")
+
+// Reader serves lookups and scans from one table. The index and filter
+// blocks are pinned in memory (they are what RocksDB keeps in its table
+// cache); data blocks are read on demand, charging the simulated device
+// one random read per block.
+type Reader struct {
+	f       vfs.File
+	size    int64
+	index   []byte
+	filter  []byte
+	entries int
+	cache   *cache.Cache // optional shared block cache
+	cacheID uint64
+}
+
+// Open reads the footer, index and filter of a table file.
+func Open(f vfs.File) (*Reader, error) { return OpenWithCache(f, nil, 0) }
+
+// OpenWithCache opens the table with a shared block cache; cacheID must
+// be unique per file within the cache's lifetime (the engine uses the
+// file number).
+func OpenWithCache(f vfs.File, c *cache.Cache, cacheID uint64) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < footerLen {
+		return nil, ErrCorrupt
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	filterOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	filterLen := int64(binary.LittleEndian.Uint64(footer[8:]))
+	indexOff := int64(binary.LittleEndian.Uint64(footer[16:]))
+	indexLen := int64(binary.LittleEndian.Uint64(footer[24:]))
+	entries := int(binary.LittleEndian.Uint64(footer[32:]))
+	if filterOff+filterLen > size || indexOff+indexLen > size {
+		return nil, fmt.Errorf("%w: bad block handles", ErrCorrupt)
+	}
+	r := &Reader{f: f, size: size, entries: entries, cache: c, cacheID: cacheID}
+	r.filter = make([]byte, filterLen)
+	if _, err := f.ReadAt(r.filter, filterOff); err != nil {
+		return nil, err
+	}
+	r.index = make([]byte, indexLen)
+	if _, err := f.ReadAt(r.index, indexOff); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Entries reports the number of entries in the table.
+func (r *Reader) Entries() int { return r.entries }
+
+// Size reports the table file size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// MayContain consults the bloom filter for a user key.
+func (r *Reader) MayContain(ukey []byte) bool {
+	return bloom.MayContain(r.filter, ukey)
+}
+
+func (r *Reader) readBlock(handle []byte) ([]byte, error) {
+	off, n1 := binary.Uvarint(handle)
+	length, n2 := binary.Uvarint(handle[n1:])
+	if n1 <= 0 || n2 <= 0 || int64(off)+int64(length) > r.size {
+		return nil, ErrCorrupt
+	}
+	// Optional third field: raw (uncompressed) length; 0 or absent means
+	// the block is stored uncompressed.
+	rawLen := uint64(0)
+	if rest := handle[n1+n2:]; len(rest) > 0 {
+		v, n3 := binary.Uvarint(rest)
+		if n3 <= 0 {
+			return nil, ErrCorrupt
+		}
+		rawLen = v
+	}
+	if blk, ok := r.cache.Get(r.cacheID, off); ok {
+		return blk, nil
+	}
+	blk := make([]byte, length)
+	if _, err := r.f.ReadAt(blk, int64(off)); err != nil {
+		return nil, err
+	}
+	if rawLen > 0 {
+		raw := make([]byte, 0, rawLen)
+		zr := flate.NewReader(bytes.NewReader(blk))
+		buf := bytes.NewBuffer(raw)
+		if _, err := io.Copy(buf, zr); err != nil {
+			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		zr.Close()
+		blk = buf.Bytes()
+		if uint64(len(blk)) != rawLen {
+			return nil, fmt.Errorf("%w: inflated %d bytes, want %d", ErrCorrupt, len(blk), rawLen)
+		}
+	}
+	r.cache.Put(r.cacheID, off, blk)
+	return blk, nil
+}
+
+// Get returns the newest version of ukey visible at snapshot seq,
+// reporting the version's sequence number, whether a version was found,
+// and whether that version is a tombstone. Callers comparing versions
+// across overlapping tables (L0, fragmented levels) use foundSeq to pick
+// the newest.
+func (r *Reader) Get(ukey []byte, seq uint64) (value []byte, foundSeq uint64, found, deleted bool, err error) {
+	if !r.MayContain(ukey) {
+		return nil, 0, false, false, nil
+	}
+	it := r.NewIterator()
+	it.Seek(ikey.SeekKey(ukey, seq))
+	if it.err != nil {
+		return nil, 0, false, false, it.err
+	}
+	if !it.Valid() {
+		return nil, 0, false, false, nil
+	}
+	gotUkey, gotSeq, kind, err := ikey.Decode(it.Key())
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	if !bytes.Equal(gotUkey, ukey) {
+		return nil, 0, false, false, nil
+	}
+	if kind == ikey.KindDelete {
+		return nil, gotSeq, true, true, nil
+	}
+	return append([]byte(nil), it.Value()...), gotSeq, true, false, nil
+}
+
+// Iter is a two-level iterator over the table's internal keys.
+type Iter struct {
+	r     *Reader
+	index *block.Iter
+	data  *block.Iter
+	err   error
+}
+
+// NewIterator returns an iterator over the table.
+func (r *Reader) NewIterator() *Iter {
+	idx, err := block.NewIter(r.index)
+	it := &Iter{r: r, index: idx, err: err}
+	return it
+}
+
+func (it *Iter) loadDataBlock() bool {
+	if it.err != nil || !it.index.Valid() {
+		it.data = nil
+		return false
+	}
+	blk, err := it.r.readBlock(it.index.Value())
+	if err != nil {
+		it.err = err
+		it.data = nil
+		return false
+	}
+	di, err := block.NewIter(blk)
+	if err != nil {
+		it.err = err
+		it.data = nil
+		return false
+	}
+	it.data = di
+	return true
+}
+
+// SeekToFirst implements iteration start.
+func (it *Iter) SeekToFirst() {
+	if it.err != nil {
+		return
+	}
+	it.index.SeekToFirst()
+	if it.loadDataBlock() {
+		it.data.SeekToFirst()
+	}
+}
+
+// Seek positions at the first internal key >= target.
+func (it *Iter) Seek(target []byte) {
+	if it.err != nil {
+		return
+	}
+	// Index keys are the last internal key of each block, so the first
+	// index entry >= target names the block that may contain it.
+	it.index.SeekWith(ikey.Compare, target)
+	if !it.loadDataBlock() {
+		return
+	}
+	it.data.SeekWith(ikey.Compare, target)
+	it.skipForwardIfExhausted()
+}
+
+// Next advances the iterator.
+func (it *Iter) Next() {
+	if it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipForwardIfExhausted()
+}
+
+func (it *Iter) skipForwardIfExhausted() {
+	for it.data != nil && !it.data.Valid() {
+		if it.data.Err() != nil {
+			it.err = it.data.Err()
+			it.data = nil
+			return
+		}
+		it.index.Next()
+		if !it.loadDataBlock() {
+			return
+		}
+		it.data.SeekToFirst()
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter) Valid() bool { return it.err == nil && it.data != nil && it.data.Valid() }
+
+// Key returns the current internal key.
+func (it *Iter) Key() []byte { return it.data.Key() }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.data.Value() }
+
+// Err returns the first error encountered.
+func (it *Iter) Err() error { return it.err }

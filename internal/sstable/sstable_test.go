@@ -1,0 +1,361 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"p2kvs/internal/cache"
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/vfs"
+)
+
+// buildTable writes user keys (with seq = their index+1) into a table and
+// reopens it.
+func buildTable(t *testing.T, pairs [][2]string) (*Reader, Meta) {
+	t.Helper()
+	fs := vfs.NewMem()
+	f, err := fs.Create("1.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 1)
+	for i, p := range pairs {
+		ik := ikey.Make([]byte(p[0]), uint64(i+1), ikey.KindSet)
+		if err := w.Add(ik, []byte(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := fs.Open("1.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, meta
+}
+
+func sortedPairs(n int) [][2]string {
+	pairs := make([][2]string, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = [2]string{fmt.Sprintf("key%06d", i), fmt.Sprintf("value-%d", i)}
+	}
+	return pairs
+}
+
+func TestWriteReadSmall(t *testing.T) {
+	pairs := sortedPairs(10)
+	r, meta := buildTable(t, pairs)
+	defer r.Close()
+	if meta.Entries != 10 || r.Entries() != 10 {
+		t.Fatalf("entries = %d/%d", meta.Entries, r.Entries())
+	}
+	if string(ikey.UserKey(meta.Smallest)) != "key000000" {
+		t.Fatalf("smallest = %q", meta.Smallest)
+	}
+	if string(ikey.UserKey(meta.Largest)) != "key000009" {
+		t.Fatalf("largest = %q", meta.Largest)
+	}
+	for i, p := range pairs {
+		v, _, found, deleted, err := r.Get([]byte(p[0]), ikey.MaxSeq)
+		if err != nil || !found || deleted {
+			t.Fatalf("Get(%q) = found=%v deleted=%v err=%v", p[0], found, deleted, err)
+		}
+		if string(v) != pairs[i][1] {
+			t.Fatalf("Get(%q) = %q", p[0], v)
+		}
+	}
+	if _, _, found, _, _ := r.Get([]byte("missing"), ikey.MaxSeq); found {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestMultiBlockTable(t *testing.T) {
+	// Enough data to force many 4KB blocks.
+	pairs := sortedPairs(5000)
+	r, _ := buildTable(t, pairs)
+	defer r.Close()
+
+	// Full iteration in order.
+	it := r.NewIterator()
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		uk := ikey.UserKey(it.Key())
+		if string(uk) != pairs[i][0] {
+			t.Fatalf("entry %d key %q, want %q", i, uk, pairs[i][0])
+		}
+		if string(it.Value()) != pairs[i][1] {
+			t.Fatalf("entry %d value mismatch", i)
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != len(pairs) {
+		t.Fatalf("iterated %d, want %d", i, len(pairs))
+	}
+
+	// Point gets across block boundaries.
+	for _, idx := range []int{0, 1, 999, 1000, 2500, 4998, 4999} {
+		v, _, found, _, err := r.Get([]byte(pairs[idx][0]), ikey.MaxSeq)
+		if err != nil || !found || string(v) != pairs[idx][1] {
+			t.Fatalf("Get(%d) = %q %v %v", idx, v, found, err)
+		}
+	}
+
+	// Seek lands mid-table.
+	it2 := r.NewIterator()
+	it2.Seek(ikey.SeekKey([]byte("key002500"), ikey.MaxSeq))
+	if !it2.Valid() || string(ikey.UserKey(it2.Key())) != "key002500" {
+		t.Fatalf("Seek landed on %q", it2.Key())
+	}
+}
+
+func TestVersionsAndTombstones(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("t.sst")
+	w := NewWriter(f, 7)
+	// key "a": set@5 then (older) set@3; key "b": delete@9 then set@2.
+	w.Add(ikey.Make([]byte("a"), 5, ikey.KindSet), []byte("new"))
+	w.Add(ikey.Make([]byte("a"), 3, ikey.KindSet), []byte("old"))
+	w.Add(ikey.Make([]byte("b"), 9, ikey.KindDelete), nil)
+	w.Add(ikey.Make([]byte("b"), 2, ikey.KindSet), []byte("gone"))
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := fs.Open("t.sst")
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	v, fseq, found, deleted, _ := r.Get([]byte("a"), ikey.MaxSeq)
+	if fseq != 5 {
+		t.Fatalf("foundSeq = %d, want 5", fseq)
+	}
+	if !found || deleted || string(v) != "new" {
+		t.Fatalf("Get(a, max) = %q %v %v", v, found, deleted)
+	}
+	// Snapshot before the newer version sees the old one.
+	v, _, found, deleted, _ = r.Get([]byte("a"), 4)
+	if !found || deleted || string(v) != "old" {
+		t.Fatalf("Get(a, 4) = %q %v %v", v, found, deleted)
+	}
+	// b is deleted at max seq…
+	_, _, found, deleted, _ = r.Get([]byte("b"), ikey.MaxSeq)
+	if !found || !deleted {
+		t.Fatalf("Get(b, max) = found=%v deleted=%v", found, deleted)
+	}
+	// …but visible at an old snapshot.
+	v, _, found, deleted, _ = r.Get([]byte("b"), 2)
+	if !found || deleted || string(v) != "gone" {
+		t.Fatalf("Get(b, 2) = %q %v %v", v, found, deleted)
+	}
+}
+
+func TestOutOfOrderAddFails(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("t.sst")
+	w := NewWriter(f, 1)
+	if err := w.Add(ikey.Make([]byte("b"), 1, ikey.KindSet), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(ikey.Make([]byte("a"), 2, ikey.KindSet), nil); err == nil {
+		t.Fatal("out-of-order add must fail")
+	}
+}
+
+func TestEmptyTableFails(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("t.sst")
+	w := NewWriter(f, 1)
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("finishing an empty table must fail")
+	}
+}
+
+func TestOpenCorrupt(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("bad.sst")
+	f.Write(bytes.Repeat([]byte{0xab}, 100))
+	f.Close()
+	rf, _ := fs.Open("bad.sst")
+	if _, err := Open(rf); err == nil {
+		t.Fatal("opening garbage must fail")
+	}
+	// Too-short file.
+	f2, _ := fs.Create("short.sst")
+	f2.Write([]byte("x"))
+	rf2, _ := fs.Open("short.sst")
+	if _, err := Open(rf2); err == nil {
+		t.Fatal("opening short file must fail")
+	}
+}
+
+func TestQuickTableModel(t *testing.T) {
+	// Property: a table built from any sorted unique key set serves every
+	// key and reports absent probes absent (modulo bloom false positives,
+	// which Get resolves via the index, so correctness is exact).
+	fn := func(raw map[string]string, probe string) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fs := vfs.NewMem()
+		f, _ := fs.Create("q.sst")
+		w := NewWriter(f, 1)
+		for i, k := range keys {
+			if w.Add(ikey.Make([]byte(k), uint64(i+1), ikey.KindSet), []byte(raw[k])) != nil {
+				return false
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			return false
+		}
+		rf, _ := fs.Open("q.sst")
+		r, err := Open(rf)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		for _, k := range keys {
+			v, _, found, deleted, err := r.Get([]byte(k), ikey.MaxSeq)
+			if err != nil || !found || deleted || string(v) != raw[k] {
+				return false
+			}
+		}
+		if _, ok := raw[probe]; !ok {
+			_, _, found, _, err := r.Get([]byte(probe), ikey.MaxSeq)
+			if err != nil || found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedTableRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("c.sst")
+	w := NewWriter(f, 1)
+	w.EnableCompression()
+	// Highly compressible values: repeated text.
+	const n = 3000
+	for i := 0; i < n; i++ {
+		ik := ikey.Make([]byte(fmt.Sprintf("key%06d", i)), uint64(i+1), ikey.KindSet)
+		if err := w.Add(ik, bytes.Repeat([]byte("abcd"), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression must materially shrink the file: raw payload is
+	// n*(17+8+128) bytes; compressed should be far below it.
+	raw := int64(n * (17 + 8 + 128))
+	if meta.Size >= raw/2 {
+		t.Fatalf("compressed size %d vs raw %d — compression ineffective", meta.Size, raw)
+	}
+	rf, _ := fs.Open("c.sst")
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < n; i += 97 {
+		v, _, found, _, err := r.Get([]byte(fmt.Sprintf("key%06d", i)), ikey.MaxSeq)
+		if err != nil || !found || len(v) != 128 {
+			t.Fatalf("Get(%d) = %dB %v %v", i, len(v), found, err)
+		}
+	}
+	// Full scan decodes every block.
+	it := r.NewIterator()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if it.Err() != nil || count != n {
+		t.Fatalf("scan = %d entries, err %v", count, it.Err())
+	}
+}
+
+func TestIncompressibleBlocksStayRaw(t *testing.T) {
+	// Random values: deflate can't shrink them, so blocks must be stored
+	// raw (handle rawLen == 0) and round-trip fine.
+	fs := vfs.NewMem()
+	f, _ := fs.Create("r.sst")
+	w := NewWriter(f, 1)
+	w.EnableCompression()
+	rnd := make([]byte, 128)
+	for i := range rnd {
+		rnd[i] = byte(i*37 + 11)
+	}
+	for i := 0; i < 500; i++ {
+		for j := range rnd {
+			rnd[j] ^= byte(i + j*13)
+		}
+		ik := ikey.Make([]byte(fmt.Sprintf("key%06d", i)), uint64(i+1), ikey.KindSet)
+		w.Add(ik, rnd)
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := fs.Open("r.sst")
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, found, _, err := r.Get([]byte("key000250"), ikey.MaxSeq); err != nil || !found {
+		t.Fatalf("Get = %v %v", found, err)
+	}
+}
+
+func TestReaderWithBlockCache(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("b.sst")
+	w := NewWriter(f, 1)
+	for i := 0; i < 2000; i++ {
+		ik := ikey.Make([]byte(fmt.Sprintf("key%06d", i)), uint64(i+1), ikey.KindSet)
+		w.Add(ik, []byte(fmt.Sprintf("val%d", i)))
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := fs.Open("b.sst")
+	c := cache.New(1 << 20)
+	r, err := OpenWithCache(rf, c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Same block twice: second read must be a cache hit.
+	r.Get([]byte("key000100"), ikey.MaxSeq)
+	r.Get([]byte("key000101"), ikey.MaxSeq)
+	hits, _, _ := c.Stats()
+	if hits == 0 {
+		t.Fatal("block cache never hit")
+	}
+	if v, _, found, _, _ := r.Get([]byte("key000100"), ikey.MaxSeq); !found || string(v) != "val100" {
+		t.Fatalf("cached read wrong: %q %v", v, found)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sstable implements the Sorted String Tables that populate the
+// on-disk LSM-tree levels (Figure 2). A table is a sequence of
+// prefix-compressed data blocks followed by a bloom-filter block, an index
+// block (one separator entry per data block) and a fixed footer.
+//
+// Layout:
+//
+//	[data block]*  [filter block]  [index block]  [footer (48B)]
+//
+// Footer: filterOff u64 | filterLen u64 | indexOff u64 | indexLen u64 |
+// entries u64 | magic u64.
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"p2kvs/internal/block"
+	"p2kvs/internal/bloom"
+	"p2kvs/internal/ikey"
+	"p2kvs/internal/vfs"
+)
+
+const (
+	targetBlockSize = 4 << 10
+	footerLen       = 48
+	tableMagic      = 0x70324b5653535400 // "p2KVSSST\0"-ish
+)
+
+// Meta summarizes a finished table for the version set.
+type Meta struct {
+	FileNum  uint64
+	Size     int64
+	Smallest []byte // internal keys
+	Largest  []byte
+	Entries  int
+}
+
+// Writer streams a table to a file. Add must be called in strictly
+// ascending internal-key order.
+type Writer struct {
+	f        vfs.File
+	off      int64
+	data     block.Builder
+	index    block.Builder
+	filter   *bloom.Filter
+	ukeys    [][]byte
+	meta     Meta
+	lastKey  []byte
+	err      error
+	compress bool
+}
+
+// NewWriter begins a table in f.
+func NewWriter(f vfs.File, fileNum uint64) *Writer {
+	return &Writer{f: f, filter: bloom.New(10), meta: Meta{FileNum: fileNum}}
+}
+
+// EnableCompression turns on per-block DEFLATE compression. Blocks are
+// stored compressed only when that actually shrinks them, so the choice
+// is safe for incompressible values.
+func (w *Writer) EnableCompression() { w.compress = true }
+
+// Add appends an internal-key/value entry.
+func (w *Writer) Add(ik, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.lastKey != nil && ikey.Compare(ik, w.lastKey) <= 0 {
+		w.err = fmt.Errorf("sstable: keys out of order (%q after %q)", ik, w.lastKey)
+		return w.err
+	}
+	if w.meta.Smallest == nil {
+		w.meta.Smallest = append([]byte(nil), ik...)
+	}
+	w.lastKey = append(w.lastKey[:0], ik...)
+	w.ukeys = append(w.ukeys, append([]byte(nil), ikey.UserKey(ik)...))
+	w.data.Add(ik, value)
+	w.meta.Entries++
+	if w.data.EstimatedSize() >= targetBlockSize {
+		w.flushDataBlock()
+	}
+	return w.err
+}
+
+func (w *Writer) flushDataBlock() {
+	if w.data.Empty() {
+		return
+	}
+	blk := w.data.Finish()
+	rawLen := 0 // 0 in the handle marks an uncompressed block
+	if w.compress {
+		if comp, ok := deflateBlock(blk); ok {
+			rawLen = len(blk)
+			blk = comp
+		}
+	}
+	off := w.off
+	if err := w.writeRaw(blk); err != nil {
+		return
+	}
+	// Index entry: last key of the block -> (offset, storedSize, rawSize).
+	var handle [3 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(handle[:], uint64(off))
+	n += binary.PutUvarint(handle[n:], uint64(len(blk)))
+	n += binary.PutUvarint(handle[n:], uint64(rawLen))
+	w.index.Add(w.lastKey, handle[:n])
+	w.data.Reset()
+}
+
+// deflateBlock compresses blk, reporting false when compression does not
+// pay (output not smaller).
+func deflateBlock(blk []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := zw.Write(blk); err != nil {
+		return nil, false
+	}
+	if err := zw.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(blk) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+func (w *Writer) writeRaw(p []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(p); err != nil {
+		w.err = err
+		return err
+	}
+	w.off += int64(len(p))
+	return nil
+}
+
+// Finish flushes remaining blocks, writes filter/index/footer and syncs.
+// It returns the table's metadata.
+func (w *Writer) Finish() (Meta, error) {
+	if w.err != nil {
+		return Meta{}, w.err
+	}
+	if w.meta.Entries == 0 {
+		w.err = errors.New("sstable: empty table")
+		return Meta{}, w.err
+	}
+	w.flushDataBlock()
+	w.meta.Largest = append([]byte(nil), w.lastKey...)
+
+	filterOff := w.off
+	filterBlk := w.filter.Build(w.ukeys)
+	if err := w.writeRaw(filterBlk); err != nil {
+		return Meta{}, err
+	}
+
+	indexOff := w.off
+	indexBlk := w.index.Finish()
+	if err := w.writeRaw(indexBlk); err != nil {
+		return Meta{}, err
+	}
+
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(filterOff))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(filterBlk)))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(indexBlk)))
+	binary.LittleEndian.PutUint64(footer[32:], uint64(w.meta.Entries))
+	binary.LittleEndian.PutUint64(footer[40:], tableMagic)
+	if err := w.writeRaw(footer[:]); err != nil {
+		return Meta{}, err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return Meta{}, err
+	}
+	w.meta.Size = w.off
+	return w.meta, nil
+}
+
+// Abandon marks the writer failed (caller removes the partial file).
+func (w *Writer) Abandon() { w.err = errors.New("sstable: abandoned") }

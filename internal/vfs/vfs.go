@@ -1,0 +1,359 @@
+// Package vfs abstracts the filesystem under every storage engine in this
+// repository. Engines never touch the os package directly; they receive a
+// FS. This gives the benchmarks an in-memory filesystem (MemFS) wrapped by
+// the device simulator (internal/device), and gives the tests
+// fault-injection hooks (torn writes, lost syncs) to exercise recovery
+// paths without killing the process.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the subset of file behaviour the engines need. LSM engines use
+// append-only Write; the KVell-style slab store updates in place via
+// WriteAt.
+type File interface {
+	io.Writer
+	io.Closer
+	// ReadAt reads len(p) bytes at offset off.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes len(p) bytes at offset off, extending the file (with
+	// zero fill) if needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Sync makes previous writes durable.
+	Sync() error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+}
+
+// FS is a filesystem namespace.
+type FS interface {
+	// Create truncates/creates a file for writing.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Remove deletes a file. Removing an absent file is an error.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any existing target.
+	Rename(oldname, newname string) error
+	// List returns the names (not paths) of files whose directory is dir.
+	List(dir string) ([]string, error)
+	// MkdirAll ensures a directory path exists.
+	MkdirAll(dir string) error
+	// Exists reports whether the file exists.
+	Exists(name string) bool
+}
+
+// ErrNotExist mirrors os.ErrNotExist for the in-memory implementations.
+var ErrNotExist = os.ErrNotExist
+
+// ---------------------------------------------------------------------------
+// MemFS
+// ---------------------------------------------------------------------------
+
+// MemFS is a thread-safe in-memory filesystem. It also carries the
+// fault-injection state used by crash tests: after Crash() is called every
+// file loses the bytes written since its last Sync, emulating a power
+// failure with volatile page caches.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFileData
+	// failNextSync, when set, makes the next Sync on any file return an
+	// error (and not mark data durable).
+	failNextSync bool
+	// frozen rejects all writes; set by Crash to emulate a dead machine
+	// until Restart is called.
+	frozen bool
+}
+
+type memFileData struct {
+	mu      sync.Mutex
+	data    []byte
+	durable int // bytes guaranteed to survive Crash()
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string]*memFileData)}
+}
+
+func clean(name string) string { return path.Clean(strings.ReplaceAll(name, "\\", "/")) }
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.frozen {
+		return nil, errors.New("vfs: filesystem crashed")
+	}
+	d := &memFileData{}
+	fs.files[clean(name)] = d
+	return &memFile{fs: fs, d: d, writable: true}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("vfs: open %s: %w", name, ErrNotExist)
+	}
+	return &memFile{fs: fs, d: d}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	key := clean(name)
+	if _, ok := fs.files[key]; !ok {
+		return fmt.Errorf("vfs: remove %s: %w", name, ErrNotExist)
+	}
+	delete(fs.files, key)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	od, ok := fs.files[clean(oldname)]
+	if !ok {
+		return fmt.Errorf("vfs: rename %s: %w", oldname, ErrNotExist)
+	}
+	fs.files[clean(newname)] = od
+	delete(fs.files, clean(oldname))
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	prefix := clean(dir)
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			rest := strings.TrimPrefix(name, prefix)
+			if rest != "" && !strings.Contains(rest, "/") {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS. Directories are implicit in MemFS.
+func (fs *MemFS) MkdirAll(string) error { return nil }
+
+// Exists implements FS.
+func (fs *MemFS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[clean(name)]
+	return ok
+}
+
+// FailNextSync arms a one-shot sync failure for fault-injection tests.
+func (fs *MemFS) FailNextSync() {
+	fs.mu.Lock()
+	fs.failNextSync = true
+	fs.mu.Unlock()
+}
+
+// Crash drops all non-durable bytes (everything written since each file's
+// last successful Sync) and freezes the filesystem, emulating a power
+// failure. Call Restart before reopening engines on it.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.frozen = true
+	for _, d := range fs.files {
+		d.mu.Lock()
+		d.data = d.data[:d.durable]
+		d.mu.Unlock()
+	}
+}
+
+// Restart unfreezes a crashed filesystem so recovery can run against the
+// surviving (durable) state.
+func (fs *MemFS) Restart() {
+	fs.mu.Lock()
+	fs.frozen = false
+	fs.mu.Unlock()
+}
+
+type memFile struct {
+	fs       *MemFS
+	d        *memFileData
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("vfs: write on closed file")
+	}
+	f.fs.mu.Lock()
+	frozen := f.fs.frozen
+	f.fs.mu.Unlock()
+	if frozen {
+		return 0, errors.New("vfs: filesystem crashed")
+	}
+	f.d.mu.Lock()
+	f.d.data = append(f.d.data, p...)
+	f.d.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, errors.New("vfs: write on closed file")
+	}
+	f.fs.mu.Lock()
+	frozen := f.fs.frozen
+	f.fs.mu.Unlock()
+	if frozen {
+		return 0, errors.New("vfs: filesystem crashed")
+	}
+	f.d.mu.Lock()
+	end := off + int64(len(p))
+	if end > int64(len(f.d.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.d.data)
+		f.d.data = grown
+	}
+	copy(f.d.data[off:end], p)
+	// In-place updates are not append-only: data already marked durable
+	// may be overwritten; conservatively shrink the durable watermark.
+	if int(off) < f.d.durable {
+		f.d.durable = int(off)
+	}
+	f.d.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.failNextSync
+	f.fs.failNextSync = false
+	f.fs.mu.Unlock()
+	if fail {
+		return errors.New("vfs: injected sync failure")
+	}
+	f.d.mu.Lock()
+	f.d.durable = len(f.d.data)
+	f.d.mu.Unlock()
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return int64(len(f.d.data)), nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// OSFS
+// ---------------------------------------------------------------------------
+
+// OSFS maps the FS interface onto the host filesystem. Used by the CLI and
+// by anyone embedding the library against real storage.
+type OSFS struct{}
+
+// NewOS returns a host-filesystem implementation.
+func NewOS() OSFS { return OSFS{} }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Exists implements FS.
+func (OSFS) Exists(name string) bool {
+	_, err := os.Stat(name)
+	return err == nil
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

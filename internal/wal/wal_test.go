@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"p2kvs/internal/vfs"
+)
+
+// slowFile delays every write so concurrent appenders overlap and the
+// group-commit leader accumulates followers.
+type slowFile struct {
+	vfs.File
+}
+
+func (f *slowFile) Write(p []byte) (int, error) {
+	time.Sleep(200 * time.Microsecond)
+	return f.File.Write(p)
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	for _, group := range []bool{true, false} {
+		t.Run(fmt.Sprintf("group=%v", group), func(t *testing.T) {
+			fs := vfs.NewMem()
+			f, _ := fs.Create("wal")
+			w := NewWriter(f, Options{GroupCommit: group})
+			for i := 0; i < 100; i++ {
+				if err := w.Append(uint64(i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rf, _ := fs.Open("wal")
+			recs, err := ReadAll(rf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 100 {
+				t.Fatalf("replayed %d records, want 100", len(recs))
+			}
+			for i, r := range recs {
+				if r.GSN != uint64(i) || string(r.Payload) != fmt.Sprintf("payload-%d", i) {
+					t.Fatalf("record %d = gsn=%d %q", i, r.GSN, r.Payload)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentAppendersAllDurable(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, DefaultOptions())
+	const (
+		goroutines = 16
+		perG       = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := w.Append(uint64(g*perG+i), []byte(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, _ := fs.Open("wal")
+	recs, err := ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*perG {
+		t.Fatalf("replayed %d, want %d", len(recs), goroutines*perG)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		if seen[r.GSN] {
+			t.Fatalf("duplicate record gsn=%d", r.GSN)
+		}
+		seen[r.GSN] = true
+	}
+
+	st := w.Stats()
+	if st.Appends != goroutines*perG {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.GroupIOs > st.Appends {
+		t.Fatalf("group IOs (%d) exceed appends (%d)", st.GroupIOs, st.Appends)
+	}
+}
+
+func TestGroupingAggregates(t *testing.T) {
+	// With many concurrent appenders on a device slow enough that the
+	// leader's IO blocks, group commit must issue fewer IOs than appends
+	// (that's the whole point of Figure 3). slowFile injects the delay.
+	fs := vfs.NewMem()
+	inner, _ := fs.Create("wal")
+	f := &slowFile{File: inner}
+	w := NewWriter(f, DefaultOptions())
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Append(uint64(g), []byte("x"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.GroupIOs >= st.Appends {
+		t.Fatalf("no aggregation happened: %d IOs for %d appends", st.GroupIOs, st.Appends)
+	}
+	w.Close()
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, Options{})
+	w.Append(1, []byte("complete"))
+	w.Close()
+
+	// Append garbage emulating a torn write.
+	f2, _ := fs.Open("wal")
+	sz, _ := f2.Size()
+	raw := make([]byte, sz)
+	f2.ReadAt(raw, 0)
+	f3, _ := fs.Create("wal2")
+	f3.Write(raw)
+	f3.Write([]byte{9, 9, 9, 9, 9}) // partial header
+	f3.Close()
+
+	rf, _ := fs.Open("wal2")
+	recs, err := ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "complete" {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestCorruptTailIgnored(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, Options{})
+	w.Append(1, []byte("first"))
+	w.Append(2, []byte("second"))
+	w.Close()
+
+	rf, _ := fs.Open("wal")
+	sz, _ := rf.Size()
+	raw := make([]byte, sz)
+	rf.ReadAt(raw, 0)
+	// Flip a bit in the second record's payload.
+	raw[len(raw)-1] ^= 0xff
+	f2, _ := fs.Create("wal")
+	f2.Write(raw)
+	f2.Close()
+
+	rf2, _ := fs.Open("wal")
+	recs, err := ReadAll(rf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "first" {
+		t.Fatalf("recs = %+v, want only the first record", recs)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	for _, group := range []bool{true, false} {
+		fs := vfs.NewMem()
+		f, _ := fs.Create("wal")
+		w := NewWriter(f, Options{GroupCommit: group})
+		w.Close()
+		if err := w.Append(1, []byte("x")); err == nil {
+			t.Fatalf("group=%v: append after close must fail", group)
+		}
+		if err := w.Sync(); err == nil {
+			t.Fatalf("group=%v: sync after close must fail", group)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("double close must be nil, got %v", err)
+		}
+	}
+}
+
+func TestSyncOnCommitSurvivesCrash(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, Options{SyncOnCommit: true})
+	w.Append(7, []byte("must-survive"))
+	fs.Crash()
+	fs.Restart()
+	rf, _ := fs.Open("wal")
+	recs, err := ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].GSN != 7 {
+		t.Fatalf("synced record lost: %+v", recs)
+	}
+}
+
+func TestUnsyncedLostOnCrash(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, Options{SyncOnCommit: false})
+	w.Append(7, []byte("volatile"))
+	fs.Crash()
+	fs.Restart()
+	rf, _ := fs.Open("wal")
+	recs, _ := ReadAll(rf)
+	if len(recs) != 0 {
+		t.Fatalf("unsynced record survived crash: %+v", recs)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(payloads [][]byte) bool {
+		fs := vfs.NewMem()
+		f, _ := fs.Create("wal")
+		w := NewWriter(f, Options{})
+		for i, p := range payloads {
+			if w.Append(uint64(i), p) != nil {
+				return false
+			}
+		}
+		w.Close()
+		rf, _ := fs.Open("wal")
+		recs, err := ReadAll(rf)
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i, r := range recs {
+			if r.GSN != uint64(i) || string(r.Payload) != string(payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsLockTimeGrowsWithContention(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, DefaultOptions())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Append(0, make([]byte, 64))
+			}
+		}()
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Bytes != 8*500*64 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if st.GroupIOs == 0 || st.GroupSize < st.GroupIOs {
+		t.Fatalf("group stats inconsistent: %+v", st)
+	}
+	w.Close()
+}
+
+func TestSoftwareCostModel(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f, Options{
+		PerRecordCost: 2 * time.Millisecond,
+		PerByteCost:   10 * time.Microsecond,
+	})
+	payload := make([]byte, 100)
+	start := time.Now()
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	// One record: >= 2ms flat + ~1.16ms bytes (payload+16B header).
+	if el := time.Since(start); el < 2500*time.Microsecond {
+		t.Fatalf("cost model charged only %v", el)
+	}
+	w.Close()
+
+	// Zero-cost writers must not sleep.
+	f2, _ := fs.Create("wal2")
+	w2 := NewWriter(f2, Options{})
+	start = time.Now()
+	w2.Append(0, payload)
+	if el := time.Since(start); el > time.Millisecond {
+		t.Fatalf("zero-cost append slept %v", el)
+	}
+	w2.Close()
+}

@@ -1,0 +1,212 @@
+// Package workload generates the benchmark key/value streams: the
+// db_bench-style micro-benchmarks (fillseq, fillrandom, updaterandom,
+// readseq, readrandom, scan) and the key-choice distributions YCSB needs
+// (uniform, YCSB-standard scrambled zipfian with theta 0.99, and
+// "latest").
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Key renders key index i as a fixed-width 16-byte key (db_bench style).
+func Key(i uint64) []byte {
+	return []byte(fmt.Sprintf("user%012d", i))
+}
+
+// Value produces a deterministic pseudo-random value of the given size
+// for key index i, so validation can recompute expected contents.
+func Value(i uint64, size int) []byte {
+	v := make([]byte, size)
+	var state uint64 = i*0x9E3779B97F4A7C15 + 1
+	for off := 0; off < size; off += 8 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], state)
+		copy(v[off:], b[:])
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+// Chooser selects key indexes in [0, n).
+type Chooser interface {
+	Next() uint64
+}
+
+// Uniform picks uniformly.
+type Uniform struct {
+	n uint64
+	r *rand.Rand
+}
+
+// NewUniform creates a uniform chooser over [0, n).
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{n: n, r: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Chooser.
+func (u *Uniform) Next() uint64 { return u.r.Uint64() % u.n }
+
+// Sequential walks 0, 1, 2, … (wrapping at n).
+type Sequential struct {
+	n   uint64
+	cur atomic.Uint64
+}
+
+// NewSequential creates a sequential chooser over [0, n).
+func NewSequential(n uint64) *Sequential { return &Sequential{n: n} }
+
+// Next implements Chooser.
+func (s *Sequential) Next() uint64 { return (s.cur.Add(1) - 1) % s.n }
+
+// Zipfian is the YCSB-standard zipfian generator (theta = 0.99 by
+// default) with scrambling, so the hot items are spread over the key
+// space rather than clustered at low indexes.
+type Zipfian struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan, zeta2 float64
+	eta          float64
+	r            *rand.Rand
+	scramble     bool
+}
+
+// ZipfTheta is YCSB's default skew.
+const ZipfTheta = 0.99
+
+// NewZipfian creates a scrambled zipfian chooser over [0, n).
+func NewZipfian(n uint64, seed int64) *Zipfian {
+	return newZipf(n, ZipfTheta, seed, true)
+}
+
+func newZipf(n uint64, theta float64, seed int64, scramble bool) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, r: rand.New(rand.NewSource(seed)), scramble: scramble}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact for small n; sampled approximation for large n (the classic
+	// YCSB implementation precomputes; sampling keeps setup O(1e5) while
+	// staying within ~1% of the true zeta).
+	const exactLimit = 100000
+	if n <= exactLimit {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zeta(exactLimit, theta)
+	// Integral approximation of the tail.
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exactLimit), 1-theta)) / (1 - theta)
+	return sum
+}
+
+// Next implements Chooser.
+func (z *Zipfian) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	var v uint64
+	switch {
+	case uz < 1.0:
+		v = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		v = 1
+	default:
+		v = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if z.scramble {
+		return scramble64(v) % z.n
+	}
+	return v
+}
+
+// scramble64 is the murmur3 finalizer — a full-entropy bijection on
+// uint64, so scrambled zipfian spreads the hot items across the whole key
+// space (YCSB's ScrambledZipfian behaviour).
+func scramble64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Latest favours recently inserted keys (YCSB workload D): it draws a
+// zipfian offset back from the current insertion frontier.
+type Latest struct {
+	frontier *atomic.Uint64 // shared with the inserter
+	z        *Zipfian
+}
+
+// NewLatest creates a latest chooser whose frontier tracks insertCount.
+func NewLatest(insertCount *atomic.Uint64, seed int64) *Latest {
+	return &Latest{
+		frontier: insertCount,
+		z:        newZipf(1<<40, ZipfTheta, seed, false),
+	}
+}
+
+// Next implements Chooser.
+func (l *Latest) Next() uint64 {
+	n := l.frontier.Load()
+	if n == 0 {
+		return 0
+	}
+	off := l.z.Next() % n
+	return n - 1 - off
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmark op streams (db_bench)
+// ---------------------------------------------------------------------------
+
+// MicroKind names a db_bench workload.
+type MicroKind string
+
+// db_bench workloads used in Figures 1, 5, 12, 14, 15, 22, 23.
+const (
+	FillSeq      MicroKind = "fillseq"
+	FillRandom   MicroKind = "fillrandom"
+	UpdateRandom MicroKind = "updaterandom"
+	ReadSeq      MicroKind = "readseq"
+	ReadRandom   MicroKind = "readrandom"
+)
+
+// Micro yields key indexes for a db_bench workload over n keys.
+// For fill/update workloads every index should be written; for read
+// workloads the store is assumed pre-loaded with [0, n).
+func Micro(kind MicroKind, n uint64, seed int64) Chooser {
+	switch kind {
+	case FillSeq, ReadSeq:
+		return NewSequential(n)
+	case FillRandom:
+		// A random permutation stream: uniform without replacement is
+		// approximated by uniform (matching db_bench fillrandom, which
+		// writes random keys allowing overwrites).
+		return NewUniform(n, seed)
+	case UpdateRandom, ReadRandom:
+		return NewUniform(n, seed)
+	default:
+		panic("workload: unknown micro kind " + string(kind))
+	}
+}

@@ -1,0 +1,117 @@
+// Package ycsb encodes the YCSB workloads exactly as the paper's Table 1
+// specifies them and generates per-thread operation streams for the
+// macro-benchmarks (Figures 16-20).
+package ycsb
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"p2kvs/internal/workload"
+)
+
+// OpType is a YCSB operation.
+type OpType int
+
+// YCSB operations. RMW is a GET and an UPDATE to the same key (Table 1).
+const (
+	OpInsert OpType = iota
+	OpUpdate
+	OpRead
+	OpScan
+	OpRMW
+)
+
+// Spec is one YCSB workload definition.
+type Spec struct {
+	Name   string
+	Insert float64
+	Update float64
+	Read   float64
+	Scan   float64
+	RMW    float64
+	// Dist is "uniform", "zipfian" or "latest" (Table 1's Distribution).
+	Dist string
+	// DefaultCount is the paper's op count (scaled down at run time).
+	DefaultCount int64
+	// MaxScanLen bounds scan sizes (YCSB default 100, uniform).
+	MaxScanLen int
+}
+
+// Workloads reproduces Table 1.
+var Workloads = map[string]Spec{
+	"LOAD": {Name: "LOAD", Insert: 1.0, Dist: "uniform", DefaultCount: 670_000_000},
+	"A":    {Name: "A", Update: 0.5, Read: 0.5, Dist: "zipfian", DefaultCount: 120_000_000},
+	"B":    {Name: "B", Update: 0.05, Read: 0.95, Dist: "zipfian", DefaultCount: 120_000_000},
+	"C":    {Name: "C", Read: 1.0, Dist: "zipfian", DefaultCount: 120_000_000},
+	"D":    {Name: "D", Insert: 0.05, Read: 0.95, Dist: "latest", DefaultCount: 120_000_000},
+	"E":    {Name: "E", Insert: 0.05, Scan: 0.95, Dist: "uniform", DefaultCount: 20_000_000, MaxScanLen: 100},
+	"F":    {Name: "F", RMW: 0.5, Read: 0.5, Dist: "zipfian", DefaultCount: 120_000_000},
+}
+
+// Order lists workloads in the paper's presentation order.
+var Order = []string{"LOAD", "A", "B", "C", "D", "E", "F"}
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	KeyIdx  uint64
+	ScanLen int
+}
+
+// Generator produces an operation stream for one client thread. The
+// insertion frontier is shared across generators so "latest" and inserts
+// compose correctly under concurrency.
+type Generator struct {
+	spec     Spec
+	chooser  workload.Chooser
+	frontier *atomic.Uint64
+	r        *rand.Rand
+}
+
+// NewFrontier creates the shared insertion counter, pre-advanced past the
+// already-loaded key count.
+func NewFrontier(loaded uint64) *atomic.Uint64 {
+	f := &atomic.Uint64{}
+	f.Store(loaded)
+	return f
+}
+
+// NewGenerator builds a per-thread generator over a key space of n loaded
+// keys.
+func NewGenerator(spec Spec, n uint64, frontier *atomic.Uint64, seed int64) *Generator {
+	g := &Generator{spec: spec, frontier: frontier, r: rand.New(rand.NewSource(seed))}
+	switch spec.Dist {
+	case "zipfian":
+		g.chooser = workload.NewZipfian(n, seed)
+	case "latest":
+		g.chooser = workload.NewLatest(frontier, seed)
+	default:
+		g.chooser = workload.NewUniform(n, seed)
+	}
+	return g
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	p := g.r.Float64()
+	s := g.spec
+	switch {
+	case p < s.Insert:
+		// Inserts extend the key space at the frontier.
+		idx := g.frontier.Add(1) - 1
+		return Op{Type: OpInsert, KeyIdx: idx}
+	case p < s.Insert+s.Update:
+		return Op{Type: OpUpdate, KeyIdx: g.chooser.Next()}
+	case p < s.Insert+s.Update+s.Read:
+		return Op{Type: OpRead, KeyIdx: g.chooser.Next()}
+	case p < s.Insert+s.Update+s.Read+s.Scan:
+		maxLen := s.MaxScanLen
+		if maxLen <= 0 {
+			maxLen = 100
+		}
+		return Op{Type: OpScan, KeyIdx: g.chooser.Next(), ScanLen: g.r.Intn(maxLen) + 1}
+	default:
+		return Op{Type: OpRMW, KeyIdx: g.chooser.Next()}
+	}
+}

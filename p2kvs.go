@@ -1,0 +1,211 @@
+// Package p2kvs is the public API of this repository: a from-scratch Go
+// reproduction of "p2KVS: a Portable 2-Dimensional Parallelizing
+// Framework to Improve Scalability of Key-value Stores on SSDs"
+// (EuroSys '22).
+//
+// p2KVS partitions the key space by hash over N worker threads, each
+// owning a private KVS instance (its own WAL, memtable and LSM-tree), and
+// opportunistically batches consecutive same-type requests on each
+// worker's queue into WriteBatch/multiget calls. The framework treats the
+// per-worker engine as a black box; this package ships four engine
+// families to slot underneath it — a RocksDB-style LSM engine (with
+// LevelDB and PebblesDB presets), a WiredTiger-style B+-tree engine, and
+// a KVell-style slab engine.
+//
+// Quickstart:
+//
+//	store, err := p2kvs.Open(p2kvs.Options{Dir: "/tmp/db", Workers: 8})
+//	...
+//	store.Put([]byte("k"), []byte("v"))
+//	v, err := store.Get([]byte("k"))
+//	store.Close()
+package p2kvs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p2kvs/internal/btreekv"
+	"p2kvs/internal/core"
+	"p2kvs/internal/device"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/kvell"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/vfs"
+)
+
+// Re-exported types: the facade aliases the internal contract types so
+// applications never import internal packages.
+type (
+	// Store is a p2KVS store (the accessing layer + workers).
+	Store = core.Store
+	// Batch accumulates write operations for atomic commit.
+	Batch = kv.Batch
+	// Iterator walks keys in ascending order.
+	Iterator = kv.Iterator
+	// Pair is a key/value result from Range and Scan.
+	Pair = core.Pair
+	// WorkerStats summarizes one worker's activity.
+	WorkerStats = core.WorkerStats
+)
+
+// ErrNotFound is returned by Get when a key does not exist.
+var ErrNotFound = kv.ErrNotFound
+
+// EngineKind selects the per-worker storage engine.
+type EngineKind string
+
+// Engine kinds.
+const (
+	// EngineRocksDB is the default: the full LSM engine with group
+	// logging, concurrent memtable, pipelined writes and multiget.
+	EngineRocksDB EngineKind = "rocksdb"
+	// EngineLevelDB disables the RocksDB concurrency features and
+	// multiget (§5.6.1 portability target).
+	EngineLevelDB EngineKind = "leveldb"
+	// EnginePebblesDB uses fragmented (guard-based) compaction for lower
+	// write amplification (§5.2 baseline).
+	EnginePebblesDB EngineKind = "pebblesdb"
+	// EngineWiredTiger is the B+-tree engine without batch writes
+	// (§5.6.2 portability target).
+	EngineWiredTiger EngineKind = "wiredtiger"
+	// EngineKVell is the share-nothing slab engine (§5.5 baseline).
+	EngineKVell EngineKind = "kvell"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the root directory; each worker stores its instance in
+	// Dir/inst-NN. Required.
+	Dir string
+	// Workers is the number of KVS instances (default 8, the paper's
+	// recommended match to hardware parallelism).
+	Workers int
+	// Engine selects the per-worker engine (default EngineRocksDB).
+	Engine EngineKind
+	// InMemory uses an in-memory filesystem instead of the host
+	// filesystem — handy for tests and experiments.
+	InMemory bool
+	// SimulateDevice, when non-empty ("nvme", "sata", "hdd"), layers the
+	// corresponding simulated device model over the filesystem.
+	SimulateDevice string
+	// DeviceScale multiplies simulated IO durations (default 1.0).
+	DeviceScale float64
+	// DisableOBM turns off opportunistic batching (sensitivity studies).
+	DisableOBM bool
+	// MaxBatch bounds OBM batch size (default 32).
+	MaxBatch int
+	// PinWorkers locks worker goroutines to OS threads.
+	PinWorkers bool
+	// SyncWAL makes per-commit durability synchronous on engines with a
+	// WAL.
+	SyncWAL bool
+	// MergedScan switches SCAN to the serial global-iterator strategy.
+	MergedScan bool
+	// Compression enables per-block DEFLATE compression in the LSM
+	// engines (ignored by the B+-tree and slab engines).
+	Compression bool
+	// BlockCacheSize overrides the per-instance data-block cache budget
+	// (LSM engines; 0 = default 8 MiB, negative disables).
+	BlockCacheSize int64
+	// SimulateHostCosts charges the per-request host software costs the
+	// paper identifies (log encode/checksum ~1us + ~6ns/B, lookup ~2us)
+	// in simulated time, multiplied by DeviceScale. Only meaningful
+	// together with SimulateDevice; see DESIGN.md "Time and cost model".
+	SimulateHostCosts bool
+}
+
+// Open creates or reopens a p2KVS store.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("p2kvs: Options.Dir is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Engine == "" {
+		opts.Engine = EngineRocksDB
+	}
+
+	var fs vfs.FS
+	if opts.InMemory {
+		fs = vfs.NewMem()
+	} else {
+		fs = vfs.NewOS()
+	}
+	switch opts.SimulateDevice {
+	case "":
+	case "nvme":
+		fs = device.WrapFS(fs, device.New(device.NVMe, scale(opts)))
+	case "sata":
+		fs = device.WrapFS(fs, device.New(device.SATA, scale(opts)))
+	case "hdd":
+		fs = device.WrapFS(fs, device.New(device.HDD, scale(opts)))
+	default:
+		return nil, fmt.Errorf("p2kvs: unknown device profile %q", opts.SimulateDevice)
+	}
+
+	factory, err := engineFactory(fs, opts)
+	if err != nil {
+		return nil, err
+	}
+	copts := core.DefaultOptions(factory)
+	copts.Workers = opts.Workers
+	copts.OBM = !opts.DisableOBM
+	if opts.MaxBatch > 0 {
+		copts.MaxBatch = opts.MaxBatch
+	}
+	copts.PinWorkers = opts.PinWorkers
+	copts.TxnFS = fs
+	copts.TxnDir = opts.Dir + "/txn"
+	if opts.MergedScan {
+		copts.Scan = core.ScanMerged
+	}
+	return core.Open(copts)
+}
+
+func scale(o Options) float64 {
+	if o.DeviceScale > 0 {
+		return o.DeviceScale
+	}
+	return 1.0
+}
+
+func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
+	instDir := func(id int) string { return fmt.Sprintf("%s/inst-%02d", opts.Dir, id) }
+	switch opts.Engine {
+	case EngineRocksDB, EngineLevelDB, EnginePebblesDB:
+		return func(id int, filter func(uint64) bool) (kv.Engine, error) {
+			var lo lsm.Options
+			switch opts.Engine {
+			case EngineLevelDB:
+				lo = lsm.LevelDBOptions(fs)
+			case EnginePebblesDB:
+				lo = lsm.PebblesDBOptions(fs)
+			default:
+				lo = lsm.RocksDBOptions(fs)
+			}
+			lo.SyncWAL = opts.SyncWAL
+			lo.Compression = opts.Compression
+			lo.BlockCacheSize = opts.BlockCacheSize
+			if opts.SimulateHostCosts && opts.SimulateDevice != "" {
+				s := scale(opts)
+				lo.WALPerRecordCost = time.Duration(1000 * s)
+				lo.WALPerByteCost = time.Duration(6 * s)
+				lo.ReadPerOpCost = time.Duration(2000 * s)
+			}
+			return lsm.OpenWith(instDir(id), lo, lsm.OpenOptions{RecoverFilter: filter})
+		}, nil
+	case EngineWiredTiger:
+		return func(id int, _ func(uint64) bool) (kv.Engine, error) {
+			return btreekv.Open(instDir(id), btreekv.Options{FS: fs, SyncWAL: opts.SyncWAL})
+		}, nil
+	case EngineKVell:
+		return func(id int, _ func(uint64) bool) (kv.Engine, error) {
+			return kvell.Open(instDir(id), kvell.Options{FS: fs, Workers: 1})
+		}, nil
+	default:
+		return nil, fmt.Errorf("p2kvs: unknown engine %q", opts.Engine)
+	}
+}

@@ -1,0 +1,83 @@
+package p2kvs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFacadeAllEngines(t *testing.T) {
+	for _, engine := range []EngineKind{EngineRocksDB, EngineLevelDB, EnginePebblesDB, EngineWiredTiger, EngineKVell} {
+		t.Run(string(engine), func(t *testing.T) {
+			s, err := Open(Options{Dir: "db", Workers: 2, Engine: engine, InMemory: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < 100; i++ {
+				k := []byte(fmt.Sprintf("key-%03d", i))
+				if err := s.Put(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			v, err := s.Get([]byte("key-042"))
+			if err != nil || string(v) != "key-042" {
+				t.Fatalf("Get = %q %v", v, err)
+			}
+			if _, err := s.Get([]byte("missing")); err != ErrNotFound {
+				t.Fatalf("miss err = %v", err)
+			}
+			pairs, err := s.Scan([]byte("key-050"), 5)
+			if err != nil || len(pairs) != 5 || string(pairs[0].Key) != "key-050" {
+				t.Fatalf("scan = %v, %v", pairs, err)
+			}
+		})
+	}
+}
+
+func TestFacadeBatchAndRange(t *testing.T) {
+	s, err := Open(Options{Dir: "db", Workers: 4, InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var b Batch
+	for i := 0; i < 50; i++ {
+		b.Put([]byte(fmt.Sprintf("b-%03d", i)), []byte("v"))
+	}
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := s.Range([]byte("b-010"), []byte("b-019"))
+	if err != nil || len(pairs) != 10 {
+		t.Fatalf("range = %d pairs, %v", len(pairs), err)
+	}
+}
+
+func TestFacadeSimulatedDevice(t *testing.T) {
+	s, err := Open(Options{
+		Dir: "db", Workers: 2, InMemory: true,
+		SimulateDevice: "nvme", DeviceScale: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q %v", v, err)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	if _, err := Open(Options{Dir: "x", InMemory: true, Engine: "bogus"}); err == nil {
+		t.Fatal("bogus engine must fail")
+	}
+	if _, err := Open(Options{Dir: "x", InMemory: true, SimulateDevice: "floppy"}); err == nil {
+		t.Fatal("bogus device must fail")
+	}
+}
