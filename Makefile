@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test test-race vet fuzz-short ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzzing pass over every fuzz target (Go runs one -fuzz target per
+# invocation, so each gets its own line).
+fuzz-short:
+	$(GO) test -fuzz=FuzzDecodeEdit -fuzztime=$(FUZZTIME) ./internal/manifest
+	$(GO) test -fuzz=FuzzReadAll -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -fuzz=FuzzIterParse -fuzztime=$(FUZZTIME) ./internal/block
+	$(GO) test -fuzz=FuzzBuilderRoundTrip -fuzztime=$(FUZZTIME) ./internal/block
+	$(GO) test -fuzz=FuzzDecodeBatchPayload -fuzztime=$(FUZZTIME) ./internal/lsm
+	$(GO) test -fuzz=FuzzBatchPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/lsm
+
+ci: vet build test-race
+
+clean:
+	$(GO) clean ./...

@@ -80,6 +80,36 @@ func main() {
 		}
 		runOne(store, name, *num, *valueSize, *threads, *scanSize, true)
 	}
+	reportRobustness(store)
+}
+
+// reportRobustness prints the per-worker background-error summary:
+// health state, flush/compaction retries and injected faults (non-zero
+// only under the fault-injection VFS). One aggregate line when all
+// workers stayed clean, per-worker lines otherwise.
+func reportRobustness(store *p2kvs.Store) {
+	stats := store.Stats()
+	dirty := false
+	for _, ws := range stats {
+		h := ws.Health
+		if h.State != kv.StateHealthy || h.FlushRetries != 0 || h.CompactRetries != 0 || h.InjectedFaults != 0 {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		fmt.Printf("robustness     : %d workers healthy; 0 flush retries; 0 compaction retries\n", len(stats))
+		return
+	}
+	for _, ws := range stats {
+		h := ws.Health
+		fmt.Printf("robustness w%-2d : state=%s flush_retries=%d compact_retries=%d injected_faults=%d",
+			ws.ID, h.State, h.FlushRetries, h.CompactRetries, h.InjectedFaults)
+		if h.Err != nil {
+			fmt.Printf(" err=%q", h.Err)
+		}
+		fmt.Println()
+	}
 }
 
 func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, report bool) {

@@ -208,6 +208,13 @@ func (d *DB) update(key, value []byte, tomb bool) error {
 		time.Sleep(d.opts.PerUpdateCost)
 	}
 	if err := d.wal.Append(0, encodeRec(key, value, tomb)); err != nil {
+		if d.wal.Tainted() {
+			// The journal may end in a torn or unsynced record; anything
+			// appended behind it would be silently dropped at replay.
+			// Re-platform on a fresh checkpoint + journal (best-effort —
+			// on failure the next update retries the same path).
+			_ = d.checkpointLocked()
+		}
 		d.mu.Unlock()
 		return err
 	}
@@ -265,7 +272,7 @@ func (d *DB) Checkpoint() error {
 // (checkpoints stall the store, a real WiredTiger behaviour under heavy
 // dirty growth).
 func (d *DB) checkpointLocked() error {
-	if d.dirty.Len() == 0 {
+	if d.dirty.Len() == 0 && !d.wal.Tainted() {
 		return nil
 	}
 	newGen := d.gen + 1

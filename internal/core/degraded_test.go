@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2kvs/internal/keyspace"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/vfs"
+)
+
+// faultLSMFactory is lsmFactory over an arbitrary (fault-injecting) FS
+// with a small retry budget so degradation is reachable in test time.
+func faultLSMFactory(fs vfs.FS, root string) EngineFactory {
+	return func(id int, filter func(uint64) bool) (kv.Engine, error) {
+		opts := lsm.RocksDBOptions(fs)
+		opts.MemTableSize = 32 << 10
+		opts.BaseLevelSize = 128 << 10
+		opts.TargetFileSize = 32 << 10
+		opts.SyncWAL = true
+		opts.BgMaxRetries = 2
+		opts.BgBaseBackoff = time.Millisecond
+		opts.BgMaxBackoff = 2 * time.Millisecond
+		return lsm.OpenWith(fmt.Sprintf("%s/inst-%02d", root, id), opts, lsm.OpenOptions{RecoverFilter: filter})
+	}
+}
+
+// TestDegradedShardFailsFastOthersServe: one shard's engine degrades to
+// read-only under a persistent fault. The store must (a) fail writes to
+// that shard fast with kv.ErrDegraded — including multi-partition
+// batches, before any txn-log record is written — (b) keep serving reads
+// everywhere and writes on the healthy shards, (c) report the state in
+// Stats(), and (d) restore the shard via Store.Resume() with no data
+// loss.
+func TestDegradedShardFailsFastOthersServe(t *testing.T) {
+	const workers = 3
+	mem := vfs.NewMem()
+	ffs := vfs.NewFault(mem)
+	opts := DefaultOptions(faultLSMFactory(ffs, "p2"))
+	opts.Workers = workers
+	opts.TxnFS = mem
+	opts.TxnDir = "p2/txn"
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// keyFor scans for the i-th key landing on a given shard, using the
+	// same hash partitioner the store was built with.
+	part := keyspace.NewHash(workers)
+	keyFor := func(shard, i int) []byte {
+		seen := 0
+		for j := 0; ; j++ {
+			k := []byte(fmt.Sprintf("key-%05d", j))
+			if part.Pick(k) == shard {
+				if seen == i {
+					return k
+				}
+				seen++
+			}
+		}
+	}
+
+	const perShard = 10
+	val := func(shard, i int) []byte { return []byte(fmt.Sprintf("v-%d-%d", shard, i)) }
+	for shard := 0; shard < workers; shard++ {
+		for i := 0; i < perShard; i++ {
+			if err := s.Put(keyFor(shard, i), val(shard, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Persistent fault on everything shard 0 creates: its flush exhausts
+	// the retry budget and the engine degrades to read-only.
+	ffs.Inject(vfs.Rule{Op: vfs.OpCreate, Path: "inst-00"})
+	if err := s.Engine(0).Flush(); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("shard-0 flush err = %v, want ErrDegraded", err)
+	}
+
+	st := s.Stats()
+	if st[0].Health.State != kv.StateReadOnly {
+		t.Fatalf("shard 0 health = %v, want read-only", st[0].Health.State)
+	}
+	for i := 1; i < workers; i++ {
+		if st[i].Health.State != kv.StateHealthy {
+			t.Fatalf("shard %d health = %v, want healthy", i, st[i].Health.State)
+		}
+	}
+
+	// Writes to the degraded shard fail fast.
+	if err := s.Put(keyFor(0, perShard), []byte("x")); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("put to degraded shard err = %v, want ErrDegraded", err)
+	}
+	if err := s.Delete(keyFor(0, 0)); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("delete on degraded shard err = %v, want ErrDegraded", err)
+	}
+	// A cross-partition batch touching the degraded shard fails before
+	// the GSN transaction begins — no stranded txn-log record.
+	var b kv.Batch
+	b.Put(keyFor(0, perShard), []byte("x"))
+	b.Put(keyFor(1, perShard), []byte("x"))
+	if err := s.Write(&b); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("cross-shard batch err = %v, want ErrDegraded", err)
+	}
+
+	// Healthy shards still take writes; every shard still serves reads.
+	if err := s.Put(keyFor(1, perShard), val(1, perShard)); err != nil {
+		t.Fatalf("healthy shard rejected write: %v", err)
+	}
+	for shard := 0; shard < workers; shard++ {
+		for i := 0; i < perShard; i++ {
+			v, err := s.Get(keyFor(shard, i))
+			if err != nil || string(v) != string(val(shard, i)) {
+				t.Fatalf("get shard %d key %d = %q, %v", shard, i, v, err)
+			}
+		}
+	}
+
+	// Fault clears; Resume restores shard 0 end to end.
+	ffs.ClearRules()
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats()[0].Health.State != kv.StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 did not recover: %+v", s.Stats()[0].Health)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Put(keyFor(0, perShard), val(0, perShard)); err != nil {
+		t.Fatalf("post-resume write: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < workers; shard++ {
+		for i := 0; i <= perShard; i++ {
+			if shard == 2 && i == perShard {
+				continue // never written
+			}
+			v, err := s.Get(keyFor(shard, i))
+			if err != nil || string(v) != string(val(shard, i)) {
+				t.Fatalf("post-resume get shard %d key %d = %q, %v", shard, i, v, err)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ type Store struct {
 
 var _ kv.Engine = (*Store)(nil)
 var _ kv.BatchWriter = (*Store)(nil)
+var _ kv.Resumer = (*Store)(nil)
 
 // Open builds the store: recovers the transaction log, opens every
 // worker's instance (rolling back uncommitted cross-instance
@@ -84,7 +85,11 @@ func (s *Store) submit(w *worker, r *request) error {
 // Put implements kv.Engine (①②③ in Figure 9b: submit, enqueue, sleep
 // until the worker completes the request).
 func (s *Store) Put(key, value []byte) error {
-	return s.submit(s.pick(key), &request{
+	w := s.pick(key)
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
+	return s.submit(w, &request{
 		typ:   reqWrite,
 		batch: batchRef{ops: []wop{{key: key, value: value}}},
 	})
@@ -92,7 +97,11 @@ func (s *Store) Put(key, value []byte) error {
 
 // Delete implements kv.Engine.
 func (s *Store) Delete(key []byte) error {
-	return s.submit(s.pick(key), &request{
+	w := s.pick(key)
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
+	return s.submit(w, &request{
 		typ:   reqWrite,
 		batch: batchRef{ops: []wop{{del: true, key: key}}},
 	})
@@ -105,12 +114,16 @@ func (s *Store) PutAsync(key, value []byte, cb func(error)) error {
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}
+	w := s.pick(key)
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
 	r := &request{
 		typ:      reqWrite,
 		batch:    batchRef{ops: []wop{{key: key, value: value}}},
 		callback: cb,
 	}
-	if !s.pick(key).q.push(r) {
+	if !w.q.push(r) {
 		return kv.ErrClosed
 	}
 	return nil
@@ -121,12 +134,16 @@ func (s *Store) DeleteAsync(key []byte, cb func(error)) error {
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}
+	w := s.pick(key)
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
 	r := &request{
 		typ:      reqWrite,
 		batch:    batchRef{ops: []wop{{del: true, key: key}}},
 		callback: cb,
 	}
-	if !s.pick(key).q.push(r) {
+	if !w.q.push(r) {
 		return kv.ErrClosed
 	}
 	return nil
@@ -235,6 +252,9 @@ func (s *Store) Write(b *kv.Batch) error {
 	}
 	if len(subs) == 1 {
 		for w, ref := range subs {
+			if err := w.degradedErr(); err != nil {
+				return err
+			}
 			return s.submit(w, &request{typ: reqWrite, batch: *ref})
 		}
 	}
@@ -271,6 +291,14 @@ func (s *Store) WritePrepared(b *kv.Batch) (commit func() error, err error) {
 func (s *Store) writePrepared(subs map[*worker]*batchRef) (commit func() error, err error) {
 	if s.txn == nil {
 		return nil, errors.New("core: cross-partition batch requires Options.TxnFS for atomicity")
+	}
+	// Fail fast before persisting the transaction begin: a degraded shard
+	// cannot apply its piece, so the whole transaction would only be
+	// rolled back at recovery anyway.
+	for w := range subs {
+		if err := w.degradedErr(); err != nil {
+			return nil, err
+		}
 	}
 	gsn := s.gsn.Add(1)
 	if err := s.txn.begin(gsn); err != nil {
@@ -460,6 +488,24 @@ func (s *Store) Stats() []WorkerStats {
 		out[i] = w.stats()
 	}
 	return out
+}
+
+// Resume implements kv.Resumer by fanning out to every worker engine that
+// supports it, re-attempting recovery of degraded shards. Healthy shards
+// treat it as a no-op.
+func (s *Store) Resume() error {
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	var firstErr error
+	for _, w := range s.workers {
+		if r, ok := w.engine.(kv.Resumer); ok {
+			if err := r.Resume(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // Close implements kv.Engine: drains queues, stops workers, closes

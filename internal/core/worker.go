@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ type worker struct {
 	id     int
 	engine kv.Engine
 	caps   kv.Caps
+	hr     kv.HealthReporter // nil when the engine does not report health
 	q      *reqQueue
 	obm    bool
 	max    int
@@ -49,10 +51,26 @@ func newWorker(id int, engine kv.Engine, opts Options) *worker {
 		max:    opts.MaxBatch,
 		pin:    opts.PinWorkers,
 	}
+	if hr, ok := engine.(kv.HealthReporter); ok {
+		w.hr = hr
+	}
 	if opts.Meters != nil {
 		w.meter = opts.Meters.Meter(workerName(id))
 	}
 	return w
+}
+
+// degradedErr fast-fails write submission when this worker's engine is in
+// read-only degraded mode, so writes bounce at the accessing layer instead
+// of queueing behind a shard that cannot commit them. Reads are unaffected.
+func (w *worker) degradedErr() error {
+	if w.hr == nil {
+		return nil
+	}
+	if h := w.hr.Health(); h.State == kv.StateReadOnly {
+		return fmt.Errorf("core: shard %d: %w", w.id, kv.ErrDegraded)
+	}
+	return nil
 }
 
 func workerName(id int) string {
@@ -250,14 +268,21 @@ type WorkerStats struct {
 	Batches    int64
 	BatchedOps int64 // ops that traveled in a batch of >= 2
 	QueueWait  time.Duration
+	// Health is the engine's background-error report; zero-valued
+	// (StateHealthy) for engines without health reporting.
+	Health kv.Health
 }
 
 func (w *worker) stats() WorkerStats {
-	return WorkerStats{
+	st := WorkerStats{
 		ID:         w.id,
 		Ops:        w.ops.Load(),
 		Batches:    w.batches.Load(),
 		BatchedOps: w.batchedOps.Load(),
 		QueueWait:  time.Duration(w.queueWaitNs.Load()),
 	}
+	if w.hr != nil {
+		st.Health = w.hr.Health()
+	}
+	return st
 }

@@ -19,6 +19,69 @@ var ErrNotFound = errors.New("kv: key not found")
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("kv: engine closed")
 
+// ErrDegraded is the base error returned by write-type operations while an
+// engine is in read-only degraded mode (background-error retries
+// exhausted). Callers match it with errors.Is and may call Resume on a
+// Resumer engine to re-attempt recovery.
+var ErrDegraded = errors.New("kv: engine degraded to read-only")
+
+// HealthState is the background-error state of an engine.
+type HealthState int32
+
+// Engine health states, ordered by severity.
+const (
+	// StateHealthy: no outstanding background error.
+	StateHealthy HealthState = iota
+	// StateRetrying: a background job (flush/compaction) failed and is
+	// being retried with backoff; writes still succeed.
+	StateRetrying
+	// StateReadOnly: retries were exhausted; writes fail fast with
+	// ErrDegraded until Resume succeeds. Reads keep working.
+	StateReadOnly
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateRetrying:
+		return "retrying"
+	case StateReadOnly:
+		return "read-only"
+	}
+	return "unknown"
+}
+
+// Health is a snapshot of an engine's background-error condition.
+type Health struct {
+	State HealthState
+	// Err is the background error that caused a non-healthy state; nil
+	// when State is StateHealthy.
+	Err error
+	// FlushRetries / CompactRetries count background job attempts beyond
+	// the first, cumulative over the engine's lifetime.
+	FlushRetries   int64
+	CompactRetries int64
+	// InjectedFaults counts faults fired by a fault-injecting filesystem
+	// under the engine, when one is present (vfs.FaultCounter); 0 otherwise.
+	InjectedFaults int64
+}
+
+// HealthReporter is the optional capability of reporting background-error
+// health. The p2KVS accessing layer surfaces it in per-worker stats.
+type HealthReporter interface {
+	Health() Health
+}
+
+// Resumer is the optional capability of re-attempting recovery from
+// degraded read-only mode.
+type Resumer interface {
+	// Resume clears the degraded state and re-kicks background work. It
+	// returns an error only if the engine is closed; whether recovery
+	// ultimately succeeds is observable via Health.
+	Resume() error
+}
+
 // Engine is the minimal synchronous key-value store contract.
 type Engine interface {
 	// Put inserts or overwrites a key.

@@ -1,0 +1,226 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/manifest"
+	"p2kvs/internal/vfs"
+	"p2kvs/internal/wal"
+)
+
+// Background-error handling.
+//
+// A flush or compaction that fails no longer wedges the engine. Errors are
+// classified transient vs. permanent: transient failures (the common SSD
+// case — EIO on fsync, a torn write) are retried in place with capped
+// exponential backoff, keeping the memtable and WAL alive so no
+// acknowledged write is lost. Only when retries are exhausted (or the
+// error is permanent) does the engine degrade to read-only: writes fail
+// fast with an error matching kv.ErrDegraded while reads keep serving the
+// existing state. Resume() clears the degraded state and re-kicks the
+// background work, rotating away from a tainted WAL so writes can land.
+//
+//	healthy ──bg failure──▶ retrying ──success──▶ healthy
+//	                           │
+//	                 retries exhausted / permanent
+//	                           ▼
+//	                       read-only ──Resume()──▶ healthy (re-attempts)
+
+// degradedError is the write-blocking error installed when retries are
+// exhausted. It matches kv.ErrDegraded via errors.Is and unwraps to the
+// background failure that caused it.
+type degradedError struct {
+	job   string
+	cause error
+}
+
+func (e *degradedError) Error() string {
+	return fmt.Sprintf("lsm: %s failed, engine degraded to read-only: %v", e.job, e.cause)
+}
+
+func (e *degradedError) Unwrap() error { return e.cause }
+
+func (e *degradedError) Is(target error) bool { return target == kv.ErrDegraded }
+
+// isPermanentBgErr reports whether a background error cannot be cured by
+// retrying. Everything else — including injected faults — is assumed
+// transient.
+func isPermanentBgErr(err error) bool {
+	return errors.Is(err, kv.ErrClosed) || errors.Is(err, wal.ErrClosed)
+}
+
+// updateStateLocked recomputes the health state from the error fields and
+// publishes it to the lock-free mirror. Caller holds d.mu.
+func (d *DB) updateStateLocked() {
+	var s kv.HealthState
+	switch {
+	case d.bgErr != nil:
+		s = kv.StateReadOnly
+	case d.flushFailing || d.compactFailing:
+		s = kv.StateRetrying
+	default:
+		s = kv.StateHealthy
+	}
+	d.stateA.Store(int32(s))
+}
+
+// degradeLocked installs the write-blocking degraded error (first failure
+// wins) and wakes every stalled writer and Flush waiter so they observe
+// it. Caller holds d.mu.
+func (d *DB) degradeLocked(job string, cause error) {
+	if d.bgErr == nil {
+		d.bgErr = &degradedError{job: job, cause: cause}
+		d.bgCause = cause
+	}
+	d.updateStateLocked()
+	d.cond.Broadcast()
+}
+
+// noteBgFailure records a failed background attempt (attempt is 0-based)
+// and reports whether the job should retry. It returns false when the
+// engine is closing, already degraded, or this failure exhausted the
+// retry budget (degrading the engine).
+func (d *DB) noteBgFailure(job string, err error, attempt int) bool {
+	if d.closed.Load() {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bgErr != nil {
+		return false
+	}
+	d.bgCause = err
+	if job == "flush" {
+		d.flushFailing = true
+	} else {
+		d.compactFailing = true
+	}
+	if isPermanentBgErr(err) || attempt+1 >= d.opts.BgMaxRetries {
+		d.degradeLocked(job, err)
+		return false
+	}
+	d.updateStateLocked()
+	return true
+}
+
+// clearBgFailure marks a previously failing job healthy again.
+func (d *DB) clearBgFailure(job string) {
+	d.mu.Lock()
+	if job == "flush" {
+		d.flushFailing = false
+	} else {
+		d.compactFailing = false
+	}
+	if !d.flushFailing && !d.compactFailing && d.bgErr == nil {
+		d.bgCause = nil
+	}
+	d.updateStateLocked()
+	d.mu.Unlock()
+}
+
+// backoffWait sleeps the capped-exponential delay for the given retry
+// (1-based), returning false if the engine shut down while waiting.
+func (d *DB) backoffWait(retry int) bool {
+	delay := d.opts.BgBaseBackoff
+	for i := 1; i < retry && delay < d.opts.BgMaxBackoff; i++ {
+		delay *= 2
+	}
+	if delay > d.opts.BgMaxBackoff {
+		delay = d.opts.BgMaxBackoff
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-d.stopC:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// noteWriteFailure reacts to a failed foreground WAL append. The failed
+// write may have left a torn record, tainting the log: no later append
+// may land in it (it would be unreadable at replay), so rotate to a fresh
+// memtable+WAL pair. Only the first failed writer rotates — later ones
+// find the handle already retired.
+func (d *DB) noteWriteFailure(h *memHandle, err error) {
+	if errors.Is(err, wal.ErrClosed) || d.closed.Load() {
+		return
+	}
+	d.mu.Lock()
+	if d.memH == h && h.walw != nil && h.walw.Tainted() {
+		d.rotateLocked()
+	}
+	d.mu.Unlock()
+}
+
+// applyEdit durably records a version edit. On failure the MANIFEST log
+// may hold a torn tail (stranding later edits) or a record of unknown
+// durability (which a blind retry would double-apply at replay), so it is
+// rewritten from a clean snapshot; once that rewrite succeeds, the orphan
+// SSTs the edit would have installed are deleted — they are unreferenced
+// by the fresh snapshot, so this is crash-safe.
+func (d *DB) applyEdit(edit *manifest.VersionEdit, orphans ...uint64) error {
+	err := d.vs.LogAndApply(edit)
+	if err == nil {
+		return nil
+	}
+	if rerr := d.vs.Rotate(); rerr == nil {
+		for _, num := range orphans {
+			d.opts.FS.Remove(sstName(d.dir, num))
+		}
+	}
+	return err
+}
+
+// Health implements kv.HealthReporter. The healthy fast path reads only
+// atomics.
+func (d *DB) Health() kv.Health {
+	h := kv.Health{
+		State:          kv.HealthState(d.stateA.Load()),
+		FlushRetries:   d.perf.flushRetries.Load(),
+		CompactRetries: d.perf.compactRetries.Load(),
+	}
+	if fc, ok := d.opts.FS.(vfs.FaultCounter); ok {
+		h.InjectedFaults = fc.InjectedFaults()
+	}
+	if h.State != kv.StateHealthy {
+		d.mu.Lock()
+		if d.bgErr != nil {
+			h.Err = d.bgErr
+		} else {
+			h.Err = d.bgCause
+		}
+		d.mu.Unlock()
+	}
+	return h
+}
+
+// Resume implements kv.Resumer: it clears the degraded state and
+// re-attempts the failed background work. If the current WAL was tainted
+// by the incident, the memtable is rotated so new writes get a fresh log.
+func (d *DB) Resume() error {
+	if d.closed.Load() {
+		return kv.ErrClosed
+	}
+	d.mu.Lock()
+	d.bgErr = nil
+	d.bgCause = nil
+	d.flushFailing = false
+	d.compactFailing = false
+	d.updateStateLocked()
+	if d.wal != nil && d.wal.Tainted() {
+		d.rotateLocked()
+	}
+	d.kick()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if !d.opts.BackgroundCompaction {
+		for d.flushOne() {
+		}
+	}
+	return nil
+}

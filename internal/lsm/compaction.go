@@ -82,6 +82,9 @@ func (d *DB) compactFiles(v *manifest.Version, level int, inputs []*manifest.Fil
 }
 
 // compactLoop is the background major-compaction thread (Figure 2 ③).
+// A failed compaction is retried with backoff rather than killing the
+// thread; exhausting the retry budget degrades the engine, after which
+// the loop idles until Resume re-kicks it.
 func (d *DB) compactLoop() {
 	defer d.bgWG.Done()
 	for {
@@ -89,6 +92,7 @@ func (d *DB) compactLoop() {
 		case <-d.stopC:
 			return
 		case <-d.compactC:
+			attempt := 0
 			for {
 				select {
 				case <-d.stopC:
@@ -97,11 +101,19 @@ func (d *DB) compactLoop() {
 				}
 				worked, err := d.compactOnce()
 				if err != nil {
-					d.mu.Lock()
-					d.bgErr = err
-					d.cond.Broadcast()
-					d.mu.Unlock()
-					return
+					if !d.noteBgFailure("compaction", err, attempt) {
+						break // degraded or closing; wait for Resume's kick
+					}
+					attempt++
+					d.perf.compactRetries.Add(1)
+					if !d.backoffWait(attempt) {
+						return // closing
+					}
+					continue
+				}
+				if attempt > 0 {
+					d.clearBgFailure("compaction")
+					attempt = 0
 				}
 				if !worked {
 					break
@@ -369,7 +381,11 @@ func (d *DB) installCompaction(inLevel int, inputs []*manifest.FileMeta, outLeve
 	for _, m := range outputs {
 		edit.Added = append(edit.Added, manifest.AddedFile{Level: outLevel, Meta: m})
 	}
-	if err := d.vs.LogAndApply(edit); err != nil {
+	orphans := make([]uint64, 0, len(outputs))
+	for _, m := range outputs {
+		orphans = append(orphans, m.Num)
+	}
+	if err := d.applyEdit(edit, orphans...); err != nil {
 		return err
 	}
 	d.perf.compactions.Add(1)

@@ -16,6 +16,7 @@ import (
 	"p2kvs/internal/kv"
 	"p2kvs/internal/manifest"
 	"p2kvs/internal/memtable"
+	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
 )
 
@@ -43,8 +44,17 @@ type DB struct {
 	imm        []*memHandle // flush queue, oldest first
 	wal        *wal.Writer  // == memH.walw; nil when DisableWAL
 	vs         *manifest.Set
-	bgErr      error
 	compacting bool
+
+	// Background-error state (see bgerror.go). bgErr is the write-blocking
+	// degraded error; bgCause the most recent background failure; the
+	// *Failing flags track jobs currently in their retry loop. stateA
+	// mirrors the derived kv.HealthState for lock-free health checks.
+	bgErr          error
+	bgCause        error
+	flushFailing   bool
+	compactFailing bool
+	stateA         atomic.Int32
 
 	writerMu sync.Mutex // serializes writes when !PipelinedWrite
 
@@ -62,6 +72,8 @@ var _ kv.Engine = (*DB)(nil)
 var _ kv.BatchWriter = (*DB)(nil)
 var _ kv.MultiGetter = (*DB)(nil)
 var _ kv.Syncer = (*DB)(nil)
+var _ kv.HealthReporter = (*DB)(nil)
+var _ kv.Resumer = (*DB)(nil)
 
 // OpenOptions carries per-open recovery hooks beyond the engine Options.
 type OpenOptions struct {
@@ -377,6 +389,7 @@ func (d *DB) WriteGSN(b *kv.Batch, gsn uint64) error {
 	if !d.opts.DisableWAL {
 		payload := encodeBatchPayload(baseSeq, b)
 		if err := h.walw.Append(gsn, payload); err != nil {
+			d.noteWriteFailure(h, err)
 			return err
 		}
 	}
@@ -454,8 +467,9 @@ func (d *DB) rotateLocked() {
 		h.logNum = d.vs.NewFileNum()
 		f, err := d.opts.FS.Create(walName(d.dir, h.logNum))
 		if err != nil {
-			d.bgErr = err
-			d.cond.Broadcast()
+			// Without a fresh log no new write can be made durable; block
+			// writes until Resume retries the rotation.
+			d.degradeLocked("wal rotation", err)
 			return
 		}
 		h.walw = wal.NewWriter(f, wal.Options{
@@ -739,12 +753,15 @@ func (d *DB) Flush() error {
 		return d.bgErrSnapshot()
 	}
 	d.mu.Lock()
-	for len(d.imm) > 0 && d.bgErr == nil {
+	for len(d.imm) > 0 && d.bgErr == nil && !d.closed.Load() {
 		d.kick()
 		d.cond.Wait()
 	}
 	err := d.bgErr
 	d.mu.Unlock()
+	if err == nil && d.closed.Load() {
+		return kv.ErrClosed
+	}
 	return err
 }
 
@@ -778,6 +795,11 @@ type Metrics struct {
 	LevelFiles     [manifest.NumLevels]int
 	LevelBytes     [manifest.NumLevels]int64
 	WALBytes       int64
+	// Robustness counters (see bgerror.go).
+	State          kv.HealthState
+	FlushRetries   int64
+	CompactRetries int64
+	InjectedFaults int64 // non-zero only under a fault-injecting FS
 }
 
 // Metrics snapshots structure sizes (Table 2 memory accounting).
@@ -787,6 +809,12 @@ func (d *DB) Metrics() Metrics {
 	m := Metrics{
 		MemTableBytes:  d.memH.mem.ArenaSize(),
 		ImmutableCount: len(d.imm),
+		State:          kv.HealthState(d.stateA.Load()),
+		FlushRetries:   d.perf.flushRetries.Load(),
+		CompactRetries: d.perf.compactRetries.Load(),
+	}
+	if fc, ok := d.opts.FS.(vfs.FaultCounter); ok {
+		m.InjectedFaults = fc.InjectedFaults()
 	}
 	for _, h := range d.imm {
 		m.MemTableBytes += h.mem.ArenaSize()

@@ -16,7 +16,7 @@ func newTestWAL(f vfs.File) *wal.Writer {
 // injected fsync failure must fail the triggering write, not be
 // swallowed.
 func TestSyncFailureSurfacesToWriter(t *testing.T) {
-	fs := vfs.NewMem()
+	fs := vfs.NewFault(vfs.NewMem())
 	opts := smallOpts(fs)
 	opts.SyncWAL = true
 	db, _ := Open("db", opts)
@@ -24,11 +24,12 @@ func TestSyncFailureSurfacesToWriter(t *testing.T) {
 	if err := db.Put([]byte("ok"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	fs.FailNextSync()
+	fs.Inject(vfs.Rule{Op: vfs.OpSync, Path: ".log", CountN: 1, OneShot: true})
 	if err := db.Put([]byte("doomed"), []byte("v")); err == nil {
 		t.Fatal("write must fail when its commit sync fails")
 	}
-	// The engine stays usable for subsequent writes.
+	// The engine stays usable for subsequent writes: the tainted WAL was
+	// rotated away.
 	if err := db.Put([]byte("after"), []byte("v")); err != nil {
 		t.Fatalf("engine wedged after sync failure: %v", err)
 	}

@@ -26,7 +26,9 @@ func (d *DB) flushLoop() {
 }
 
 // flushOne writes the oldest immutable memtable to an L0 SSTable and
-// retires its WAL. Returns true if it did work.
+// retires its WAL, retrying transient failures with backoff. The memtable
+// stays in the queue (and its WAL on disk) until a flush attempt
+// succeeds, so a failed flush loses nothing. Returns true if it did work.
 func (d *DB) flushOne() bool {
 	d.mu.Lock()
 	if len(d.imm) == 0 || d.bgErr != nil {
@@ -41,12 +43,21 @@ func (d *DB) flushOne() bool {
 	// missed by the flush, and lost when the WAL is deleted.
 	h.writers.Wait()
 
-	if err := d.doFlush(h); err != nil {
-		d.mu.Lock()
-		d.bgErr = err
-		d.cond.Broadcast()
-		d.mu.Unlock()
-		return false
+	for attempt := 0; ; attempt++ {
+		err := d.doFlush(h)
+		if err == nil {
+			if attempt > 0 {
+				d.clearBgFailure("flush")
+			}
+			break
+		}
+		if !d.noteBgFailure("flush", err, attempt) {
+			return false // degraded or closing
+		}
+		d.perf.flushRetries.Add(1)
+		if !d.backoffWait(attempt + 1) {
+			return false // closing
+		}
 	}
 
 	d.mu.Lock()
@@ -72,7 +83,7 @@ func (d *DB) doFlush(h *memHandle) error {
 		// Figure 8b mode (or an empty rotation): drop without IO, but
 		// still advance the manifest's log number so recovery doesn't
 		// look for the removed WAL.
-		if err := d.vs.LogAndApply(&manifest.VersionEdit{
+		if err := d.applyEdit(&manifest.VersionEdit{
 			HasLogNum: true, LogNum: h.logNum + 1,
 			HasLastSeq: true, LastSeq: d.seq.Load(),
 		}); err != nil {
@@ -110,7 +121,7 @@ func (d *DB) doFlush(h *memHandle) error {
 	d.perf.flushes.Add(1)
 	d.perf.flushBytes.Add(meta.Size)
 
-	if err := d.vs.LogAndApply(&manifest.VersionEdit{
+	if err := d.applyEdit(&manifest.VersionEdit{
 		HasLogNum: true, LogNum: h.logNum + 1,
 		HasLastSeq: true, LastSeq: d.seq.Load(),
 		HasNextFile: true, NextFile: num + 1,
@@ -118,7 +129,7 @@ func (d *DB) doFlush(h *memHandle) error {
 			Num: meta.FileNum, Size: meta.Size, Entries: meta.Entries,
 			Smallest: meta.Smallest, Largest: meta.Largest,
 		}}},
-	}); err != nil {
+	}, num); err != nil {
 		return err
 	}
 	retireWAL()

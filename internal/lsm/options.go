@@ -100,6 +100,15 @@ type Options struct {
 	// amortizes it: the first key pays full cost, subsequent keys 35%,
 	// RocksDB's documented multiget CPU saving. Zero for production use.
 	ReadPerOpCost time.Duration
+
+	// BgMaxRetries is the total number of attempts a failed background
+	// flush or compaction gets before the engine degrades to read-only
+	// (default 5).
+	BgMaxRetries int
+	// BgBaseBackoff is the delay before the first background retry; each
+	// further retry doubles it up to BgMaxBackoff (defaults 5ms / 1s).
+	BgBaseBackoff time.Duration
+	BgMaxBackoff  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +135,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockCacheSize == 0 {
 		o.BlockCacheSize = 8 << 20
+	}
+	if o.BgMaxRetries <= 0 {
+		o.BgMaxRetries = 5
+	}
+	if o.BgBaseBackoff <= 0 {
+		o.BgBaseBackoff = 5 * time.Millisecond
+	}
+	if o.BgMaxBackoff <= 0 {
+		o.BgMaxBackoff = time.Second
 	}
 	return o
 }

@@ -253,22 +253,53 @@ func Open(fs vfs.FS, dir string) (*Set, error) {
 		}
 	}
 	// Start a fresh manifest seeded with a snapshot of the replayed
-	// state, then atomically swap it in. Writing to a temporary name
-	// first means a crash mid-rewrite leaves the old MANIFEST intact.
-	snap := s.snapshotEdit()
-	tmp := name + ".new"
-	f, err := fs.Create(tmp)
-	if err != nil {
-		return nil, err
-	}
-	s.log = wal.NewWriter(f, wal.Options{SyncOnCommit: true})
-	if err := s.log.Append(0, snap.Encode()); err != nil {
-		return nil, err
-	}
-	if err := fs.Rename(tmp, name); err != nil {
+	// state, then atomically swap it in.
+	if err := s.rotateLocked(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// rotateLocked rewrites the MANIFEST as one snapshot edit of the current
+// in-memory state and atomically swaps it in. Writing to a temporary name
+// first means a crash (or failure) mid-rewrite leaves the old MANIFEST
+// intact. Callers must hold s.mu (or, in Open, have exclusive access).
+func (s *Set) rotateLocked() error {
+	name := s.dir + "/MANIFEST"
+	tmp := name + ".new"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	log := wal.NewWriter(f, wal.Options{SyncOnCommit: true})
+	if err := log.Append(0, s.snapshotEdit().Encode()); err != nil {
+		log.Close()
+		return err
+	}
+	if err := s.fs.Rename(tmp, name); err != nil {
+		log.Close()
+		return err
+	}
+	if s.log != nil {
+		// Best effort: the old log file has already been replaced in the
+		// namespace, and may be tainted by the very failure that prompted
+		// this rotation.
+		s.log.Close()
+	}
+	s.log = log
+	return nil
+}
+
+// Rotate rewrites the MANIFEST as a fresh snapshot of the current state,
+// replacing the old log file. Recovery code calls it after a failed
+// LogAndApply: the old log may carry a torn tail (stranding later edits
+// behind an unreadable record) or a record of unknown durability (which a
+// blind retry would double-apply at replay), so the only safe way to keep
+// appending edits is to start from a clean snapshot.
+func (s *Set) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rotateLocked()
 }
 
 // snapshotEdit captures the entire current state as one edit.

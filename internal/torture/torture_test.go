@@ -1,0 +1,312 @@
+// Package torture randomly exercises every engine family under
+// fault-injection (FaultFS) and crash/restart cycles (MemFS), checking the
+// results against a shadow model that tracks, per key, the set of values
+// the store may legitimately hold.
+//
+// The model's rules follow the acknowledgement contract:
+//   - an acknowledged Put(k,v) collapses k's possibilities to {v};
+//   - a FAILED Put(k,v) leaves k ambiguous — {old..., v} — because the
+//     record may sit torn or unsynced in a journal and legally either
+//     vanish or (before its log is retired) resurface at replay;
+//   - an acknowledged Get collapses the ambiguity to the observed value:
+//     once the operation that created the ambiguity has returned, the
+//     user-visible value can no longer change spontaneously;
+//   - a crash+restart never invalidates an acknowledged (synced) write
+//     and never manufactures values outside the possibility set.
+//
+// Any Get outside the possibility set — lost ack or invented garbage —
+// fails the test.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"p2kvs/internal/btreekv"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/kvell"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/vfs"
+)
+
+const absent = "\x00absent\x00"
+
+// model maps key -> set of possible values (absent included).
+type model map[string]map[string]bool
+
+func (m model) collapse(k, v string) { m[k] = map[string]bool{v: true} }
+func (m model) admit(k, v string)    { m[k][v] = true }
+
+type tortureCfg struct {
+	name  string
+	open  func(fs vfs.FS) (kv.Engine, error)
+	menu  []vfs.Rule // armed/disarmed in windows during the run
+	crash bool       // engine guarantees acked writes survive Crash/Restart
+}
+
+func lsmOpen(preset func(vfs.FS) lsm.Options) func(vfs.FS) (kv.Engine, error) {
+	return func(fs vfs.FS) (kv.Engine, error) {
+		o := preset(fs)
+		o.MemTableSize = 16 << 10
+		o.BaseLevelSize = 64 << 10
+		o.TargetFileSize = 16 << 10
+		o.SyncWAL = true // acked == durable, the property the model checks
+		o.BgMaxRetries = 3
+		o.BgBaseBackoff = time.Millisecond
+		o.BgMaxBackoff = 4 * time.Millisecond
+		return lsm.Open("db", o)
+	}
+}
+
+// lsmMenu is the full fault menu: commit-sync failures, torn writes
+// (WAL tails, SST builds, MANIFEST records), file-creation failures
+// (flush outputs, WAL/MANIFEST rotation) and latency spikes.
+var lsmMenu = []vfs.Rule{
+	{Op: vfs.OpSync, Path: ".log", Prob: 0.05},
+	{Op: vfs.OpWrite, Prob: 0.02, TornWrite: true},
+	{Op: vfs.OpCreate, Prob: 0.02},
+	{Op: vfs.OpAny, Prob: 0.05, DelayOnly: true, Delay: 200 * time.Microsecond},
+}
+
+func configs() []tortureCfg {
+	return []tortureCfg{
+		{name: "lsm-rocksdb", open: lsmOpen(lsm.RocksDBOptions), menu: lsmMenu, crash: true},
+		{name: "lsm-leveldb", open: lsmOpen(lsm.LevelDBOptions), menu: lsmMenu, crash: true},
+		{name: "lsm-pebblesdb", open: lsmOpen(lsm.PebblesDBOptions), menu: lsmMenu, crash: true},
+		{
+			name: "btreekv",
+			open: func(fs vfs.FS) (kv.Engine, error) {
+				return btreekv.Open("db", btreekv.Options{FS: fs, SyncWAL: true, CheckpointBytes: 8 << 10})
+			},
+			// Journal-sync failures taint the log and force the engine
+			// through its checkpoint-based self-heal. No torn writes: the
+			// engine has no retry machinery for checkpoint IO.
+			menu: []vfs.Rule{
+				{Op: vfs.OpSync, Prob: 0.05},
+				{Op: vfs.OpAny, Prob: 0.05, DelayOnly: true, Delay: 200 * time.Microsecond},
+			},
+			crash: true,
+		},
+		{
+			name: "kvell",
+			open: func(fs vfs.FS) (kv.Engine, error) {
+				return kvell.Open("db", kvell.Options{FS: fs, Workers: 2, QueueDepth: 16})
+			},
+			// Clean write errors only: KVell updates slots in place with
+			// no log, so its contract gives no crash guarantee (no crash
+			// cycles) and a torn in-place write is unrecoverable by
+			// design.
+			menu: []vfs.Rule{
+				{Op: vfs.OpWrite, Prob: 0.05},
+				{Op: vfs.OpAny, Prob: 0.05, DelayOnly: true, Delay: 200 * time.Microsecond},
+			},
+			crash: false,
+		},
+	}
+}
+
+func TestTorture(t *testing.T) {
+	for _, seed := range []int64{0xC0FFEE, 7} {
+		for _, cfg := range configs() {
+			cfg, seed := cfg, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", cfg.name, seed), func(t *testing.T) {
+				t.Parallel()
+				torture(t, cfg, 1500, seed)
+			})
+		}
+	}
+}
+
+func torture(t *testing.T, cfg tortureCfg, nOps int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	mem := vfs.NewMem()
+	ffs := vfs.NewFaultSeeded(mem, seed)
+	eng, err := cfg.open(ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { eng.Close() }()
+
+	// Fixed key pool; every key starts definitely-absent.
+	const poolSize = 150
+	pool := make([]string, poolSize)
+	shadow := model{}
+	for i := range pool {
+		pool[i] = fmt.Sprintf("key-%03d", i)
+		shadow[pool[i]] = map[string]bool{absent: true}
+	}
+
+	// recover clears rules and resumes a degraded engine so the run
+	// doesn't trivially drown in fail-fast errors.
+	armed := false
+	recover := func(err error) {
+		if !errors.Is(err, kv.ErrDegraded) {
+			if hr, ok := eng.(kv.HealthReporter); !ok || hr.Health().State != kv.StateReadOnly {
+				return
+			}
+		}
+		ffs.ClearRules()
+		armed = false
+		if r, ok := eng.(kv.Resumer); ok {
+			if rerr := r.Resume(); rerr != nil {
+				t.Fatalf("op %s: Resume failed: %v", err, rerr)
+			}
+		}
+	}
+
+	var okOps, failOps, crashes, consecFails int
+	for i := 0; i < nOps; i++ {
+		// Fault windows: armed for 50 ops out of every 150.
+		switch {
+		case !armed && (i/50)%3 == 1:
+			for _, r := range cfg.menu {
+				ffs.Inject(r)
+			}
+			armed = true
+		case armed && (i/50)%3 != 1:
+			ffs.ClearRules()
+			armed = false
+		}
+
+		// Crash/restart cycle with verification-by-continuation: the
+		// reopened engine must satisfy the same shadow model.
+		if cfg.crash && i%400 == 399 {
+			ffs.ClearRules()
+			armed = false
+			mem.Crash()
+			_ = eng.Close()
+			mem.Restart()
+			if eng, err = cfg.open(ffs); err != nil {
+				t.Fatalf("op %d: reopen after crash: %v", i, err)
+			}
+			crashes++
+		}
+
+		k := pool[rng.Intn(poolSize)]
+		switch p := rng.Intn(100); {
+		case p < 50: // put
+			v := fmt.Sprintf("v%06d", i)
+			if err := eng.Put([]byte(k), []byte(v)); err != nil {
+				shadow.admit(k, v)
+				failOps++
+				consecFails++
+				recover(err)
+			} else {
+				shadow.collapse(k, v)
+				okOps++
+				consecFails = 0
+			}
+		case p < 65: // delete
+			if err := eng.Delete([]byte(k)); err != nil {
+				shadow.admit(k, absent)
+				failOps++
+				consecFails++
+				recover(err)
+			} else {
+				shadow.collapse(k, absent)
+				okOps++
+				consecFails = 0
+			}
+		case p < 95: // get
+			v, err := eng.Get([]byte(k))
+			switch {
+			case err == nil:
+				if !shadow[k][string(v)] {
+					t.Fatalf("op %d: Get(%s) = %q, not in possibility set %v", i, k, v, keys(shadow[k]))
+				}
+				shadow.collapse(k, string(v))
+				okOps++
+				consecFails = 0
+			case errors.Is(err, kv.ErrNotFound):
+				if !shadow[k][absent] {
+					t.Fatalf("op %d: Get(%s) reported absent; acked value lost (set %v)", i, k, keys(shadow[k]))
+				}
+				shadow.collapse(k, absent)
+				okOps++
+				consecFails = 0
+			default:
+				t.Fatalf("op %d: Get(%s) failed: %v", i, k, err)
+			}
+		default: // flush pressure
+			if err := eng.Flush(); err != nil {
+				failOps++
+				consecFails++
+				recover(err)
+			} else {
+				okOps++
+				consecFails = 0
+			}
+		}
+		if consecFails > 200 {
+			t.Fatalf("op %d: engine wedged — %d consecutive failures", i, consecFails)
+		}
+	}
+
+	// Final pass on a clean filesystem: heal, then check every pool key.
+	ffs.ClearRules()
+	recover(kv.ErrDegraded)
+	if cfg.crash {
+		mem.Crash()
+		_ = eng.Close()
+		mem.Restart()
+		if eng, err = cfg.open(ffs); err != nil {
+			t.Fatalf("final reopen: %v", err)
+		}
+	}
+	for _, k := range pool {
+		v, err := eng.Get([]byte(k))
+		switch {
+		case err == nil:
+			if !shadow[k][string(v)] {
+				t.Fatalf("final: Get(%s) = %q, not in %v", k, v, keys(shadow[k]))
+			}
+		case errors.Is(err, kv.ErrNotFound):
+			if !shadow[k][absent] {
+				t.Fatalf("final: %s absent; acked value lost (set %v)", k, keys(shadow[k]))
+			}
+		default:
+			t.Fatalf("final: Get(%s): %v", k, err)
+		}
+	}
+	// No-garbage sweep: nothing outside the model may appear.
+	it, err := eng.NewIterator()
+	if err != nil {
+		t.Fatalf("final iterator: %v", err)
+	}
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k, v := string(it.Key()), string(it.Value())
+		set, known := shadow[k]
+		if !known {
+			t.Fatalf("final: iterator surfaced unknown key %q", k)
+		}
+		if !set[v] {
+			t.Fatalf("final: iterator value %q for %s not in %v", v, k, keys(set))
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("%d ok, %d failed, %d crashes, %d injected faults",
+		okOps, failOps, crashes, ffs.InjectedFaults())
+	if ffs.InjectedFaults() == 0 {
+		t.Fatal("no fault ever fired — the torture exercised nothing")
+	}
+	if okOps < nOps/2 {
+		t.Fatalf("only %d/%d ops succeeded — run dominated by failures", okOps, nOps)
+	}
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		if k == absent {
+			k = "<absent>"
+		}
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestFaultFSCountNTargetsNthOp(t *testing.T) {
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpWrite, CountN: 3})
+	f, _ := fs.Create("f")
+	for i := 1; i <= 5; i++ {
+		_, err := f.Write([]byte("x"))
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: err = %v, want injected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("write %d: unexpected err %v", i, err)
+		}
+	}
+	if got := fs.InjectedFaults(); got != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", got)
+	}
+}
+
+func TestFaultFSPathSubstring(t *testing.T) {
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpSync, Path: ".log"})
+	wal, _ := fs.Create("db/000001.log")
+	sst, _ := fs.Create("db/000002.sst")
+	if err := wal.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("log sync err = %v, want injected", err)
+	}
+	if err := sst.Sync(); err != nil {
+		t.Fatalf("sst sync must not be matched: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	mem := NewMem()
+	fs := NewFault(mem)
+	f, _ := fs.Create("wal")
+	if _, err := f.Write([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(Rule{Op: OpWrite, CountN: 1, OneShot: true, TornWrite: true})
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write persisted %d bytes, want %d", n, len(payload)/2)
+	}
+	// The inner file holds the intact prefix plus half the torn payload.
+	r, _ := mem.Open("wal")
+	sz, _ := r.Size()
+	want := "intact" + "01234"
+	if sz != int64(len(want)) {
+		t.Fatalf("inner size = %d, want %d", sz, len(want))
+	}
+	buf := make([]byte, sz)
+	r.ReadAt(buf, 0)
+	if string(buf) != want {
+		t.Fatalf("inner contents = %q, want %q", buf, want)
+	}
+}
+
+func TestFaultFSBitFlip(t *testing.T) {
+	fs := NewFault(NewMem())
+	f, _ := fs.Create("data")
+	content := bytes.Repeat([]byte{0xAA}, 64)
+	f.Write(content)
+	fs.Inject(Rule{Op: OpRead, CountN: 1, OneShot: true, BitFlip: true})
+	buf := make([]byte, 64)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("bit-flip reads must report success: %v", err)
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != content[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ after bit flip, want exactly 1", diff)
+	}
+	// Subsequent reads are clean.
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, content) {
+		t.Fatal("corruption persisted beyond the one-shot rule")
+	}
+}
+
+func TestFaultFSProbabilistic(t *testing.T) {
+	fs := NewFaultSeeded(NewMem(), 42)
+	fs.Inject(Rule{Op: OpWrite, Prob: 0.5})
+	f, _ := fs.Create("f")
+	failures := 0
+	for i := 0; i < 200; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			failures++
+		}
+	}
+	if failures < 50 || failures > 150 {
+		t.Fatalf("p=0.5 over 200 ops fired %d times", failures)
+	}
+	if fs.InjectedFaults() != int64(failures) {
+		t.Fatalf("counter %d != observed %d", fs.InjectedFaults(), failures)
+	}
+}
+
+func TestFaultFSDelayOnly(t *testing.T) {
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpSync, CountN: 1, OneShot: true, DelayOnly: true, Delay: 30 * time.Millisecond})
+	f, _ := fs.Create("f")
+	f.Write([]byte("x"))
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("delay-only rule must not error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sync returned after %v, want >= 30ms delay", d)
+	}
+}
+
+func TestFaultFSCustomErrAndClear(t *testing.T) {
+	boom := errors.New("boom")
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpCreate, Err: boom})
+	if _, err := fs.Create("f"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	fs.ClearRules()
+	if _, err := fs.Create("f"); err != nil {
+		t.Fatalf("rules cleared, create should pass: %v", err)
+	}
+	if got := fs.InjectedFaults(); got != 1 {
+		t.Fatalf("ClearRules must keep counters: got %d", got)
+	}
+}
+
+func TestFaultFSComposesOverCrash(t *testing.T) {
+	// FaultFS layered over MemFS keeps the crash/durability model intact:
+	// a torn write is truncated entirely by a crash when never synced.
+	mem := NewMem()
+	fs := NewFault(mem)
+	f, _ := fs.Create("wal")
+	f.Write([]byte("durable"))
+	f.Sync()
+	fs.Inject(Rule{Op: OpWrite, CountN: 1, OneShot: true, TornWrite: true})
+	f.Write([]byte("torn-record"))
+	mem.Crash()
+	mem.Restart()
+	r, _ := fs.Open("wal")
+	sz, _ := r.Size()
+	if sz != int64(len("durable")) {
+		t.Fatalf("post-crash size = %d, want %d", sz, len("durable"))
+	}
+}
+
+func TestFaultFSReadAtEOFStillInjects(t *testing.T) {
+	// An error rule on reads fires even when the underlying read would
+	// have hit EOF — the injection layer sits above the inner file.
+	fs := NewFault(NewMem())
+	f, _ := fs.Create("f")
+	f.Write([]byte("ab"))
+	fs.Inject(Rule{Op: OpRead})
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	fs.ClearRules()
+	if n, err := f.ReadAt(buf, 0); err != io.EOF || n != 2 {
+		t.Fatalf("clean short read = (%d, %v)", n, err)
+	}
+}

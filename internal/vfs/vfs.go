@@ -67,11 +67,10 @@ var ErrNotExist = os.ErrNotExist
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string]*memFileData
-	// failNextSync, when set, makes the next Sync on any file return an
-	// error (and not mark data durable).
-	failNextSync bool
 	// frozen rejects all writes; set by Crash to emulate a dead machine
-	// until Restart is called.
+	// until Restart is called. (Scripted fault injection lives in
+	// FaultFS, which composes over any FS; MemFS only models the
+	// volatile page cache a power failure loses.)
 	frozen bool
 }
 
@@ -127,6 +126,11 @@ func (fs *MemFS) Remove(name string) error {
 func (fs *MemFS) Rename(oldname, newname string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.frozen {
+		// A crashed filesystem cannot mutate its namespace: letting a
+		// rename through here would install e.g. a post-crash manifest.
+		return errors.New("vfs: filesystem crashed")
+	}
 	od, ok := fs.files[clean(oldname)]
 	if !ok {
 		return fmt.Errorf("vfs: rename %s: %w", oldname, ErrNotExist)
@@ -166,13 +170,6 @@ func (fs *MemFS) Exists(name string) bool {
 	defer fs.mu.Unlock()
 	_, ok := fs.files[clean(name)]
 	return ok
-}
-
-// FailNextSync arms a one-shot sync failure for fault-injection tests.
-func (fs *MemFS) FailNextSync() {
-	fs.mu.Lock()
-	fs.failNextSync = true
-	fs.mu.Unlock()
 }
 
 // Crash drops all non-durable bytes (everything written since each file's
@@ -250,6 +247,11 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
 	f.d.mu.Lock()
 	defer f.d.mu.Unlock()
+	// Zero-length reads succeed regardless of offset, matching
+	// os.File.ReadAt (pread with count 0 never reports EOF).
+	if len(p) == 0 {
+		return 0, nil
+	}
 	if off >= int64(len(f.d.data)) {
 		return 0, io.EOF
 	}
@@ -261,13 +263,6 @@ func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *memFile) Sync() error {
-	f.fs.mu.Lock()
-	fail := f.fs.failNextSync
-	f.fs.failNextSync = false
-	f.fs.mu.Unlock()
-	if fail {
-		return errors.New("vfs: injected sync failure")
-	}
 	f.d.mu.Lock()
 	f.d.durable = len(f.d.data)
 	f.d.mu.Unlock()

@@ -57,6 +57,65 @@ func TestMemFSReadAtOffsets(t *testing.T) {
 	}
 }
 
+// TestReadAtBoundarySemantics pins memFile.ReadAt to os.File.ReadAt
+// semantics at the end-of-file boundaries by running the same table
+// against both implementations.
+func TestReadAtBoundarySemantics(t *testing.T) {
+	const content = "0123456789"
+
+	mem := NewMem()
+	mf, _ := mem.Create("f")
+	mf.Write([]byte(content))
+
+	osfs := NewOS()
+	path := t.TempDir() + "/f"
+	wf, err := osfs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Write([]byte(content))
+	wf.Close()
+	of, err := osfs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+
+	cases := []struct {
+		name    string
+		bufLen  int
+		off     int64
+		wantN   int
+		wantErr error
+	}{
+		{"interior full read", 4, 3, 4, nil},
+		{"read ending exactly at EOF", 4, 6, 4, nil},
+		{"whole file exactly", 10, 0, 10, nil},
+		{"short read crossing EOF", 4, 8, 2, io.EOF},
+		{"read starting at EOF", 4, 10, 0, io.EOF},
+		{"read starting past EOF", 4, 15, 0, io.EOF},
+		{"empty read interior", 0, 3, 0, nil},
+		{"empty read exactly at EOF", 0, 10, 0, nil},
+		{"empty read past EOF", 0, 15, 0, nil},
+	}
+	for _, tc := range cases {
+		for _, impl := range []struct {
+			name string
+			f    File
+		}{{"memFile", mf}, {"osFile", of}} {
+			buf := make([]byte, tc.bufLen)
+			n, err := impl.f.ReadAt(buf, tc.off)
+			if n != tc.wantN || err != tc.wantErr {
+				t.Errorf("%s: %s.ReadAt(len=%d, off=%d) = (%d, %v), want (%d, %v)",
+					tc.name, impl.name, tc.bufLen, tc.off, n, err, tc.wantN, tc.wantErr)
+			}
+			if n > 0 && string(buf[:n]) != content[tc.off:tc.off+int64(n)] {
+				t.Errorf("%s: %s read %q", tc.name, impl.name, buf[:n])
+			}
+		}
+	}
+}
+
 func TestMemFSOpenMissing(t *testing.T) {
 	fs := NewMem()
 	if _, err := fs.Open("nope"); err == nil {
@@ -138,20 +197,50 @@ func TestMemFSCrashDropsUnsynced(t *testing.T) {
 	}
 }
 
-func TestMemFSFailNextSync(t *testing.T) {
-	fs := NewMem()
+func TestFaultFSFailNextSync(t *testing.T) {
+	mem := NewMem()
+	fs := NewFault(mem)
 	f, _ := fs.Create("wal")
 	f.Write([]byte("abc"))
 	fs.FailNextSync()
 	if err := f.Sync(); err == nil {
 		t.Fatal("expected injected sync failure")
 	}
+	if got := fs.InjectedFaults(); got != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", got)
+	}
 	// Failed sync means the data is still volatile.
-	fs.Crash()
-	fs.Restart()
+	mem.Crash()
+	mem.Restart()
 	r, _ := fs.Open("wal")
 	if sz, _ := r.Size(); sz != 0 {
 		t.Fatalf("data survived a failed sync: size=%d", sz)
+	}
+	// One-shot: the next sync goes through.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync should succeed: %v", err)
+	}
+}
+
+func TestMemFSRenameOnCrashedFS(t *testing.T) {
+	// Regression: renames must not succeed on a crashed filesystem —
+	// a "post-crash" manifest install slipping through would break the
+	// crash model.
+	fs := NewMem()
+	f, _ := fs.Create("MANIFEST.new")
+	f.Write([]byte("edit"))
+	f.Sync()
+	f.Close()
+	fs.Crash()
+	if err := fs.Rename("MANIFEST.new", "MANIFEST"); err == nil {
+		t.Fatal("Rename must fail on a crashed fs")
+	}
+	if fs.Exists("MANIFEST") {
+		t.Fatal("rename target appeared despite the crash")
+	}
+	fs.Restart()
+	if err := fs.Rename("MANIFEST.new", "MANIFEST"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -84,6 +84,7 @@ type Writer struct {
 	pending []*waiter
 	writing bool
 	closed  bool
+	tainted bool
 	size    int64
 
 	appends  atomic.Int64
@@ -112,6 +113,12 @@ func NewWriter(f vfs.File, opts Options) *Writer {
 // ErrClosed is returned by appends on a closed writer.
 var ErrClosed = errors.New("wal: closed")
 
+// ErrTainted is returned by appends on a tainted writer: an earlier write
+// failed, possibly leaving a torn record on disk, so any record appended
+// after it would sit behind an unreadable tail and be silently dropped at
+// replay. The owner must rotate to a fresh log.
+var ErrTainted = errors.New("wal: log tainted by failed write")
+
 // Append durably (subject to SyncOnCommit) appends one record and blocks
 // until it is written. Safe for concurrent use.
 func (w *Writer) Append(gsn uint64, payload []byte) error {
@@ -131,11 +138,17 @@ func (w *Writer) appendSolo(gsn uint64, payload []byte) error {
 	if w.closed {
 		return ErrClosed
 	}
+	if w.tainted {
+		return ErrTainted
+	}
 	ioStart := time.Now()
 	err := w.writeRecords([]*waiter{{gsn: gsn, payload: payload}})
 	w.ioNs.Add(int64(time.Since(ioStart)))
 	w.groupIOs.Add(1)
 	w.groupSum.Add(1)
+	if err != nil {
+		w.tainted = true
+	}
 	return err
 }
 
@@ -148,6 +161,10 @@ func (w *Writer) appendGrouped(gsn uint64, payload []byte) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
+	if w.tainted {
+		w.mu.Unlock()
+		return ErrTainted
+	}
 	w.pending = append(w.pending, wt)
 	// Park until either a leader completed our write, or we are at the
 	// head of the queue with no leader in flight — then we lead.
@@ -159,6 +176,20 @@ func (w *Writer) appendGrouped(gsn uint64, payload []byte) error {
 		w.mu.Unlock()
 		w.lockNs.Add(int64(time.Since(enqueue)))
 		return wt.err
+	}
+	if w.tainted {
+		// A leader failed while we were parked. Step out of the queue and
+		// let the next head observe the taint too.
+		for i, m := range w.pending {
+			if m == wt {
+				w.pending = append(w.pending[:i], w.pending[i+1:]...)
+				break
+			}
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		w.lockNs.Add(int64(time.Since(enqueue)))
+		return ErrTainted
 	}
 	// Leader path: claim a group bounded by count and bytes.
 	n, bytes := 0, 0
@@ -183,6 +214,11 @@ func (w *Writer) appendGrouped(gsn uint64, payload []byte) error {
 	// time is used to unlock the follower threads").
 	wakeStart := time.Now()
 	w.mu.Lock()
+	if err != nil {
+		// The group write may have landed a torn record; no later append
+		// may use this log (it would be unreadable past the tear).
+		w.tainted = true
+	}
 	for _, m := range group {
 		m.done = true
 		m.err = err
@@ -231,6 +267,14 @@ func (w *Writer) Sync() error {
 		return ErrClosed
 	}
 	return w.f.Sync()
+}
+
+// Tainted reports whether a failed write has poisoned this log. A tainted
+// log accepts no further appends; rotate to a fresh file.
+func (w *Writer) Tainted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tainted
 }
 
 // Size returns the bytes written so far.
