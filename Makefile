@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-race vet fuzz-short ci clean
+.PHONY: build test test-race vet fuzz-short torture-short ci clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzBuilderRoundTrip -fuzztime=$(FUZZTIME) ./internal/block
 	$(GO) test -fuzz=FuzzDecodeBatchPayload -fuzztime=$(FUZZTIME) ./internal/lsm
 	$(GO) test -fuzz=FuzzBatchPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/lsm
+
+# Short overload + torture pass: the fault-injection torture run (one
+# seed, reduced ops under -short) plus the accessing layer's admission /
+# deadline / drain lifecycle tests, all race-enabled and time-bounded.
+torture-short:
+	$(GO) test -race -short -timeout 5m -run 'Torture|Admit|Expired|Deadline|Drain|Close|Queue' ./internal/torture ./internal/core
 
 ci: vet build test-race
 

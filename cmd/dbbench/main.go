@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2kvs"
@@ -39,8 +42,24 @@ func main() {
 		devScale   = flag.Float64("devscale", 1.0, "simulated device time scale")
 		scanSize   = flag.Int("scan_size", 100, "keys per scan op")
 		syncWAL    = flag.Bool("sync", false, "fsync per commit")
+		admission  = flag.String("admission", "block", "admission policy: block, reject, wait")
+		opDeadline = flag.Duration("op_deadline", 0, "per-op deadline (0 = none); rejected/expired ops are counted, not fatal")
+		queueDepth = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
 	)
 	flag.Parse()
+
+	var policy p2kvs.AdmissionPolicy
+	switch *admission {
+	case "block":
+		policy = p2kvs.AdmitBlock
+	case "reject":
+		policy = p2kvs.AdmitReject
+	case "wait":
+		policy = p2kvs.AdmitWait
+	default:
+		fmt.Fprintf(os.Stderr, "dbbench: unknown admission policy %q\n", *admission)
+		os.Exit(2)
+	}
 
 	w := 1
 	if *p2 {
@@ -54,6 +73,8 @@ func main() {
 		SimulateDevice: *dev,
 		DeviceScale:    *devScale,
 		SyncWAL:        *syncWAL,
+		Admission:      policy,
+		QueueDepth:     *queueDepth,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbbench:", err)
@@ -72,15 +93,46 @@ func main() {
 		needsData := name == "readseq" || name == "readrandom" || name == "updaterandom" || name == "scan"
 		if needsData && !loaded {
 			fmt.Fprintf(os.Stderr, "(implicit fillseq to populate %d keys)\n", *num)
-			runOne(store, "fillseq", *num, *valueSize, 1, *scanSize, false)
+			runOne(store, "fillseq", *num, *valueSize, 1, *scanSize, 0, false)
 			loaded = true
 		}
 		if name == "fillseq" || name == "fillrandom" {
 			loaded = true
 		}
-		runOne(store, name, *num, *valueSize, *threads, *scanSize, true)
+		runOne(store, name, *num, *valueSize, *threads, *scanSize, *opDeadline, true)
 	}
 	reportRobustness(store)
+	reportOverload(store)
+}
+
+// reportOverload prints the request-lifecycle summary: admission
+// rejections, deadline expiries, worker-side shedding and queue depth
+// high-water marks. One aggregate line; per-worker lines only when some
+// worker actually rejected or shed work.
+func reportOverload(store *p2kvs.Store) {
+	stats := store.Stats()
+	var rejected, expired, shed int64
+	maxDepth := 0
+	for _, ws := range stats {
+		rejected += ws.Rejected
+		expired += ws.Expired
+		shed += ws.Shed
+		if ws.QueueHighWater > maxDepth {
+			maxDepth = ws.QueueHighWater
+		}
+	}
+	fmt.Printf("overload       : %d rejected; %d expired; %d shed; max queue depth %d\n",
+		rejected, expired, shed, maxDepth)
+	if rejected == 0 && expired == 0 && shed == 0 {
+		return
+	}
+	for _, ws := range stats {
+		if ws.Rejected == 0 && ws.Expired == 0 && ws.Shed == 0 {
+			continue
+		}
+		fmt.Printf("overload w%-2d   : rejected=%d expired=%d shed=%d queue_hw=%d\n",
+			ws.ID, ws.Rejected, ws.Expired, ws.Shed, ws.QueueHighWater)
+	}
 }
 
 // reportRobustness prints the per-worker background-error summary:
@@ -112,20 +164,21 @@ func reportRobustness(store *p2kvs.Store) {
 	}
 }
 
-func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, report bool) {
+func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, opDeadline time.Duration, report bool) {
 	var h histogram.H
 	perThread := num / threads
 	if perThread < 1 {
 		perThread = 1
 	}
 	var wg sync.WaitGroup
+	var dropped atomic.Int64
 	errCh := make(chan error, threads)
 	start := time.Now()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			if err := runThread(store, name, tid, perThread, num, valueSize, scanSize, &h); err != nil {
+			if err := runThread(store, name, tid, perThread, num, valueSize, scanSize, opDeadline, &h, &dropped); err != nil {
 				errCh <- err
 			}
 		}(t)
@@ -144,11 +197,15 @@ func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize i
 	ops := perThread * threads
 	microsPerOp := float64(elapsed.Microseconds()) / float64(ops) * float64(threads)
 	mbps := float64(ops) * float64(valueSize+16) / elapsed.Seconds() / 1e6
-	fmt.Printf("%-14s : %10.3f micros/op; %8.1f ops/sec; %7.1f MB/s; %s\n",
+	line := fmt.Sprintf("%-14s : %10.3f micros/op; %8.1f ops/sec; %7.1f MB/s; %s",
 		name, microsPerOp, float64(ops)/elapsed.Seconds(), mbps, h.String())
+	if d := dropped.Load(); d > 0 {
+		line += fmt.Sprintf("; %d dropped (overload/deadline)", d)
+	}
+	fmt.Println(line)
 }
 
-func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, scanSize int, h *histogram.H) error {
+func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, scanSize int, opDeadline time.Duration, h *histogram.H, dropped *atomic.Int64) error {
 	kind, isRead, isScan := parseWorkload(name)
 	var ch workload.Chooser
 	if isScan {
@@ -159,19 +216,29 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 	for i := 0; i < perThread; i++ {
 		idx := ch.Next()
 		opStart := time.Now()
+		ctx := context.Background()
+		cancel := func() {}
+		if opDeadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, opDeadline)
+		}
 		var err error
 		switch {
 		case isScan:
-			_, err = store.Scan(workload.Key(idx), scanSize)
+			_, err = store.ScanCtx(ctx, workload.Key(idx), scanSize)
 		case isRead:
-			_, err = store.Get(workload.Key(idx))
+			_, err = store.GetCtx(ctx, workload.Key(idx))
 			if err == kv.ErrNotFound {
 				err = nil
 			}
 		default:
-			err = store.Put(workload.Key(idx), workload.Value(idx, valueSize))
+			err = store.PutCtx(ctx, workload.Key(idx), workload.Value(idx, valueSize))
 		}
+		cancel()
 		h.Record(time.Since(opStart))
+		if errors.Is(err, kv.ErrOverloaded) || errors.Is(err, kv.ErrDeadlineExceeded) {
+			dropped.Add(1)
+			err = nil
+		}
 		if err != nil {
 			return err
 		}

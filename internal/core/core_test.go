@@ -550,22 +550,22 @@ func TestQueuePeekSemantics(t *testing.T) {
 	q.push(mk(reqRead)) // type switch: must cut the batch
 	q.push(mk(reqWrite))
 
-	batch := q.popBatch(true, 32)
+	batch, _ := q.popBatch(true, 32)
 	if len(batch) != 2 || batch[0].typ != reqWrite {
 		t.Fatalf("first batch = %d reqs", len(batch))
 	}
-	batch = q.popBatch(true, 32)
+	batch, _ = q.popBatch(true, 32)
 	if len(batch) != 1 || batch[0].typ != reqRead {
 		t.Fatalf("second batch = %d of type %v", len(batch), batch[0].typ)
 	}
-	batch = q.popBatch(true, 32)
+	batch, _ = q.popBatch(true, 32)
 	if len(batch) != 1 || batch[0].typ != reqWrite {
 		t.Fatalf("third batch = %d", len(batch))
 	}
 	// SCAN is never merged.
 	q.push(mk(reqScan))
 	q.push(mk(reqScan))
-	batch = q.popBatch(true, 32)
+	batch, _ = q.popBatch(true, 32)
 	if len(batch) != 1 {
 		t.Fatalf("scan batch = %d, want 1", len(batch))
 	}
@@ -575,16 +575,16 @@ func TestQueuePeekSemantics(t *testing.T) {
 	q.popBatch(true, 32) // drain remaining scan
 	q.push(r1)
 	q.push(r2)
-	batch = q.popBatch(true, 32)
+	batch, _ = q.popBatch(true, 32)
 	if len(batch) != 1 {
 		t.Fatalf("noMerge batch = %d, want 1", len(batch))
 	}
 	// Closed queue drains then returns nil.
 	q.close()
-	if got := q.popBatch(true, 32); len(got) != 1 {
+	if got, _ := q.popBatch(true, 32); len(got) != 1 {
 		t.Fatalf("drain after close = %d", len(got))
 	}
-	if got := q.popBatch(true, 32); got != nil {
+	if got, expired := q.popBatch(true, 32); got != nil || expired != nil {
 		t.Fatal("closed empty queue must return nil")
 	}
 	if q.push(mk(reqWrite)) {

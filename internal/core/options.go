@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"p2kvs/internal/keyspace"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/metrics"
@@ -30,6 +32,28 @@ const (
 	ScanMerged
 )
 
+// AdmissionPolicy decides what happens when a request targets a worker
+// whose queue is full (or, for writes, whose engine is degraded).
+type AdmissionPolicy int
+
+// Admission policies.
+const (
+	// AdmitBlock blocks the submitter until queue space frees — the
+	// original backpressure behaviour. A request context still aborts
+	// the wait with kv.ErrDeadlineExceeded.
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitReject never waits: a full queue fails fast with
+	// kv.ErrOverloaded, and writes to a degraded shard fail with an
+	// error matching both kv.ErrOverloaded and kv.ErrDegraded. Hot-shard
+	// floods bounce at the accessing layer instead of dragging every
+	// co-hashed caller into unbounded queue wait.
+	AdmitReject
+	// AdmitWait waits for queue space only as long as the request's
+	// remaining deadline budget. A request without a deadline has no
+	// budget to spend, so a full queue rejects it like AdmitReject.
+	AdmitWait
+)
+
 // Options configures a p2KVS store.
 type Options struct {
 	// Workers is the number of KVS instances / worker threads. The paper
@@ -55,6 +79,14 @@ type Options struct {
 	PinWorkers bool
 	// Scan selects the SCAN strategy.
 	Scan ScanStrategy
+	// Admission selects the overload behaviour of request submission
+	// (default AdmitBlock, the original blocking backpressure).
+	Admission AdmissionPolicy
+	// DrainTimeout bounds Close's drain of queued requests. Zero keeps
+	// the original wait-forever semantics; a positive value makes Close
+	// fail still-queued requests with kv.ErrClosed once the deadline
+	// passes, so a wedged engine cannot hang shutdown.
+	DrainTimeout time.Duration
 	// TxnFS + TxnDir host the transaction GSN log (§4.5). Required for
 	// cross-instance Write atomicity and crash recovery; single-instance
 	// requests never touch it.

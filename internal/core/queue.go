@@ -7,8 +7,11 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
+
+	"p2kvs/internal/kv"
 )
 
 // reqType is the request-type OBM merges by: consecutive same-type
@@ -55,11 +58,17 @@ type request struct {
 	done     chan struct{}
 	callback func(err error)
 
+	// ctx, when non-nil, carries the request deadline. It is set only
+	// for contexts that can actually expire (Done() != nil), so the
+	// context-free hot path stays unchanged. Workers shed requests
+	// whose context has expired before they reach the engine.
+	ctx context.Context
+
 	enqueuedAt time.Time
 }
 
-// batchRef is the write payload; ops reference kv.BatchOp semantics but
-// avoid importing kv here (worker.go converts).
+// batchRef is the write payload; ops mirror kv.BatchOp semantics but stay
+// a private flat struct (worker.go converts to kv.Batch when committing).
 type batchRef struct {
 	ops []wop
 }
@@ -79,75 +88,203 @@ func (r *request) complete(err error) {
 	close(r.done)
 }
 
+// expired reports whether the request's context ended (deadline or
+// cancellation) — such requests are dead work and never reach the engine.
+func (r *request) expired() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
+}
+
 // reqQueue is the per-worker request queue. It is a mutex-guarded deque
 // rather than a channel because OBM needs to *peek* at the head request's
 // type without committing to dequeue it (Algorithm 1 line 8).
+//
+// Consumer-side waiting uses a sync.Cond (the single worker goroutine is
+// only ever woken by push or close). Producer-side waiting uses per-waiter
+// channels instead, so a producer blocked on a full queue can also wake on
+// its request's ctx.Done — sync.Cond has no cancellable wait. Wakeups are
+// broadcast-style (every waiter re-checks under the lock), which makes an
+// abandoned wakeup harmless.
 type reqQueue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
-	notFull  *sync.Cond
 	items    []*request
 	head     int
 	capacity int
 	closed   bool
+
+	// spaceWaiters holds one channel per producer blocked in a full-queue
+	// push; freeing space (or closing) closes them all.
+	spaceWaiters []chan struct{}
+
+	// highWater is the maximum queue depth ever observed — the overload
+	// signal surfaced in WorkerStats.
+	highWater int
 }
 
 func newReqQueue(capacity int) *reqQueue {
 	q := &reqQueue{capacity: capacity}
 	q.notEmpty = sync.NewCond(&q.mu)
-	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
 
 func (q *reqQueue) len() int { return len(q.items) - q.head }
 
-// push enqueues, blocking while the queue is full (backpressure for the
-// async interface). Returns false if the queue is closed.
-func (q *reqQueue) push(r *request) bool {
-	q.mu.Lock()
-	for !q.closed && q.len() >= q.capacity {
-		q.notFull.Wait()
-	}
-	if q.closed {
-		q.mu.Unlock()
-		return false
-	}
+func (q *reqQueue) enqueueLocked(r *request) {
 	r.enqueuedAt = time.Now()
 	q.items = append(q.items, r)
+	if d := q.len(); d > q.highWater {
+		q.highWater = d
+	}
 	q.notEmpty.Signal()
+}
+
+func (q *reqQueue) wakeSpaceLocked() {
+	for _, ch := range q.spaceWaiters {
+		close(ch)
+	}
+	q.spaceWaiters = q.spaceWaiters[:0]
+}
+
+// push enqueues, blocking while the queue is full (backpressure for the
+// async interface). Returns false if the queue is closed. This is the
+// historical AdmitBlock fast path; pushWait adds cancellation.
+func (q *reqQueue) push(r *request) bool {
+	return q.pushWait(nil, r) == nil
+}
+
+// pushWait enqueues, blocking while the queue is full. A nil done waits
+// indefinitely (exact push semantics); otherwise the wait aborts with
+// kv.ErrDeadlineExceeded when done fires. Returns kv.ErrClosed if the
+// queue is closed before the request lands.
+func (q *reqQueue) pushWait(done <-chan struct{}, r *request) error {
+	q.mu.Lock()
+	for {
+		if q.closed {
+			q.mu.Unlock()
+			return kv.ErrClosed
+		}
+		if q.len() < q.capacity {
+			break
+		}
+		ch := make(chan struct{})
+		q.spaceWaiters = append(q.spaceWaiters, ch)
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-done:
+			q.removeSpaceWaiter(ch)
+			return kv.ErrDeadlineExceeded
+		}
+		q.mu.Lock()
+	}
+	q.enqueueLocked(r)
 	q.mu.Unlock()
-	return true
+	return nil
+}
+
+// tryPush enqueues without waiting: kv.ErrOverloaded when the queue is
+// full, kv.ErrClosed when closed. The AdmitReject fast path.
+func (q *reqQueue) tryPush(r *request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return kv.ErrClosed
+	}
+	if q.len() >= q.capacity {
+		return kv.ErrOverloaded
+	}
+	q.enqueueLocked(r)
+	return nil
+}
+
+// removeSpaceWaiter unregisters an aborted waiter. If the channel was
+// already closed by a broadcast the wakeup is simply dropped — safe,
+// because broadcasts wake every waiter and each re-checks under the lock.
+func (q *reqQueue) removeSpaceWaiter(ch chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, w := range q.spaceWaiters {
+		if w == ch {
+			q.spaceWaiters = append(q.spaceWaiters[:i], q.spaceWaiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // popBatch implements the queue side of Algorithm 1: it blocks for the
-// first request, then — when obm is true — greedily takes consecutive
+// first live request, then — when obm is true — greedily takes consecutive
 // same-type mergeable requests up to max. SCANs and noMerge requests are
 // returned alone.
-func (q *reqQueue) popBatch(obm bool, max int) []*request {
+//
+// Requests whose context already expired are shed instead of batched
+// (head-of-line shedding): they come back in expired, never occupying an
+// OBM slot, and the caller completes them with kv.ErrDeadlineExceeded
+// without touching the engine. batch == nil with a non-empty expired means
+// "only dead work was pending — call again"; batch == nil and expired ==
+// nil means closed-and-drained.
+func (q *reqQueue) popBatch(obm bool, max int) (batch, expired []*request) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.len() == 0 && !q.closed {
 		q.notEmpty.Wait()
 	}
+	// Shed expired requests at the head before forming a batch.
+	for q.len() > 0 && q.items[q.head].expired() {
+		expired = append(expired, q.items[q.head])
+		q.head++
+	}
 	if q.len() == 0 {
-		return nil // closed and drained
+		q.compact()
+		if len(expired) > 0 {
+			q.wakeSpaceLocked()
+		}
+		return nil, expired
 	}
 	first := q.items[q.head]
 	q.head++
-	out := []*request{first}
+	batch = []*request{first}
 	if obm && first.typ != reqScan && !first.noMerge {
-		for q.len() > 0 && len(out) < max {
+		for q.len() > 0 && len(batch) < max {
 			next := q.items[q.head]
+			if next.expired() {
+				q.head++
+				expired = append(expired, next)
+				continue
+			}
 			if next.typ != first.typ || next.noMerge {
 				break
 			}
 			q.head++
-			out = append(out, next)
+			batch = append(batch, next)
 		}
 	}
 	q.compact()
-	q.notFull.Broadcast()
+	q.wakeSpaceLocked()
+	return batch, expired
+}
+
+// drain removes and returns every still-queued request. Callers close the
+// queue first so no new pushes land; the Close drain-deadline path fails
+// the returned requests with kv.ErrClosed instead of waiting for a wedged
+// worker to reach them.
+func (q *reqQueue) drain() []*request {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := append([]*request(nil), q.items[q.head:]...)
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	q.wakeSpaceLocked()
 	return out
+}
+
+// highWaterMark reports the deepest the queue has ever been.
+func (q *reqQueue) highWaterMark() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.highWater
 }
 
 // compact reclaims consumed prefix space once it dominates the slice.
@@ -167,6 +304,6 @@ func (q *reqQueue) close() {
 	q.mu.Lock()
 	q.closed = true
 	q.notEmpty.Broadcast()
-	q.notFull.Broadcast()
+	q.wakeSpaceLocked()
 	q.mu.Unlock()
 }

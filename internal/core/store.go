@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"p2kvs/internal/kv"
 )
@@ -53,7 +56,7 @@ func Open(opts Options) (*Store, error) {
 		engine, err := opts.EngineFactory(i, filter)
 		if err != nil {
 			for _, w := range s.workers {
-				w.stop()
+				w.stop(time.Time{})
 			}
 			return nil, err
 		}
@@ -70,26 +73,135 @@ func (s *Store) pick(key []byte) *worker {
 	return s.workers[s.opts.Partitioner.Pick(key)]
 }
 
-func (s *Store) submit(w *worker, r *request) error {
+// ---------------------------------------------------------------------------
+// Request lifecycle: admission control + deadline-aware submission
+// ---------------------------------------------------------------------------
+
+// ctxError maps a context termination into the typed request-lifecycle
+// error. The result matches kv.ErrDeadlineExceeded and the context cause
+// (context.DeadlineExceeded / context.Canceled) under errors.Is.
+func ctxError(cause error) error {
+	if cause == nil {
+		return kv.ErrDeadlineExceeded
+	}
+	return fmt.Errorf("%w: %w", kv.ErrDeadlineExceeded, cause)
+}
+
+// liveCtx normalizes a request context: contexts that can never end
+// (context.Background, context.TODO) are dropped so the context-free hot
+// path stays allocation- and check-free.
+func liveCtx(ctx context.Context) context.Context {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx
+}
+
+// admit runs admission control and enqueues r on w's queue. It is the
+// single gate every request passes: already-expired contexts fail here
+// (the request never enters the queue), a full queue behaves per
+// Options.Admission, and the request carries its context so the worker
+// can shed it if it expires while queued.
+func (s *Store) admit(ctx context.Context, w *worker, r *request) error {
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}
-	r.done = make(chan struct{})
-	if !w.q.push(r) {
-		return kv.ErrClosed
+	ctx = liveCtx(ctx)
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			w.expired.Add(1)
+			return ctxError(err)
+		}
+		r.ctx = ctx
+		done = ctx.Done()
 	}
-	<-r.done
-	return r.err
+	switch s.opts.Admission {
+	case AdmitReject:
+		err := w.q.tryPush(r)
+		if errors.Is(err, kv.ErrOverloaded) {
+			w.rejected.Add(1)
+			err = fmt.Errorf("core: shard %d: %w", w.id, kv.ErrOverloaded)
+		}
+		return err
+	case AdmitWait:
+		if ctx == nil {
+			err := w.q.tryPush(r)
+			if errors.Is(err, kv.ErrOverloaded) {
+				w.rejected.Add(1)
+				err = fmt.Errorf("core: shard %d: bounded wait requires a deadline: %w", w.id, kv.ErrOverloaded)
+			}
+			return err
+		}
+		err := w.q.pushWait(done, r)
+		if errors.Is(err, kv.ErrDeadlineExceeded) {
+			w.expired.Add(1)
+			return ctxError(ctx.Err())
+		}
+		return err
+	default: // AdmitBlock
+		err := w.q.pushWait(done, r)
+		if errors.Is(err, kv.ErrDeadlineExceeded) {
+			w.expired.Add(1)
+			return ctxError(ctx.Err())
+		}
+		return err
+	}
+}
+
+// submitCtx admits r and waits for completion. When the context ends
+// before the worker completes the request, the caller unblocks with
+// kv.ErrDeadlineExceeded and the worker sheds the orphaned request when
+// it reaches it (nobody reads its result).
+func (s *Store) submitCtx(ctx context.Context, w *worker, r *request) error {
+	r.done = make(chan struct{})
+	if err := s.admit(ctx, w, r); err != nil {
+		return err
+	}
+	if r.ctx == nil {
+		<-r.done
+		return r.err
+	}
+	select {
+	case <-r.done:
+		return r.err
+	case <-r.ctx.Done():
+		w.expired.Add(1)
+		return ctxError(r.ctx.Err())
+	}
+}
+
+func (s *Store) submit(w *worker, r *request) error {
+	return s.submitCtx(nil, w, r)
+}
+
+// writeAdmitErr fast-fails writes aimed at a degraded shard, translated
+// per admission policy: AdmitReject reports it as overload (the shard
+// cannot absorb the write now) while still matching kv.ErrDegraded.
+func (s *Store) writeAdmitErr(w *worker) error {
+	err := w.degradedErr()
+	if err != nil && s.opts.Admission == AdmitReject {
+		w.rejected.Add(1)
+		return fmt.Errorf("%w: %w", kv.ErrOverloaded, err)
+	}
+	return err
 }
 
 // Put implements kv.Engine (①②③ in Figure 9b: submit, enqueue, sleep
 // until the worker completes the request).
 func (s *Store) Put(key, value []byte) error {
+	return s.PutCtx(nil, key, value)
+}
+
+// PutCtx is Put bounded by a context: the deadline covers queue admission,
+// queue wait and execution, and an expired request never reaches the
+// engine.
+func (s *Store) PutCtx(ctx context.Context, key, value []byte) error {
 	w := s.pick(key)
-	if err := w.degradedErr(); err != nil {
+	if err := s.writeAdmitErr(w); err != nil {
 		return err
 	}
-	return s.submit(w, &request{
+	return s.submitCtx(ctx, w, &request{
 		typ:   reqWrite,
 		batch: batchRef{ops: []wop{{key: key, value: value}}},
 	})
@@ -97,11 +209,16 @@ func (s *Store) Put(key, value []byte) error {
 
 // Delete implements kv.Engine.
 func (s *Store) Delete(key []byte) error {
+	return s.DeleteCtx(nil, key)
+}
+
+// DeleteCtx is Delete bounded by a context.
+func (s *Store) DeleteCtx(ctx context.Context, key []byte) error {
 	w := s.pick(key)
-	if err := w.degradedErr(); err != nil {
+	if err := s.writeAdmitErr(w); err != nil {
 		return err
 	}
-	return s.submit(w, &request{
+	return s.submitCtx(ctx, w, &request{
 		typ:   reqWrite,
 		batch: batchRef{ops: []wop{{del: true, key: key}}},
 	})
@@ -111,48 +228,51 @@ func (s *Store) Delete(key []byte) error {
 // returns immediately; cb runs on the worker when the write completes.
 // Backpressure applies when the worker queue is full.
 func (s *Store) PutAsync(key, value []byte, cb func(error)) error {
-	if s.closed.Load() {
-		return kv.ErrClosed
-	}
+	return s.PutAsyncCtx(nil, key, value, cb)
+}
+
+// PutAsyncCtx is PutAsync under a context: admission respects the
+// deadline, and a request that expires while queued is shed — cb then
+// receives kv.ErrDeadlineExceeded.
+func (s *Store) PutAsyncCtx(ctx context.Context, key, value []byte, cb func(error)) error {
 	w := s.pick(key)
-	if err := w.degradedErr(); err != nil {
+	if err := s.writeAdmitErr(w); err != nil {
 		return err
 	}
-	r := &request{
+	return s.admit(ctx, w, &request{
 		typ:      reqWrite,
 		batch:    batchRef{ops: []wop{{key: key, value: value}}},
 		callback: cb,
-	}
-	if !w.q.push(r) {
-		return kv.ErrClosed
-	}
-	return nil
+	})
 }
 
 // DeleteAsync is the asynchronous deletion interface.
 func (s *Store) DeleteAsync(key []byte, cb func(error)) error {
-	if s.closed.Load() {
-		return kv.ErrClosed
-	}
+	return s.DeleteAsyncCtx(nil, key, cb)
+}
+
+// DeleteAsyncCtx is DeleteAsync under a context.
+func (s *Store) DeleteAsyncCtx(ctx context.Context, key []byte, cb func(error)) error {
 	w := s.pick(key)
-	if err := w.degradedErr(); err != nil {
+	if err := s.writeAdmitErr(w); err != nil {
 		return err
 	}
-	r := &request{
+	return s.admit(ctx, w, &request{
 		typ:      reqWrite,
 		batch:    batchRef{ops: []wop{{del: true, key: key}}},
 		callback: cb,
-	}
-	if !w.q.push(r) {
-		return kv.ErrClosed
-	}
-	return nil
+	})
 }
 
 // Get implements kv.Engine.
 func (s *Store) Get(key []byte) ([]byte, error) {
+	return s.GetCtx(nil, key)
+}
+
+// GetCtx is Get bounded by a context.
+func (s *Store) GetCtx(ctx context.Context, key []byte) ([]byte, error) {
 	r := &request{typ: reqRead, key: key}
-	if err := s.submit(s.pick(key), r); err != nil {
+	if err := s.submitCtx(ctx, s.pick(key), r); err != nil {
 		return nil, err
 	}
 	if !r.found {
@@ -164,9 +284,11 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 // GetAsync is the asynchronous read interface; cb receives the value (nil
 // when absent along with kv.ErrNotFound).
 func (s *Store) GetAsync(key []byte, cb func([]byte, error)) error {
-	if s.closed.Load() {
-		return kv.ErrClosed
-	}
+	return s.GetAsyncCtx(nil, key, cb)
+}
+
+// GetAsyncCtx is GetAsync under a context.
+func (s *Store) GetAsyncCtx(ctx context.Context, key []byte, cb func([]byte, error)) error {
 	r := &request{typ: reqRead, key: key}
 	r.callback = func(err error) {
 		if err != nil {
@@ -179,10 +301,7 @@ func (s *Store) GetAsync(key []byte, cb func([]byte, error)) error {
 		}
 		cb(r.val, nil)
 	}
-	if !s.pick(key).q.push(r) {
-		return kv.ErrClosed
-	}
-	return nil
+	return s.admit(ctx, s.pick(key), r)
 }
 
 // MultiGet resolves several keys in one call: keys are grouped per
@@ -192,6 +311,12 @@ func (s *Store) GetAsync(key []byte, cb func([]byte, error)) error {
 // caller with a natural read batch gets the Figure 10b path
 // deterministically instead of opportunistically.
 func (s *Store) MultiGet(keys [][]byte) ([][]byte, error) {
+	return s.MultiGetCtx(nil, keys)
+}
+
+// MultiGetCtx is MultiGet bounded by one shared context: every per-worker
+// read leg carries the same deadline.
+func (s *Store) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error) {
 	if s.closed.Load() {
 		return nil, kv.ErrClosed
 	}
@@ -214,11 +339,15 @@ func (s *Store) MultiGet(keys [][]byte) ([][]byte, error) {
 			}
 			wg.Done()
 		}
-		if !s.pick(k).q.push(r) {
-			r.callback(kv.ErrClosed)
+		if err := s.admit(ctx, s.pick(k), r); err != nil {
+			r.callback(err)
 		}
 	}
-	wg.Wait()
+	if err := waitCtx(liveCtx(ctx), &wg); err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -230,16 +359,30 @@ func (s *Store) MultiGet(keys [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
-// Write implements kv.BatchWriter. A batch confined to one partition
-// commits directly on that instance. A batch spanning partitions becomes
-// a GSN transaction (§4.5): begin is persisted, the split WriteBatches
-// carry the same GSN into each instance's WAL and are excluded from OBM
-// merging, and commit is persisted once every instance acknowledges. A
-// crash between begin and commit rolls the pieces back at recovery.
-func (s *Store) Write(b *kv.Batch) error {
-	if b.Len() == 0 {
+// waitCtx waits for wg, bounded by ctx (already normalized via liveCtx;
+// nil waits forever). An early ctx return leaves the stragglers to the
+// workers — they shed or complete orphaned legs whose results nobody
+// reads.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) error {
+	if ctx == nil {
+		wg.Wait()
 		return nil
 	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	}
+}
+
+// splitByWorker partitions a user batch into per-worker sub-batches.
+func (s *Store) splitByWorker(b *kv.Batch) map[*worker]*batchRef {
 	subs := make(map[*worker]*batchRef)
 	for _, op := range b.Ops() {
 		w := s.pick(op.Key)
@@ -250,15 +393,38 @@ func (s *Store) Write(b *kv.Batch) error {
 		}
 		ref.ops = append(ref.ops, wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value})
 	}
+	return subs
+}
+
+// Write implements kv.BatchWriter. A batch confined to one partition
+// commits directly on that instance. A batch spanning partitions becomes
+// a GSN transaction (§4.5): begin is persisted, the split WriteBatches
+// carry the same GSN into each instance's WAL and are excluded from OBM
+// merging, and commit is persisted once every instance acknowledges. A
+// crash between begin and commit rolls the pieces back at recovery.
+func (s *Store) Write(b *kv.Batch) error {
+	return s.WriteCtx(nil, b)
+}
+
+// WriteCtx is Write bounded by one context shared by every transaction
+// leg: either all legs are admitted under the same deadline or the batch
+// fails before the transaction begins; a deadline that fires mid-flight
+// leaves the transaction uncommitted, and recovery rolls it back exactly
+// like any other failed leg.
+func (s *Store) WriteCtx(ctx context.Context, b *kv.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	subs := s.splitByWorker(b)
 	if len(subs) == 1 {
 		for w, ref := range subs {
-			if err := w.degradedErr(); err != nil {
+			if err := s.writeAdmitErr(w); err != nil {
 				return err
 			}
-			return s.submit(w, &request{typ: reqWrite, batch: *ref})
+			return s.submitCtx(ctx, w, &request{typ: reqWrite, batch: *ref})
 		}
 	}
-	commit, err := s.writePrepared(subs)
+	commit, err := s.writePrepared(ctx, subs)
 	if err != nil {
 		return err
 	}
@@ -275,29 +441,25 @@ func (s *Store) WritePrepared(b *kv.Batch) (commit func() error, err error) {
 	if b.Len() == 0 {
 		return func() error { return nil }, nil
 	}
-	subs := make(map[*worker]*batchRef)
-	for _, op := range b.Ops() {
-		w := s.pick(op.Key)
-		ref := subs[w]
-		if ref == nil {
-			ref = &batchRef{}
-			subs[w] = ref
-		}
-		ref.ops = append(ref.ops, wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value})
-	}
-	return s.writePrepared(subs)
+	return s.writePrepared(nil, s.splitByWorker(b))
 }
 
-func (s *Store) writePrepared(subs map[*worker]*batchRef) (commit func() error, err error) {
+func (s *Store) writePrepared(ctx context.Context, subs map[*worker]*batchRef) (commit func() error, err error) {
 	if s.txn == nil {
 		return nil, errors.New("core: cross-partition batch requires Options.TxnFS for atomicity")
 	}
+	ctx = liveCtx(ctx)
 	// Fail fast before persisting the transaction begin: a degraded shard
-	// cannot apply its piece, so the whole transaction would only be
-	// rolled back at recovery anyway.
+	// cannot apply its piece (and an already-dead context never will), so
+	// the whole transaction would only be rolled back at recovery anyway.
 	for w := range subs {
-		if err := w.degradedErr(); err != nil {
+		if err := s.writeAdmitErr(w); err != nil {
 			return nil, err
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err)
 		}
 	}
 	gsn := s.gsn.Add(1)
@@ -316,14 +478,21 @@ func (s *Store) writePrepared(subs map[*worker]*batchRef) (commit func() error, 
 			wg.Done()
 		}
 		wg.Add(1)
-		if !w.q.push(r) {
+		// Every leg shares ctx, so all legs observe one deadline.
+		if err := s.admit(ctx, w, r); err != nil {
 			wg.Done()
 			mu.Lock()
-			errs = append(errs, kv.ErrClosed)
+			errs = append(errs, err)
 			mu.Unlock()
 		}
 	}
-	wg.Wait()
+	if err := waitCtx(ctx, &wg); err != nil {
+		// Deadline fired mid-transaction: leave it uncommitted, recovery
+		// rolls every applied leg back.
+		return nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
 	for _, err := range errs {
 		if err != nil {
 			// Leave the transaction uncommitted: recovery rolls it back
@@ -348,6 +517,11 @@ type Pair struct {
 // forked into per-instance sub-RANGEs executed in parallel and merged —
 // no extra reads, since partitions are disjoint.
 func (s *Store) Range(begin, end []byte) ([]Pair, error) {
+	return s.RangeCtx(nil, begin, end)
+}
+
+// RangeCtx is Range bounded by one context shared by every sub-RANGE leg.
+func (s *Store) RangeCtx(ctx context.Context, begin, end []byte) ([]Pair, error) {
 	legs := make([]*request, len(s.workers))
 	var wg sync.WaitGroup
 	for i, w := range s.workers {
@@ -355,7 +529,7 @@ func (s *Store) Range(begin, end []byte) ([]Pair, error) {
 		wg.Add(1)
 		go func(w *worker, r *request) {
 			defer wg.Done()
-			r.err = s.submit(w, r)
+			r.err = s.submitCtx(ctx, w, r)
 		}(w, legs[i])
 	}
 	wg.Wait()
@@ -377,6 +551,11 @@ func (s *Store) Range(begin, end []byte) ([]Pair, error) {
 // for parallelism, §4.4); under ScanMerged a global merged iterator reads
 // exactly n pairs serially.
 func (s *Store) Scan(start []byte, n int) ([]Pair, error) {
+	return s.ScanCtx(nil, start, n)
+}
+
+// ScanCtx is Scan bounded by one context shared by every scan leg.
+func (s *Store) ScanCtx(ctx context.Context, start []byte, n int) ([]Pair, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -390,7 +569,7 @@ func (s *Store) Scan(start []byte, n int) ([]Pair, error) {
 		wg.Add(1)
 		go func(w *worker, r *request) {
 			defer wg.Done()
-			r.err = s.submit(w, r)
+			r.err = s.submitCtx(ctx, w, r)
 		}(w, legs[i])
 	}
 	wg.Wait()
@@ -512,13 +691,22 @@ func (s *Store) Resume() error {
 // instances and the transaction log. A crash of any worker engine close
 // is reported but the remaining workers still close (§4.6: a crash of any
 // worker triggers closing the whole system).
+//
+// With Options.DrainTimeout > 0 the drain is bounded by one shared
+// deadline across all workers: requests still queued when it passes
+// complete with kv.ErrClosed instead of Close hanging behind a stalled
+// engine, and the wedge is reported in Close's error.
 func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	var deadline time.Time
+	if s.opts.DrainTimeout > 0 {
+		deadline = time.Now().Add(s.opts.DrainTimeout)
+	}
 	var firstErr error
 	for _, w := range s.workers {
-		if err := w.stop(); err != nil && firstErr == nil {
+		if err := w.stop(deadline); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

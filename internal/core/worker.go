@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,6 +40,15 @@ type worker struct {
 	batches     atomic.Int64
 	batchedOps  atomic.Int64
 	queueWaitNs atomic.Int64
+
+	// Overload / lifecycle stats. rejected counts admission-control
+	// rejections (ErrOverloaded), expired counts requests whose context
+	// ended before or while being submitted (caller-visible deadline
+	// failures), shed counts requests discarded at dequeue or drain
+	// without touching the engine.
+	rejected atomic.Int64
+	expired  atomic.Int64
+	shed     atomic.Int64
 }
 
 func newWorker(id int, engine kv.Engine, opts Options) *worker {
@@ -74,7 +84,7 @@ func (w *worker) degradedErr() error {
 }
 
 func workerName(id int) string {
-	return "p2kvs-w" + string(rune('0'+id/10)) + string(rune('0'+id%10))
+	return fmt.Sprintf("p2kvs-w%02d", id)
 }
 
 func (w *worker) start() {
@@ -91,8 +101,15 @@ func (w *worker) loop() {
 		defer runtime.UnlockOSThread()
 	}
 	for {
-		reqs := w.q.popBatch(w.obm, w.max)
+		reqs, expired := w.q.popBatch(w.obm, w.max)
+		for _, r := range expired {
+			w.shed.Add(1)
+			r.complete(ctxError(r.ctx.Err()))
+		}
 		if reqs == nil {
+			if len(expired) > 0 {
+				continue // only dead work was pending
+			}
 			return
 		}
 		if w.meter != nil {
@@ -244,7 +261,7 @@ func (w *worker) executeScan(r *request) {
 		it.Seek(r.scanStart)
 	}
 	for ; it.Valid() && len(r.scanOut) < r.scanLimit; it.Next() {
-		if r.scanEnd != nil && string(it.Key()) > string(r.scanEnd) {
+		if r.scanEnd != nil && bytes.Compare(it.Key(), r.scanEnd) > 0 {
 			break
 		}
 		k := append([]byte(nil), it.Key()...)
@@ -254,11 +271,41 @@ func (w *worker) executeScan(r *request) {
 	r.complete(it.Error())
 }
 
-// stop drains and joins the worker, then closes its engine.
-func (w *worker) stop() error {
+// stop drains and joins the worker, then closes its engine. A non-zero
+// deadline bounds the drain: if the worker has not finished by then
+// (typically wedged inside a stalled engine call), every still-queued
+// request is failed with kv.ErrClosed so its submitter unblocks, the
+// engine is closed asynchronously once the worker finally returns, and
+// stop reports the wedge instead of hanging.
+func (w *worker) stop(deadline time.Time) error {
 	w.q.close()
-	w.wg.Wait()
-	return w.engine.Close()
+	if deadline.IsZero() {
+		w.wg.Wait()
+		return w.engine.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-done:
+		return w.engine.Close()
+	case <-timer.C:
+	}
+	dropped := w.q.drain()
+	for _, r := range dropped {
+		w.shed.Add(1)
+		r.complete(fmt.Errorf("core: worker %d: store closing: %w", w.id, kv.ErrClosed))
+	}
+	go func() {
+		<-done
+		_ = w.engine.Close()
+	}()
+	return fmt.Errorf("core: worker %d: drain deadline exceeded; %d queued requests failed: %w",
+		w.id, len(dropped), kv.ErrClosed)
 }
 
 // WorkerStats summarizes one worker's activity.
@@ -268,6 +315,17 @@ type WorkerStats struct {
 	Batches    int64
 	BatchedOps int64 // ops that traveled in a batch of >= 2
 	QueueWait  time.Duration
+	// Rejected counts requests bounced by admission control with
+	// kv.ErrOverloaded (AdmitReject / AdmitWait on a full queue).
+	Rejected int64
+	// Expired counts requests whose context ended before execution, as
+	// observed by their submitters (kv.ErrDeadlineExceeded).
+	Expired int64
+	// Shed counts requests discarded by the worker at dequeue or drain —
+	// dead work that never touched the engine.
+	Shed int64
+	// QueueHighWater is the deepest this worker's queue has ever been.
+	QueueHighWater int
 	// Health is the engine's background-error report; zero-valued
 	// (StateHealthy) for engines without health reporting.
 	Health kv.Health
@@ -275,11 +333,15 @@ type WorkerStats struct {
 
 func (w *worker) stats() WorkerStats {
 	st := WorkerStats{
-		ID:         w.id,
-		Ops:        w.ops.Load(),
-		Batches:    w.batches.Load(),
-		BatchedOps: w.batchedOps.Load(),
-		QueueWait:  time.Duration(w.queueWaitNs.Load()),
+		ID:             w.id,
+		Ops:            w.ops.Load(),
+		Batches:        w.batches.Load(),
+		BatchedOps:     w.batchedOps.Load(),
+		QueueWait:      time.Duration(w.queueWaitNs.Load()),
+		Rejected:       w.rejected.Load(),
+		Expired:        w.expired.Load(),
+		Shed:           w.shed.Load(),
+		QueueHighWater: w.q.highWaterMark(),
 	}
 	if w.hr != nil {
 		st.Health = w.hr.Health()

@@ -25,6 +25,20 @@ var ErrClosed = errors.New("kv: engine closed")
 // Resumer engine to re-attempt recovery.
 var ErrDegraded = errors.New("kv: engine degraded to read-only")
 
+// ErrOverloaded is returned by admission control when a request cannot be
+// accepted without unbounded waiting — the target shard's queue is full
+// (or the shard is degraded) under a fail-fast admission policy. The
+// request was NOT enqueued; retrying after backoff is safe.
+var ErrOverloaded = errors.New("kv: shard overloaded")
+
+// ErrDeadlineExceeded is returned when a request's context expires or is
+// canceled before the request reaches the engine: at submission, while
+// waiting for queue space, or when the worker sheds it at dequeue. The
+// operation was never applied; retrying with a fresh deadline is safe.
+// Errors wrap the context cause, so errors.Is also matches
+// context.DeadlineExceeded / context.Canceled as appropriate.
+var ErrDeadlineExceeded = errors.New("kv: request deadline exceeded")
+
 // HealthState is the background-error state of an engine.
 type HealthState int32
 

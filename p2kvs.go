@@ -48,10 +48,42 @@ type (
 	Pair = core.Pair
 	// WorkerStats summarizes one worker's activity.
 	WorkerStats = core.WorkerStats
+	// AdmissionPolicy selects the overload behaviour of request
+	// submission (see the AdmitBlock/AdmitReject/AdmitWait constants).
+	AdmissionPolicy = core.AdmissionPolicy
+)
+
+// Admission policies (re-exported from core).
+const (
+	// AdmitBlock blocks submitters on a full shard queue (default).
+	AdmitBlock = core.AdmitBlock
+	// AdmitReject fails fast with ErrOverloaded on a full or degraded
+	// shard.
+	AdmitReject = core.AdmitReject
+	// AdmitWait waits for queue space only within the request's
+	// remaining deadline budget.
+	AdmitWait = core.AdmitWait
 )
 
 // ErrNotFound is returned by Get when a key does not exist.
 var ErrNotFound = kv.ErrNotFound
+
+// ErrClosed is returned by operations on a closed store, and delivered to
+// requests still queued when a drain-deadline Close fails them.
+var ErrClosed = kv.ErrClosed
+
+// ErrDegraded is returned by writes aimed at a shard whose engine is in
+// read-only degraded mode; see Store.Resume. Retryable after Resume.
+var ErrDegraded = kv.ErrDegraded
+
+// ErrOverloaded is returned by admission control when a shard cannot
+// accept a request without unbounded waiting (AdmitReject / AdmitWait).
+// The request was not enqueued; retrying after backoff is safe.
+var ErrOverloaded = kv.ErrOverloaded
+
+// ErrDeadlineExceeded is returned when a request's context ends before
+// the request reaches the engine; the operation was never applied.
+var ErrDeadlineExceeded = kv.ErrDeadlineExceeded
 
 // EngineKind selects the per-worker storage engine.
 type EngineKind string
@@ -96,6 +128,18 @@ type Options struct {
 	DisableOBM bool
 	// MaxBatch bounds OBM batch size (default 32).
 	MaxBatch int
+	// QueueDepth bounds each worker's request queue (default 4096);
+	// admission control triggers when a shard's queue is full.
+	QueueDepth int
+	// Admission selects the overload behaviour of request submission:
+	// AdmitBlock (default, blocking backpressure), AdmitReject
+	// (fail fast with ErrOverloaded) or AdmitWait (wait only within the
+	// request deadline).
+	Admission AdmissionPolicy
+	// DrainTimeout bounds Close's drain: queued requests still pending
+	// when it passes complete with ErrClosed instead of Close hanging
+	// behind a stalled engine. Zero waits forever (default).
+	DrainTimeout time.Duration
 	// PinWorkers locks worker goroutines to OS threads.
 	PinWorkers bool
 	// SyncWAL makes per-commit durability synchronous on engines with a
@@ -157,6 +201,11 @@ func Open(opts Options) (*Store, error) {
 		copts.MaxBatch = opts.MaxBatch
 	}
 	copts.PinWorkers = opts.PinWorkers
+	if opts.QueueDepth > 0 {
+		copts.QueueDepth = opts.QueueDepth
+	}
+	copts.Admission = opts.Admission
+	copts.DrainTimeout = opts.DrainTimeout
 	copts.TxnFS = fs
 	copts.TxnDir = opts.Dir + "/txn"
 	if opts.MergedScan {

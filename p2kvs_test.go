@@ -1,8 +1,11 @@
 package p2kvs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestFacadeAllEngines(t *testing.T) {
@@ -67,6 +70,52 @@ func TestFacadeSimulatedDevice(t *testing.T) {
 	}
 	if v, err := s.Get([]byte("k")); err != nil || string(v) != "v" {
 		t.Fatalf("Get = %q %v", v, err)
+	}
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	s, err := Open(Options{
+		Dir: "db", Workers: 2, InMemory: true,
+		QueueDepth:   8,
+		Admission:    AdmitReject,
+		DrainTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	if err := s.PutCtx(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.GetCtx(ctx, []byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("GetCtx = %q %v", v, err)
+	}
+	if _, err := s.GetCtx(ctx, []byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss err = %v", err)
+	}
+
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.PutCtx(dead, []byte("late"), []byte("v")); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx err = %v, want ErrDeadlineExceeded", err)
+	}
+	if _, err := s.GetCtx(dead, []byte("k")); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx err = %v, want ErrDeadlineExceeded", err)
+	}
+	if v, err := s.Get([]byte("late")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired Put must not apply; Get = %q %v", v, err)
+	}
+
+	found := false
+	for _, ws := range s.Stats() {
+		if ws.Expired > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Stats() shows no Expired counts after expired-ctx requests")
 	}
 }
 
