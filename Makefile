@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short ci clean
+.PHONY: build test test-race vet fuzz-short torture-short serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -24,12 +25,26 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzBuilderRoundTrip -fuzztime=$(FUZZTIME) ./internal/block
 	$(GO) test -fuzz=FuzzDecodeBatchPayload -fuzztime=$(FUZZTIME) ./internal/lsm
 	$(GO) test -fuzz=FuzzBatchPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/lsm
+	$(GO) test -fuzz=FuzzRESPParse -fuzztime=$(FUZZTIME) ./internal/server
 
 # Short overload + torture pass: the fault-injection torture run (one
 # seed, reduced ops under -short) plus the accessing layer's admission /
 # deadline / drain lifecycle tests, all race-enabled and time-bounded.
 torture-short:
 	$(GO) test -race -short -timeout 5m -run 'Torture|Admit|Expired|Deadline|Drain|Close|Queue' ./internal/torture ./internal/core
+
+# Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
+serve:
+	$(GO) run ./cmd/p2kvs-server -addr $(SERVE_ADDR) -inmemory -workers 8
+
+# Drive a running server with the pipelined load generator.
+netbench:
+	$(GO) run ./cmd/netbench -addr $(SERVE_ADDR) -conns 8 -pipeline 16 -num 20000
+
+# End-to-end smoke: boot the server, run netbench against it, verify the
+# pipelined ops reached the engines as batches, SIGTERM, assert clean drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 ci: vet build test-race
 

@@ -45,6 +45,7 @@ func main() {
 		admission  = flag.String("admission", "block", "admission policy: block, reject, wait")
 		opDeadline = flag.Duration("op_deadline", 0, "per-op deadline (0 = none); rejected/expired ops are counted, not fatal")
 		queueDepth = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
+		statsJSON  = flag.Bool("stats_json", false, "print the store's StatsJSON document after the run")
 	)
 	flag.Parse()
 
@@ -85,6 +86,11 @@ func main() {
 	fmt.Printf("engine=%s p2=%v workers=%d threads=%d num=%d value=%dB device=%q\n",
 		*engine, *p2, w, *threads, *num, *valueSize, *dev)
 	loaded := false
+	type namedSummary struct {
+		name string
+		sum  histogram.Summary
+	}
+	var latencies []namedSummary
 	for _, name := range strings.Split(*benchmarks, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -99,10 +105,23 @@ func main() {
 		if name == "fillseq" || name == "fillrandom" {
 			loaded = true
 		}
-		runOne(store, name, *num, *valueSize, *threads, *scanSize, *opDeadline, true)
+		h := runOne(store, name, *num, *valueSize, *threads, *scanSize, *opDeadline, true)
+		latencies = append(latencies, namedSummary{name, h.Summary()})
 	}
 	reportRobustness(store)
 	reportOverload(store)
+	for _, ls := range latencies {
+		fmt.Printf("latency %-12s: p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus (n=%d)\n",
+			ls.name, ls.sum.P50Us, ls.sum.P95Us, ls.sum.P99Us, ls.sum.MaxUs, ls.sum.Count)
+	}
+	if *statsJSON {
+		raw, err := store.StatsJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	}
 }
 
 // reportOverload prints the request-lifecycle summary: admission
@@ -164,7 +183,7 @@ func reportRobustness(store *p2kvs.Store) {
 	}
 }
 
-func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, opDeadline time.Duration, report bool) {
+func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize int, opDeadline time.Duration, report bool) *histogram.H {
 	var h histogram.H
 	perThread := num / threads
 	if perThread < 1 {
@@ -191,7 +210,7 @@ func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize i
 	default:
 	}
 	if !report {
-		return
+		return &h
 	}
 	elapsed := time.Since(start)
 	ops := perThread * threads
@@ -203,6 +222,7 @@ func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize i
 		line += fmt.Sprintf("; %d dropped (overload/deadline)", d)
 	}
 	fmt.Println(line)
+	return &h
 }
 
 func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, scanSize int, opDeadline time.Duration, h *histogram.H, dropped *atomic.Int64) error {

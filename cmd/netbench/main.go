@@ -1,0 +1,241 @@
+// Command netbench is a concurrent RESP load generator for p2kvs-server:
+// N connections × a configurable pipeline depth, uniform / zipfian /
+// sequential key choice, SET / GET / mixed phases. It reports throughput
+// and pipeline round-trip latency quantiles, plus the server-side
+// coalescing counters pulled from INFO — the observable proof that
+// pipelined runs reached the engine as WriteBatch / multiget calls.
+//
+// Example:
+//
+//	netbench -addr 127.0.0.1:6380 -conns 8 -pipeline 16 -num 200000 \
+//	         -benchmarks set,get,mixed -dist zipfian
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2kvs/internal/histogram"
+	"p2kvs/internal/server"
+	"p2kvs/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:6380", "server address")
+		conns      = flag.Int("conns", 8, "concurrent client connections")
+		pipeline   = flag.Int("pipeline", 16, "commands per pipeline window")
+		num        = flag.Int("num", 100000, "operations per benchmark phase")
+		valueSize  = flag.Int("value_size", 128, "value size in bytes")
+		keys       = flag.Int("keys", 0, "keyspace size (0 = num)")
+		dist       = flag.String("dist", "uniform", "key distribution: uniform, zipfian, seq")
+		benchmarks = flag.String("benchmarks", "set,get", "comma-separated phases: set, get, mixed")
+		getRatio   = flag.Float64("get_ratio", 0.9, "GET fraction for the mixed phase")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+	if *keys <= 0 {
+		*keys = *num
+	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+
+	fmt.Printf("netbench: addr=%s conns=%d pipeline=%d num=%d value=%dB dist=%s\n",
+		*addr, *conns, *pipeline, *num, *valueSize, *dist)
+
+	loaded := false
+	for _, phase := range strings.Split(*benchmarks, ",") {
+		phase = strings.TrimSpace(phase)
+		if phase == "" {
+			continue
+		}
+		if (phase == "get" || phase == "mixed") && !loaded {
+			fmt.Fprintf(os.Stderr, "(implicit set phase to populate %d keys)\n", *keys)
+			runPhase("set", *addr, *conns, *pipeline, *keys, *valueSize, *keys, "seq", *getRatio, *seed, false)
+			loaded = true
+		}
+		if phase == "set" {
+			loaded = true
+		}
+		runPhase(phase, *addr, *conns, *pipeline, *num, *valueSize, *keys, *dist, *getRatio, *seed, true)
+	}
+	reportServerCounters(*addr)
+}
+
+// chooser builds the per-connection key chooser.
+func chooser(dist string, n uint64, seed int64) workload.Chooser {
+	switch dist {
+	case "uniform":
+		return workload.NewUniform(n, seed)
+	case "zipfian":
+		return workload.NewZipfian(n, seed)
+	case "seq":
+		return workload.NewSequential(n)
+	default:
+		fmt.Fprintf(os.Stderr, "netbench: unknown distribution %q\n", dist)
+		os.Exit(2)
+		return nil
+	}
+}
+
+type phaseResult struct {
+	ops      atomic.Int64
+	loadshed atomic.Int64
+	timeouts atomic.Int64
+	errors   atomic.Int64
+	hits     atomic.Int64
+	rtt      histogram.H
+}
+
+func runPhase(phase, addr string, conns, pipeline, num, valueSize, keyspace int, dist string, getRatio float64, seed int64, report bool) {
+	if phase != "set" && phase != "get" && phase != "mixed" {
+		fmt.Fprintf(os.Stderr, "netbench: unknown benchmark %q\n", phase)
+		os.Exit(2)
+	}
+	perConn := num / conns
+	if perConn < 1 {
+		perConn = 1
+	}
+	var res phaseResult
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := runConn(phase, addr, pipeline, perConn, valueSize, keyspace, dist, getRatio, seed+int64(id), &res); err != nil {
+				errCh <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	default:
+	}
+	if !report {
+		return
+	}
+	ops := res.ops.Load()
+	sum := res.rtt.Summary()
+	line := fmt.Sprintf("%-5s : %8d ops in %6.2fs; %9.0f ops/sec; rtt(depth=%d) p50=%.0fus p95=%.0fus p99=%.0fus",
+		phase, ops, elapsed.Seconds(), float64(ops)/elapsed.Seconds(), pipeline,
+		sum.P50Us, sum.P95Us, sum.P99Us)
+	if phase != "set" {
+		line += fmt.Sprintf("; hits=%d", res.hits.Load())
+	}
+	if ls, to, er := res.loadshed.Load(), res.timeouts.Load(), res.errors.Load(); ls+to+er > 0 {
+		line += fmt.Sprintf("; dropped: %d loadshed, %d timeout, %d error", ls, to, er)
+	}
+	fmt.Println(line)
+}
+
+// runConn drives one connection: windows of `pipeline` commands written
+// back-to-back, one flush, then all replies read in order. The recorded
+// latency is the whole window's round trip.
+func runConn(phase, addr string, pipeline, ops, valueSize, keyspace int, dist string, getRatio float64, seed int64, res *phaseResult) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	rd := server.NewReader(nc)
+	wr := server.NewWriter(nc)
+	ch := chooser(dist, uint64(keyspace), seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	for done := 0; done < ops; {
+		window := pipeline
+		if left := ops - done; left < window {
+			window = left
+		}
+		isGet := make([]bool, window)
+		for i := 0; i < window; i++ {
+			idx := ch.Next()
+			get := phase == "get" || (phase == "mixed" && rng.Float64() < getRatio)
+			isGet[i] = get
+			if get {
+				wr.WriteCommand([]byte("GET"), workload.Key(idx))
+			} else {
+				wr.WriteCommand([]byte("SET"), workload.Key(idx), workload.Value(idx, valueSize))
+			}
+		}
+		start := time.Now()
+		if err := wr.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < window; i++ {
+			rep, err := rd.ReadReply()
+			if err != nil {
+				return err
+			}
+			switch {
+			case rep.IsError():
+				msg := string(rep.Str)
+				switch {
+				case strings.HasPrefix(msg, "LOADSHED"):
+					res.loadshed.Add(1)
+				case strings.HasPrefix(msg, "TIMEOUT"):
+					res.timeouts.Add(1)
+				default:
+					res.errors.Add(1)
+				}
+			case isGet[i] && rep.Kind == '$' && !rep.Nil:
+				res.hits.Add(1)
+			}
+		}
+		res.rtt.Record(time.Since(start))
+		res.ops.Add(int64(window))
+		done += window
+	}
+	return nil
+}
+
+// reportServerCounters pulls INFO and prints the batching counters that
+// prove pipeline coalescing reached the engine's batch paths.
+func reportServerCounters(addr string) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench: info:", err)
+		return
+	}
+	defer nc.Close()
+	rd := server.NewReader(nc)
+	wr := server.NewWriter(nc)
+	wr.WriteCommand([]byte("INFO"))
+	if err := wr.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "netbench: info:", err)
+		return
+	}
+	rep, err := rd.ReadReply()
+	if err != nil || rep.Kind != '$' {
+		fmt.Fprintln(os.Stderr, "netbench: info: bad reply")
+		return
+	}
+	fields := map[string]int64{}
+	for _, line := range strings.Split(string(rep.Str), "\r\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			fields[k] = n
+		}
+	}
+	fmt.Printf("server: coalesced_set_ops=%d coalesced_get_ops=%d store_batch_write_ops=%d store_multiget_ops=%d store_batched_ops=%d\n",
+		fields["coalesced_set_ops"], fields["coalesced_get_ops"],
+		fields["store_batch_write_ops"], fields["store_multiget_ops"], fields["store_batched_ops"])
+}

@@ -1,0 +1,110 @@
+// Command p2kvs-server serves a p2KVS store over the Redis wire protocol
+// (RESP2), so redis-cli and stock Redis clients can drive the accessing
+// layer directly. Pipelined SET/GET runs are coalesced into the store's
+// batch entry points; SIGTERM/SIGINT (or a client SHUTDOWN command)
+// triggers a graceful drain: stop accepting, finish in-flight pipelines,
+// flush every reply, then close the store.
+//
+// Example:
+//
+//	p2kvs-server -addr 127.0.0.1:6380 -dir /tmp/p2kvs -workers 8 \
+//	             -debug_addr 127.0.0.1:6381 -cmd_timeout 2s
+//	redis-cli -p 6380 set hello world
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:6380", "TCP listen address")
+		debugAddr    = flag.String("debug_addr", "", "HTTP debug listen address (/metrics, /debug/pprof); empty disables")
+		dir          = flag.String("dir", "p2kvs-server-db", "data directory")
+		inMemory     = flag.Bool("inmemory", false, "use the in-memory filesystem (data lost on exit)")
+		engine       = flag.String("engine", "rocksdb", "engine: rocksdb, leveldb, pebblesdb, wiredtiger, kvell")
+		workers      = flag.Int("workers", 8, "worker count")
+		admission    = flag.String("admission", "reject", "admission policy: block, reject, wait")
+		queueDepth   = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
+		maxBatch     = flag.Int("max_batch", 0, "OBM batch cap (0 = default 32)")
+		syncWAL      = flag.Bool("sync", false, "fsync per commit")
+		cmdTimeout   = flag.Duration("cmd_timeout", 0, "per-command deadline (0 = none)")
+		maxConns     = flag.Int("max_conns", 1024, "max concurrent client connections")
+		maxPipeline  = flag.Int("max_pipeline", 128, "max pipelined commands coalesced per read window")
+		drainTimeout = flag.Duration("drain_timeout", 30*time.Second, "graceful shutdown bound (connections and store drain)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+
+	var policy p2kvs.AdmissionPolicy
+	switch *admission {
+	case "block":
+		policy = p2kvs.AdmitBlock
+	case "reject":
+		policy = p2kvs.AdmitReject
+	case "wait":
+		policy = p2kvs.AdmitWait
+	default:
+		fmt.Fprintf(os.Stderr, "p2kvs-server: unknown admission policy %q\n", *admission)
+		os.Exit(2)
+	}
+
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:          *dir,
+		Workers:      *workers,
+		Engine:       p2kvs.EngineKind(*engine),
+		InMemory:     *inMemory,
+		SyncWAL:      *syncWAL,
+		Admission:    policy,
+		QueueDepth:   *queueDepth,
+		MaxBatch:     *maxBatch,
+		DrainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		logger.Fatalf("p2kvs-server: open store: %v", err)
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Store:          store,
+		CommandTimeout: *cmdTimeout,
+		MaxConns:       *maxConns,
+		MaxPipeline:    *maxPipeline,
+		DebugAddr:      *debugAddr,
+		Logf:           logger.Printf,
+	})
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("p2kvs-server: received %s, draining", sig)
+	case <-srv.ShutdownSignal():
+		logger.Printf("p2kvs-server: SHUTDOWN command received, draining")
+	case err := <-serveErr:
+		logger.Fatalf("p2kvs-server: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Fatalf("p2kvs-server: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		logger.Fatalf("p2kvs-server: serve: %v", err)
+	}
+	logger.Printf("p2kvs-server: clean shutdown")
+}

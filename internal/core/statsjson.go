@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+
+	"p2kvs/internal/kv"
+)
+
+// WorkerStatsJSON is the stable JSON projection of WorkerStats. Durations
+// become microseconds and the engine health report is flattened to plain
+// strings, so every consumer of store statistics — the network server's
+// INFO and /metrics, dbbench, external scrapers — sees one schema instead
+// of re-inventing ad-hoc formatting.
+type WorkerStatsJSON struct {
+	ID             int    `json:"id"`
+	Ops            int64  `json:"ops"`
+	Batches        int64  `json:"batches"`
+	BatchedOps     int64  `json:"batched_ops"`
+	BatchWriteOps  int64  `json:"batch_write_ops"`
+	MultiGetOps    int64  `json:"multiget_ops"`
+	QueueWaitUs    int64  `json:"queue_wait_us"`
+	Rejected       int64  `json:"rejected"`
+	Expired        int64  `json:"expired"`
+	Shed           int64  `json:"shed"`
+	QueueHighWater int    `json:"queue_high_water"`
+	Health         string `json:"health"`
+	HealthErr      string `json:"health_err,omitempty"`
+	FlushRetries   int64  `json:"flush_retries"`
+	CompactRetries int64  `json:"compact_retries"`
+	InjectedFaults int64  `json:"injected_faults"`
+}
+
+// StatsSnapshot is the JSON view of the whole store: an aggregate over all
+// workers (ID -1, health = worst worker state, queue high-water = max)
+// plus the per-worker breakdown.
+type StatsSnapshot struct {
+	Workers   int               `json:"workers"`
+	Aggregate WorkerStatsJSON   `json:"aggregate"`
+	PerWorker []WorkerStatsJSON `json:"per_worker"`
+}
+
+func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
+	out := WorkerStatsJSON{
+		ID:             ws.ID,
+		Ops:            ws.Ops,
+		Batches:        ws.Batches,
+		BatchedOps:     ws.BatchedOps,
+		BatchWriteOps:  ws.BatchWriteOps,
+		MultiGetOps:    ws.MultiGetOps,
+		QueueWaitUs:    ws.QueueWait.Microseconds(),
+		Rejected:       ws.Rejected,
+		Expired:        ws.Expired,
+		Shed:           ws.Shed,
+		QueueHighWater: ws.QueueHighWater,
+		Health:         ws.Health.State.String(),
+		FlushRetries:   ws.Health.FlushRetries,
+		CompactRetries: ws.Health.CompactRetries,
+		InjectedFaults: ws.Health.InjectedFaults,
+	}
+	if ws.Health.Err != nil {
+		out.HealthErr = ws.Health.Err.Error()
+	}
+	return out
+}
+
+// StatsSnapshot captures Stats() in the stable JSON schema.
+func (s *Store) StatsSnapshot() StatsSnapshot {
+	stats := s.Stats()
+	snap := StatsSnapshot{
+		Workers:   len(stats),
+		PerWorker: make([]WorkerStatsJSON, 0, len(stats)),
+	}
+	agg := WorkerStatsJSON{ID: -1, Health: kv.StateHealthy.String()}
+	worst := kv.StateHealthy
+	for _, ws := range stats {
+		j := workerStatsJSON(ws)
+		snap.PerWorker = append(snap.PerWorker, j)
+		agg.Ops += j.Ops
+		agg.Batches += j.Batches
+		agg.BatchedOps += j.BatchedOps
+		agg.BatchWriteOps += j.BatchWriteOps
+		agg.MultiGetOps += j.MultiGetOps
+		agg.QueueWaitUs += j.QueueWaitUs
+		agg.Rejected += j.Rejected
+		agg.Expired += j.Expired
+		agg.Shed += j.Shed
+		agg.FlushRetries += j.FlushRetries
+		agg.CompactRetries += j.CompactRetries
+		agg.InjectedFaults += j.InjectedFaults
+		if j.QueueHighWater > agg.QueueHighWater {
+			agg.QueueHighWater = j.QueueHighWater
+		}
+		if ws.Health.State > worst {
+			worst = ws.Health.State
+			agg.Health = worst.String()
+			if ws.Health.Err != nil {
+				agg.HealthErr = ws.Health.Err.Error()
+			}
+		}
+	}
+	snap.Aggregate = agg
+	return snap
+}
+
+// StatsJSON renders StatsSnapshot as JSON. The encoding is stable (fixed
+// field set and order), so it is safe to diff across runs and scrape.
+func (s *Store) StatsJSON() ([]byte, error) {
+	return json.Marshal(s.StatsSnapshot())
+}

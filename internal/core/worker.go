@@ -41,6 +41,15 @@ type worker struct {
 	batchedOps  atomic.Int64
 	queueWaitNs atomic.Int64
 
+	// Engine-level batching stats: ops that reached the engine inside a
+	// multi-op WriteBatch (OBM-merged runs and user/network batches) and
+	// keys resolved through the engine's multiget. These are the
+	// observable proof that batched submission — including the network
+	// layer's pipeline coalescing — actually hits the engine's batch
+	// paths rather than degenerating to per-op calls.
+	batchWriteOps atomic.Int64
+	multiGetOps   atomic.Int64
+
 	// Overload / lifecycle stats. rejected counts admission-control
 	// rejections (ErrOverloaded), expired counts requests whose context
 	// ended before or while being submitted (caller-visible deadline
@@ -157,6 +166,9 @@ func (w *worker) executeWrites(reqs []*request) {
 			}
 			appendOps(&b, r)
 		}
+		if b.Len() > 1 {
+			w.batchWriteOps.Add(int64(b.Len()))
+		}
 		var err error
 		if gw, ok := w.engine.(gsnWriter); ok && uniformGSN && gsn != 0 {
 			err = gw.WriteGSN(&b, gsn)
@@ -206,6 +218,7 @@ func (w *worker) executeReads(reqs []*request) {
 		for i, r := range reqs {
 			keys[i] = r.key
 		}
+		w.multiGetOps.Add(int64(len(keys)))
 		vals, err := mg.MultiGet(keys)
 		for i, r := range reqs {
 			if err != nil {
@@ -314,7 +327,14 @@ type WorkerStats struct {
 	Ops        int64
 	Batches    int64
 	BatchedOps int64 // ops that traveled in a batch of >= 2
-	QueueWait  time.Duration
+	// BatchWriteOps counts write ops committed to the engine inside a
+	// multi-op WriteBatch (one journal IO for the whole batch); MultiGetOps
+	// counts keys resolved through the engine's multiget. Both rise when
+	// OBM — or the network layer's pipeline coalescing — succeeds in
+	// batching work before it reaches the engine.
+	BatchWriteOps int64
+	MultiGetOps   int64
+	QueueWait     time.Duration
 	// Rejected counts requests bounced by admission control with
 	// kv.ErrOverloaded (AdmitReject / AdmitWait on a full queue).
 	Rejected int64
@@ -337,6 +357,8 @@ func (w *worker) stats() WorkerStats {
 		Ops:            w.ops.Load(),
 		Batches:        w.batches.Load(),
 		BatchedOps:     w.batchedOps.Load(),
+		BatchWriteOps:  w.batchWriteOps.Load(),
+		MultiGetOps:    w.multiGetOps.Load(),
 		QueueWait:      time.Duration(w.queueWaitNs.Load()),
 		Rejected:       w.rejected.Load(),
 		Expired:        w.expired.Load(),

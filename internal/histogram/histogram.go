@@ -120,6 +120,31 @@ func (h *H) Reset() {
 	h.max.Store(0)
 }
 
+// Summary is a fixed-quantile snapshot of a histogram with a stable JSON
+// encoding, shared by the network server's INFO / /metrics output and the
+// benchmark overload summaries. All durations are microseconds.
+type Summary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Summary captures the histogram's count, mean and p50/p95/p99/max.
+func (h *H) Summary() Summary {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return Summary{
+		Count:  h.Count(),
+		MeanUs: us(h.Mean()),
+		P50Us:  us(h.Quantile(0.50)),
+		P95Us:  us(h.Quantile(0.95)),
+		P99Us:  us(h.Quantile(0.99)),
+		MaxUs:  us(h.Max()),
+	}
+}
+
 // String summarizes the distribution.
 func (h *H) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",

@@ -1,7 +1,9 @@
 package histogram
 
 import (
+	"encoding/json"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -116,5 +118,41 @@ func TestString(t *testing.T) {
 	h.Record(time.Microsecond)
 	if s := h.String(); s == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h H
+	sum := h.Summary()
+	if sum.Count != 0 || sum.MeanUs != 0 || sum.P99Us != 0 || sum.MaxUs != 0 {
+		t.Fatalf("empty summary not zero: %+v", sum)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	sum = h.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("summary count = %d", sum.Count)
+	}
+	if sum.MeanUs < 45 || sum.MeanUs > 56 {
+		t.Fatalf("summary mean = %vus, want ~50.5us", sum.MeanUs)
+	}
+	if sum.P50Us < 40 || sum.P50Us > 62 {
+		t.Fatalf("summary p50 = %vus", sum.P50Us)
+	}
+	if sum.P50Us > sum.P95Us || sum.P95Us > sum.P99Us || sum.P99Us > sum.MaxUs*1.05 {
+		t.Fatalf("summary quantiles not monotonic: %+v", sum)
+	}
+	if sum.MaxUs != 100 {
+		t.Fatalf("summary max = %vus, want 100", sum.MaxUs)
+	}
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"count"`, `"mean_us"`, `"p50_us"`, `"p95_us"`, `"p99_us"`, `"max_us"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("summary JSON missing %s: %s", key, raw)
+		}
 	}
 }

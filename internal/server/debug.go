@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"p2kvs/internal/core"
+	"p2kvs/internal/histogram"
+)
+
+// debugListener is the optional HTTP side-channel: JSON metrics for
+// scrapers, expvar, and pprof for live profiling.
+type debugListener struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// metricsPayload is the /metrics JSON schema.
+type metricsPayload struct {
+	Server   serverMetrics                `json:"server"`
+	Commands map[string]histogram.Summary `json:"commands"`
+	Store    core.StatsSnapshot           `json:"store"`
+}
+
+type serverMetrics struct {
+	UptimeSeconds  int64 `json:"uptime_seconds"`
+	Accepted       int64 `json:"connections_accepted"`
+	Active         int64 `json:"connections_active"`
+	Commands       int64 `json:"commands"`
+	Pipelines      int64 `json:"pipelines"`
+	CoalescedSets  int64 `json:"coalesced_set_ops"`
+	CoalescedGets  int64 `json:"coalesced_get_ops"`
+	Loadshed       int64 `json:"loadshed_replies"`
+	Timeouts       int64 `json:"timeout_replies"`
+	Unknown        int64 `json:"unknown_commands"`
+	ProtocolErrors int64 `json:"protocol_errors"`
+}
+
+func (s *Server) metricsSnapshot() metricsPayload {
+	cmds := make(map[string]histogram.Summary, len(latCommands))
+	for _, name := range latCommands {
+		if sum := s.stats.lat[name].Summary(); sum.Count > 0 {
+			cmds[name] = sum
+		}
+	}
+	return metricsPayload{
+		Server: serverMetrics{
+			UptimeSeconds:  int64(time.Since(s.start).Seconds()),
+			Accepted:       s.stats.accepted.Load(),
+			Active:         s.stats.active.Load(),
+			Commands:       s.stats.commands.Load(),
+			Pipelines:      s.stats.pipelines.Load(),
+			CoalescedSets:  s.stats.coalescedSets.Load(),
+			CoalescedGets:  s.stats.coalescedGets.Load(),
+			Loadshed:       s.stats.loadshed.Load(),
+			Timeouts:       s.stats.timeouts.Load(),
+			Unknown:        s.stats.unknown.Load(),
+			ProtocolErrors: s.stats.protoErrors.Load(),
+		},
+		Commands: cmds,
+		Store:    s.store.StatsSnapshot(),
+	}
+}
+
+func startDebug(s *Server, addr string) (*debugListener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.metricsSnapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &debugListener{lis: lis, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(lis)
+	return d, nil
+}
+
+func (d *debugListener) close() {
+	_ = d.srv.Close()
+}

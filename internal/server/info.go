@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// infoText renders the INFO reply: redis-style "key:value" lines in
+// sections. The store section is the flattened aggregate of
+// Store.StatsSnapshot — the same numbers /metrics serves as JSON.
+func (s *Server) infoText() string {
+	var b strings.Builder
+	snap := s.store.StatsSnapshot()
+
+	fmt.Fprintf(&b, "# Server\r\n")
+	fmt.Fprintf(&b, "uptime_seconds:%d\r\n", int64(time.Since(s.start).Seconds()))
+	if s.lis != nil {
+		fmt.Fprintf(&b, "tcp_addr:%s\r\n", s.lis.Addr())
+	}
+	fmt.Fprintf(&b, "workers:%d\r\n", snap.Workers)
+
+	fmt.Fprintf(&b, "# Clients\r\n")
+	fmt.Fprintf(&b, "connected_clients:%d\r\n", s.stats.active.Load())
+	fmt.Fprintf(&b, "total_connections_received:%d\r\n", s.stats.accepted.Load())
+	fmt.Fprintf(&b, "maxclients:%d\r\n", s.cfg.MaxConns)
+
+	fmt.Fprintf(&b, "# Stats\r\n")
+	fmt.Fprintf(&b, "total_commands_processed:%d\r\n", s.stats.commands.Load())
+	fmt.Fprintf(&b, "pipelines_processed:%d\r\n", s.stats.pipelines.Load())
+	fmt.Fprintf(&b, "coalesced_set_ops:%d\r\n", s.stats.coalescedSets.Load())
+	fmt.Fprintf(&b, "coalesced_get_ops:%d\r\n", s.stats.coalescedGets.Load())
+	fmt.Fprintf(&b, "loadshed_replies:%d\r\n", s.stats.loadshed.Load())
+	fmt.Fprintf(&b, "timeout_replies:%d\r\n", s.stats.timeouts.Load())
+	fmt.Fprintf(&b, "unknown_commands:%d\r\n", s.stats.unknown.Load())
+	fmt.Fprintf(&b, "protocol_errors:%d\r\n", s.stats.protoErrors.Load())
+
+	fmt.Fprintf(&b, "# Commandstats\r\n")
+	for _, name := range latCommands {
+		h := s.stats.lat[name]
+		sum := h.Summary()
+		if sum.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec_mean=%.1f,usec_p50=%.1f,usec_p95=%.1f,usec_p99=%.1f,usec_max=%.1f\r\n",
+			name, sum.Count, sum.MeanUs, sum.P50Us, sum.P95Us, sum.P99Us, sum.MaxUs)
+	}
+
+	fmt.Fprintf(&b, "# Store\r\n")
+	agg := snap.Aggregate
+	fmt.Fprintf(&b, "store_ops:%d\r\n", agg.Ops)
+	fmt.Fprintf(&b, "store_batches:%d\r\n", agg.Batches)
+	fmt.Fprintf(&b, "store_batched_ops:%d\r\n", agg.BatchedOps)
+	fmt.Fprintf(&b, "store_batch_write_ops:%d\r\n", agg.BatchWriteOps)
+	fmt.Fprintf(&b, "store_multiget_ops:%d\r\n", agg.MultiGetOps)
+	fmt.Fprintf(&b, "store_queue_wait_us:%d\r\n", agg.QueueWaitUs)
+	fmt.Fprintf(&b, "store_rejected:%d\r\n", agg.Rejected)
+	fmt.Fprintf(&b, "store_expired:%d\r\n", agg.Expired)
+	fmt.Fprintf(&b, "store_shed:%d\r\n", agg.Shed)
+	fmt.Fprintf(&b, "store_queue_high_water:%d\r\n", agg.QueueHighWater)
+	fmt.Fprintf(&b, "store_health:%s\r\n", agg.Health)
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/server"
+)
+
+// TestRedisCliStyleSession drives a full client session — the command
+// tour redis-cli would make — against a real p2kvs store (8 workers,
+// in-memory FS), exactly as cmd/p2kvs-server wires it, ending with a
+// client-issued SHUTDOWN and a graceful drain.
+func TestRedisCliStyleSession(t *testing.T) {
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:      t.TempDir(),
+		Workers:  8,
+		InMemory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store, CommandTimeout: 5 * time.Second})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+
+	nc, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rd := server.NewReader(nc)
+	wr := server.NewWriter(nc)
+	do := func(args ...string) server.Reply {
+		t.Helper()
+		bs := make([][]byte, len(args))
+		for i, a := range args {
+			bs[i] = []byte(a)
+		}
+		wr.WriteCommand(bs...)
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rd.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	if rep := do("PING"); string(rep.Str) != "PONG" {
+		t.Fatalf("PING: %v", rep)
+	}
+	// COMMAND handshake (redis-cli does this on connect).
+	if rep := do("COMMAND", "DOCS"); rep.Kind != '*' {
+		t.Fatalf("COMMAND: %v", rep)
+	}
+	if rep := do("SET", "user:1", "ada"); string(rep.Str) != "OK" {
+		t.Fatalf("SET: %v", rep)
+	}
+	if rep := do("GET", "user:1"); string(rep.Str) != "ada" {
+		t.Fatalf("GET: %v", rep)
+	}
+	if rep := do("GET", "user:404"); !rep.Nil {
+		t.Fatalf("GET missing: %v", rep)
+	}
+	if rep := do("MSET", "a", "1", "b", "2", "c", "3"); string(rep.Str) != "OK" {
+		t.Fatalf("MSET: %v", rep)
+	}
+	rep := do("MGET", "a", "b", "nope", "c")
+	if len(rep.Elems) != 4 || string(rep.Elems[1].Str) != "2" || !rep.Elems[2].Nil {
+		t.Fatalf("MGET: %v", rep)
+	}
+	if rep := do("DEL", "a", "b"); rep.Int != 2 {
+		t.Fatalf("DEL: %v", rep)
+	}
+	if rep := do("GET", "a"); !rep.Nil {
+		t.Fatalf("GET deleted: %v", rep)
+	}
+
+	// Full SCAN walk returns every live key exactly once.
+	for i := 0; i < 25; i++ {
+		do("SET", fmt.Sprintf("scan:%03d", i), "x")
+	}
+	seen := map[string]int{}
+	cursor := "0"
+	for rounds := 0; ; rounds++ {
+		if rounds > 100 {
+			t.Fatal("SCAN did not terminate")
+		}
+		rep := do("SCAN", cursor, "COUNT", "7")
+		if rep.Kind != '*' || len(rep.Elems) != 2 {
+			t.Fatalf("SCAN reply: %v", rep)
+		}
+		for _, k := range rep.Elems[1].Elems {
+			seen[string(k.Str)]++
+		}
+		cursor = string(rep.Elems[0].Str)
+		if cursor == "0" {
+			break
+		}
+	}
+	for i := 0; i < 25; i++ {
+		k := fmt.Sprintf("scan:%03d", i)
+		if seen[k] != 1 {
+			t.Fatalf("SCAN saw %q %d times", k, seen[k])
+		}
+	}
+
+	// Inline (telnet-style) command on the same connection.
+	if _, err := nc.Write([]byte("PING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := rd.ReadReply(); err != nil || string(rep.Str) != "PONG" {
+		t.Fatalf("inline PING: %v %v", rep, err)
+	}
+
+	info := do("INFO")
+	if info.Kind != '$' {
+		t.Fatalf("INFO: %v", info)
+	}
+	for _, want := range []string{"workers:8", "total_commands_processed:", "coalesced_set_ops:", "store_batch_write_ops:", "cmdstat_get:"} {
+		if !strings.Contains(string(info.Str), want) {
+			t.Fatalf("INFO missing %q in:\n%s", want, info.Str)
+		}
+	}
+
+	if rep := do("BOGUSCMD"); !rep.IsError() || !strings.Contains(string(rep.Str), "unknown command") {
+		t.Fatalf("unknown command: %v", rep)
+	}
+
+	// SHUTDOWN: acknowledged, signal fires, drain completes, Serve
+	// returns nil.
+	if rep := do("SHUTDOWN"); string(rep.Str) != "OK" {
+		t.Fatalf("SHUTDOWN: %v", rep)
+	}
+	select {
+	case <-srv.ShutdownSignal():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SHUTDOWN signal did not fire")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}

@@ -1,0 +1,478 @@
+// Package server is the network serving layer: a RESP2-compatible
+// (Redis wire protocol) TCP server over the p2KVS accessing layer, so
+// stock Redis clients and redis-cli can drive the store. Pipelined
+// client commands are coalesced into the store's batch entry points
+// (WriteCtx / MultiGetCtx), extending the paper's opportunistic batching
+// idea one layer up: a contiguous run of pipelined SETs reaches the
+// engine as a single WriteBatch, and a run of GETs as one multiget.
+//
+// This file implements the wire protocol itself: a command reader
+// (multibulk "*N\r\n$len\r\n..." arrays and inline "SET k v\r\n"
+// commands), a reply writer, and a reply reader used by clients
+// (netbench, tests). The reader is allocation-conscious: one flat buffer
+// holds all argument bytes of a command and the args slice is reused
+// across calls when the caller permits.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Protocol limits. Oversized frames fail with a ProtocolError instead of
+// unbounded allocation, mirroring Redis' proto-max-bulk-len defence.
+const (
+	// MaxInlineLength bounds one inline command line.
+	MaxInlineLength = 64 << 10
+	// MaxBulkLength bounds one bulk-string argument.
+	MaxBulkLength = 64 << 20
+	// MaxCommandArgs bounds the element count of a multibulk command.
+	MaxCommandArgs = 128 << 10
+	// maxReplyDepth bounds nested arrays when parsing replies.
+	maxReplyDepth = 16
+)
+
+// ProtocolError is a malformed-frame error; the server reports it to the
+// client as "-ERR Protocol error: ..." and closes the connection.
+type ProtocolError string
+
+func (e ProtocolError) Error() string { return string(e) }
+
+func protoErrf(format string, args ...any) ProtocolError {
+	return ProtocolError(fmt.Sprintf(format, args...))
+}
+
+// Reader parses RESP frames from a stream.
+type Reader struct {
+	br *bufio.Reader
+	// line is the scratch buffer for header lines and inline commands.
+	line []byte
+}
+
+// NewReader wraps r in a RESP reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// Buffered reports the bytes already received but not yet parsed — the
+// signal the server uses to keep draining a client's pipeline before
+// flushing replies.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// readLine reads one CRLF-terminated line (a lone LF is tolerated for
+// inline/telnet use) into the scratch buffer, excluding the terminator.
+func (r *Reader) readLine(limit int) ([]byte, error) {
+	r.line = r.line[:0]
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b == '\n' {
+			line := r.line
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			return line, nil
+		}
+		if len(r.line) >= limit {
+			return nil, protoErrf("too big inline request or header line")
+		}
+		r.line = append(r.line, b)
+	}
+}
+
+// parseInt parses a decimal integer (with optional leading '-') without
+// allocating. It rejects empty input, junk and overflow.
+func parseInt(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, protoErrf("invalid integer")
+	}
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, protoErrf("invalid integer")
+		}
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, protoErrf("invalid integer")
+		}
+		d := int64(c - '0')
+		if n > (1<<63-1-d)/10 {
+			return 0, protoErrf("integer overflow")
+		}
+		n = n*10 + d
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// readBulkBody reads n payload bytes plus the trailing CRLF into dst
+// (grown as needed) and returns the payload slice.
+func (r *Reader) readBulkBody(dst []byte, n int) ([]byte, error) {
+	need := n + 2
+	if cap(dst) < len(dst)+need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	body := dst[len(dst) : len(dst)+need]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, err
+	}
+	if body[n] != '\r' || body[n+1] != '\n' {
+		return nil, protoErrf("bulk string not terminated by CRLF")
+	}
+	return dst[:len(dst)+n], nil
+}
+
+// ReadCommand reads one client command: either a multibulk array of bulk
+// strings or an inline (space-separated) line. Empty frames (bare
+// newlines, "*0") are skipped, like Redis. The returned argument slices
+// are freshly allocated and owned by the caller.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		first, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if first != '*' {
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			args, err := r.readInline()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue // empty line: ignore, per inline protocol
+			}
+			return args, nil
+		}
+		header, err := r.readLine(MaxInlineLength)
+		if err != nil {
+			return nil, err
+		}
+		n, err := parseInt(header)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > MaxCommandArgs {
+			return nil, protoErrf("invalid multibulk length %d", n)
+		}
+		if n == 0 {
+			continue
+		}
+		args := make([][]byte, 0, n)
+		// One contiguous buffer holds every argument's bytes; args
+		// subslice it. Bounds recorded first, then re-sliced, because
+		// the buffer may be reallocated while growing.
+		var buf []byte
+		bounds := make([][2]int, 0, n)
+		for i := int64(0); i < n; i++ {
+			prefix, err := r.br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if prefix != '$' {
+				return nil, protoErrf("expected '$', got %q", prefix)
+			}
+			header, err := r.readLine(MaxInlineLength)
+			if err != nil {
+				return nil, err
+			}
+			sz, err := parseInt(header)
+			if err != nil {
+				return nil, err
+			}
+			if sz < 0 || sz > MaxBulkLength {
+				return nil, protoErrf("invalid bulk length %d", sz)
+			}
+			start := len(buf)
+			buf, err = r.readBulkBody(buf, int(sz))
+			if err != nil {
+				return nil, err
+			}
+			bounds = append(bounds, [2]int{start, len(buf)})
+		}
+		for _, b := range bounds {
+			args = append(args, buf[b[0]:b[1]:b[1]])
+		}
+		return args, nil
+	}
+}
+
+// readInline splits one inline command line on spaces/tabs. No quoting —
+// inline is a telnet convenience, not the bulk path.
+func (r *Reader) readInline() ([][]byte, error) {
+	line, err := r.readLine(MaxInlineLength)
+	if err != nil {
+		return nil, err
+	}
+	var args [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			args = append(args, append([]byte(nil), line[start:i]...))
+		}
+	}
+	return args, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reply parsing (client side: netbench, tests)
+// ---------------------------------------------------------------------------
+
+// Reply is one parsed RESP reply.
+type Reply struct {
+	// Kind is the RESP type byte: '+' simple string, '-' error,
+	// ':' integer, '$' bulk string, '*' array.
+	Kind byte
+	// Str holds simple-string, error and bulk payloads.
+	Str []byte
+	// Int holds the integer payload.
+	Int int64
+	// Nil marks a null bulk ($-1) or null array (*-1).
+	Nil bool
+	// Elems holds array elements.
+	Elems []Reply
+}
+
+// IsError reports whether the reply is an error reply.
+func (rp Reply) IsError() bool { return rp.Kind == '-' }
+
+// String renders the reply for logs and test failures.
+func (rp Reply) String() string {
+	switch rp.Kind {
+	case '+', '-':
+		return string(rp.Str)
+	case ':':
+		return fmt.Sprintf("%d", rp.Int)
+	case '$':
+		if rp.Nil {
+			return "(nil)"
+		}
+		return string(rp.Str)
+	case '*':
+		if rp.Nil {
+			return "(nil array)"
+		}
+		return fmt.Sprintf("array(%d)", len(rp.Elems))
+	}
+	return "(unknown)"
+}
+
+// ReadReply parses one reply frame.
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReplyDepth(0)
+}
+
+func (r *Reader) readReplyDepth(depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, protoErrf("reply nesting too deep")
+	}
+	kind, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := r.readLine(MaxInlineLength)
+	if err != nil {
+		return Reply{}, err
+	}
+	switch kind {
+	case '+', '-':
+		return Reply{Kind: kind, Str: append([]byte(nil), line...)}, nil
+	case ':':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: kind, Int: n}, nil
+	case '$':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: kind, Nil: true}, nil
+		}
+		if n < 0 || n > MaxBulkLength {
+			return Reply{}, protoErrf("invalid bulk length %d", n)
+		}
+		body, err := r.readBulkBody(nil, int(n))
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: kind, Str: body}, nil
+	case '*':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: kind, Nil: true}, nil
+		}
+		if n < 0 || n > MaxCommandArgs {
+			return Reply{}, protoErrf("invalid array length %d", n)
+		}
+		elems := make([]Reply, 0, min(int(n), 1024))
+		for i := int64(0); i < n; i++ {
+			e, err := r.readReplyDepth(depth + 1)
+			if err != nil {
+				return Reply{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Reply{Kind: kind, Elems: elems}, nil
+	default:
+		return Reply{}, protoErrf("unknown reply type %q", kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+// Writer emits RESP frames. Errors are sticky: the first write error is
+// retained and every later call is a no-op, so command handlers can write
+// unconditionally and check once at Flush.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	num [24]byte // scratch for integer formatting
+}
+
+// NewWriter wraps w in a RESP writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Flush pushes buffered frames to the connection and reports the first
+// error encountered by any write since the last Flush.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+func (w *Writer) writeByte(b byte) {
+	if w.err == nil {
+		w.err = w.bw.WriteByte(b)
+	}
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err == nil {
+		_, w.err = w.bw.Write(p)
+	}
+}
+
+func (w *Writer) writeString(s string) {
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+}
+
+func (w *Writer) crlf() { w.writeString("\r\n") }
+
+func (w *Writer) writeInt(n int64) {
+	neg := n < 0
+	u := uint64(n)
+	if neg {
+		u = uint64(-n)
+	}
+	i := len(w.num)
+	for {
+		i--
+		w.num[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		w.num[i] = '-'
+	}
+	w.write(w.num[i:])
+}
+
+// WriteSimple emits "+s\r\n".
+func (w *Writer) WriteSimple(s string) {
+	w.writeByte('+')
+	w.writeString(s)
+	w.crlf()
+}
+
+// WriteError emits "-msg\r\n". msg should start with an error code word
+// (ERR, LOADSHED, TIMEOUT, ...), Redis style.
+func (w *Writer) WriteError(msg string) {
+	w.writeByte('-')
+	w.writeString(msg)
+	w.crlf()
+}
+
+// WriteInt emits ":n\r\n".
+func (w *Writer) WriteInt(n int64) {
+	w.writeByte(':')
+	w.writeInt(n)
+	w.crlf()
+}
+
+// WriteBulk emits a bulk string; nil emits the RESP2 null bulk "$-1\r\n".
+func (w *Writer) WriteBulk(b []byte) {
+	if b == nil {
+		w.writeString("$-1\r\n")
+		return
+	}
+	w.writeByte('$')
+	w.writeInt(int64(len(b)))
+	w.crlf()
+	w.write(b)
+	w.crlf()
+}
+
+// WriteBulkString emits a non-nil bulk string from a string.
+func (w *Writer) WriteBulkString(s string) {
+	w.writeByte('$')
+	w.writeInt(int64(len(s)))
+	w.crlf()
+	w.writeString(s)
+	w.crlf()
+}
+
+// WriteArrayHeader emits "*n\r\n"; the caller then writes n elements.
+func (w *Writer) WriteArrayHeader(n int) {
+	w.writeByte('*')
+	w.writeInt(int64(n))
+	w.crlf()
+}
+
+// WriteCommand emits a command as a multibulk array — the client side of
+// ReadCommand, used by netbench and the tests.
+func (w *Writer) WriteCommand(args ...[]byte) {
+	w.WriteArrayHeader(len(args))
+	for _, a := range args {
+		w.writeByte('$')
+		w.writeInt(int64(len(a)))
+		w.crlf()
+		w.write(a)
+		w.crlf()
+	}
+}

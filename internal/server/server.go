@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2kvs/internal/core"
+	"p2kvs/internal/histogram"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe, e.g.
+	// "127.0.0.1:6380".
+	Addr string
+	// Store is the p2KVS store the server fronts. Required. The server
+	// owns its lifecycle from Shutdown on: a graceful drain ends with
+	// Store.Close.
+	Store *core.Store
+	// CommandTimeout bounds each command (or coalesced pipeline batch)
+	// with a context deadline; expiry surfaces to the client as a
+	// -TIMEOUT reply. Zero means no per-command deadline.
+	CommandTimeout time.Duration
+	// MaxConns caps concurrent connections (default 1024). The accept
+	// loop blocks when the cap is reached — backpressure at the listener
+	// instead of unbounded goroutine growth.
+	MaxConns int
+	// MaxPipeline caps how many pipelined commands are drained per read
+	// window before replies are flushed (default 128). It also bounds
+	// the size of a coalesced SET/GET run.
+	MaxPipeline int
+	// DebugAddr, when non-empty, starts an HTTP listener serving
+	// /metrics (JSON), /debug/vars (expvar) and /debug/pprof.
+	DebugAddr string
+	// Logf receives server logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.MaxPipeline <= 0 {
+		c.MaxPipeline = 128
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// latency-tracked command classes. Commands outside the set land in
+// "other".
+var latCommands = []string{"get", "set", "del", "mget", "mset", "scan", "info", "ping", "other"}
+
+// serverStats is the server-side counter block surfaced by INFO and
+// /metrics.
+type serverStats struct {
+	accepted      atomic.Int64 // connections accepted over the lifetime
+	active        atomic.Int64 // connections currently open
+	commands      atomic.Int64 // commands processed
+	pipelines     atomic.Int64 // read windows processed
+	coalescedSets atomic.Int64 // SET ops committed via a coalesced WriteCtx batch
+	coalescedGets atomic.Int64 // GET ops resolved via a coalesced MultiGetCtx
+	loadshed      atomic.Int64 // -LOADSHED replies (admission control)
+	timeouts      atomic.Int64 // -TIMEOUT replies (deadline expiry)
+	unknown       atomic.Int64 // unknown commands
+	protoErrors   atomic.Int64 // protocol errors (connection then closed)
+
+	lat map[string]*histogram.H // per-command latency, fixed key set
+}
+
+func newServerStats() *serverStats {
+	st := &serverStats{lat: make(map[string]*histogram.H, len(latCommands))}
+	for _, c := range latCommands {
+		st.lat[c] = &histogram.H{}
+	}
+	return st
+}
+
+// latFor returns the latency histogram for a (lower-case) command name.
+func (st *serverStats) latFor(name string) *histogram.H {
+	if h, ok := st.lat[name]; ok {
+		return h
+	}
+	return st.lat["other"]
+}
+
+// Server is the RESP front-end.
+type Server struct {
+	cfg   Config
+	store *core.Store
+	stats *serverStats
+
+	lis   net.Listener
+	debug *debugListener
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	sem    chan struct{} // connection-cap semaphore
+	connWG sync.WaitGroup
+
+	draining   atomic.Bool
+	shutdownCh chan struct{} // closed when a client issues SHUTDOWN
+	sigOnce    sync.Once
+	downOnce   sync.Once
+	downErr    error
+
+	start time.Time
+}
+
+// New builds a Server; call Serve or ListenAndServe to run it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:        cfg,
+		store:      cfg.Store,
+		stats:      newServerStats(),
+		conns:      make(map[*conn]struct{}),
+		sem:        make(chan struct{}, cfg.MaxConns),
+		shutdownCh: make(chan struct{}),
+		start:      time.Now(),
+	}
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// DebugAddr reports the bound debug-HTTP address, or nil.
+func (s *Server) DebugAddr() net.Addr {
+	if s.debug == nil {
+		return nil
+	}
+	return s.debug.lis.Addr()
+}
+
+// ShutdownSignal fires when a client issues the SHUTDOWN command. The
+// process owner listens on it alongside OS signals and then calls
+// Shutdown.
+func (s *Server) ShutdownSignal() <-chan struct{} { return s.shutdownCh }
+
+func (s *Server) signalShutdown() {
+	s.sigOnce.Do(func() { close(s.shutdownCh) })
+}
+
+// ListenAndServe listens on cfg.Addr (and cfg.DebugAddr when set) and
+// serves until Shutdown. It returns nil after a graceful shutdown.
+func (s *Server) ListenAndServe() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Shutdown closes it. Each
+// connection gets one goroutine; the MaxConns semaphore is acquired
+// *before* Accept so a saturated server stops pulling from the listen
+// backlog (kernel-level backpressure) instead of accepting and parking.
+func (s *Server) Serve(lis net.Listener) error {
+	s.lis = lis
+	// Shutdown may have run before the listener was stored (it closes
+	// s.lis, which was still nil); re-check so Accept cannot block forever.
+	if s.draining.Load() {
+		lis.Close()
+		return nil
+	}
+	if s.cfg.DebugAddr != "" && s.debug == nil {
+		d, err := startDebug(s, s.cfg.DebugAddr)
+		if err != nil {
+			lis.Close()
+			return err
+		}
+		s.debug = d
+	}
+	s.cfg.Logf("p2kvs-server: serving on %s", lis.Addr())
+	for {
+		s.sem <- struct{}{}
+		nc, err := lis.Accept()
+		if err != nil {
+			<-s.sem
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			nc.Close()
+			<-s.sem
+			continue
+		}
+		s.stats.accepted.Add(1)
+		s.stats.active.Add(1)
+		c := newConn(s, nc)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.stats.active.Add(-1)
+				s.connWG.Done()
+				<-s.sem
+			}()
+			c.serve()
+		}()
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let every connection
+// finish the pipeline window it is processing (all its replies are
+// written and flushed), close the connections, then close the store. The
+// context bounds the connection drain; on expiry remaining connections
+// are closed hard and their in-flight commands fail as the store shuts
+// down. Safe to call once; later calls return the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.downOnce.Do(func() { s.downErr = s.shutdown(ctx) })
+	return s.downErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	// Kick idle connections out of their blocking first read; busy ones
+	// observe the draining flag after finishing their current window.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.beginDrain()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+	}
+	if s.debug != nil {
+		s.debug.close()
+	}
+	s.cfg.Logf("p2kvs-server: drained, closing store")
+	if err := s.store.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

@@ -48,6 +48,14 @@ type (
 	Pair = core.Pair
 	// WorkerStats summarizes one worker's activity.
 	WorkerStats = core.WorkerStats
+	// StatsSnapshot is the stable-schema stats document returned by
+	// Store.StatsSnapshot and serialized by Store.StatsJSON; the same
+	// document backs the network server's INFO/metrics and dbbench's
+	// -stats_json output.
+	StatsSnapshot = core.StatsSnapshot
+	// WorkerStatsJSON is the JSON form of one worker's stats inside a
+	// StatsSnapshot.
+	WorkerStatsJSON = core.WorkerStatsJSON
 	// AdmissionPolicy selects the overload behaviour of request
 	// submission (see the AdmitBlock/AdmitReject/AdmitWait constants).
 	AdmissionPolicy = core.AdmissionPolicy
