@@ -1,0 +1,35 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func buildCmd(nargs, argLen int) []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	args := make([][]byte, nargs)
+	a := bytes.Repeat([]byte("x"), argLen)
+	for i := range args {
+		args[i] = a
+	}
+	w.WriteCommand(args...)
+	w.Flush()
+	return buf.Bytes()
+}
+
+func TestXParseManyArgs(t *testing.T) {
+	for _, n := range []int{1000, 10000, 50000, 100000} {
+		payload := buildCmd(n, 8)
+		r := NewReader(bytes.NewReader(payload))
+		st := time.Now()
+		cmd, err := r.ReadCommand()
+		el := time.Since(st)
+		if err != nil || len(cmd) != n {
+			t.Fatalf("n=%d err=%v len=%d", n, err, len(cmd))
+		}
+		fmt.Printf("n=%d payloadKB=%d parse=%v\n", n, len(payload)/1024, el)
+	}
+}

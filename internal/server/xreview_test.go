@@ -1,0 +1,35 @@
+package server
+
+import (
+	"testing"
+)
+
+func TestXEmptyValueRoundTrip(t *testing.T) {
+	ts := startTestServer(t, 2, nil, nil, Config{})
+	c := dialTest(t, ts)
+	r1 := c.do(t, "SET", "k", "")
+	if r1.IsError() {
+		t.Fatalf("SET: %s", r1)
+	}
+	r2 := c.do(t, "GET", "k")
+	t.Logf("GET reply: kind=%c nil=%v str=%q", r2.Kind, r2.Nil, r2.Str)
+	if r2.Nil {
+		t.Fatalf("empty value read back as null bulk (reads as key-not-found)")
+	}
+}
+
+func TestXEmptyValueViaPipelinedRun(t *testing.T) {
+	ts := startTestServer(t, 2, nil, nil, Config{})
+	c := dialTest(t, ts)
+	reps := c.pipeline(t, []string{"SET", "a", ""}, []string{"SET", "b", "x"})
+	for _, r := range reps {
+		if r.IsError() {
+			t.Fatalf("SET: %s", r)
+		}
+	}
+	reps = c.pipeline(t, []string{"GET", "a"}, []string{"GET", "b"})
+	t.Logf("GET a: nil=%v str=%q; GET b: nil=%v str=%q", reps[0].Nil, reps[0].Str, reps[1].Nil, reps[1].Str)
+	if reps[0].Nil {
+		t.Fatalf("empty value via multiget run read back as null bulk")
+	}
+}
