@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ fuzz-short:
 # deadline / drain lifecycle tests, all race-enabled and time-bounded.
 torture-short:
 	$(GO) test -race -short -timeout 5m -run 'Torture|Admit|Expired|Deadline|Drain|Close|Queue' ./internal/torture ./internal/core
+
+# Compaction-scheduler stress: the parallel-compaction and slowdown tests
+# under the race detector, plus the short torture run that hammers
+# concurrent compactions with fault injection and crash cycles.
+compaction-stress:
+	$(GO) test -race -timeout 10m -run 'Compaction|Scheduler|Slowdown|Subcompaction|JobsConflict|RangesOverlap|MergeFiles' ./internal/lsm
+	$(GO) test -race -short -timeout 5m -run 'Torture/lsm-parallel' ./internal/torture
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

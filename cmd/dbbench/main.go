@@ -46,6 +46,9 @@ func main() {
 		opDeadline = flag.Duration("op_deadline", 0, "per-op deadline (0 = none); rejected/expired ops are counted, not fatal")
 		queueDepth = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
 		statsJSON  = flag.Bool("stats_json", false, "print the store's StatsJSON document after the run")
+		maxBgComp  = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
+		subComp    = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
+		l0Slowdown = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,10 @@ func main() {
 		SyncWAL:        *syncWAL,
 		Admission:      policy,
 		QueueDepth:     *queueDepth,
+
+		MaxBackgroundCompactions: *maxBgComp,
+		MaxSubCompactions:        *subComp,
+		L0SlowdownTrigger:        *l0Slowdown,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbbench:", err)
@@ -110,6 +117,7 @@ func main() {
 	}
 	reportRobustness(store)
 	reportOverload(store)
+	reportCompaction(store)
 	for _, ls := range latencies {
 		fmt.Printf("latency %-12s: p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus (n=%d)\n",
 			ls.name, ls.sum.P50Us, ls.sum.P95Us, ls.sum.P99Us, ls.sum.MaxUs, ls.sum.Count)
@@ -152,6 +160,27 @@ func reportOverload(store *p2kvs.Store) {
 		fmt.Printf("overload w%-2d   : rejected=%d expired=%d shed=%d queue_hw=%d\n",
 			ws.ID, ws.Rejected, ws.Expired, ws.Shed, ws.QueueHighWater)
 	}
+}
+
+// reportCompaction prints the compaction-scheduler summary, keeping hard
+// stall time and soft slowdown time separate so the two backpressure
+// tiers are distinguishable in results.
+func reportCompaction(store *p2kvs.Store) {
+	stats := store.Stats()
+	var c p2kvs.WorkerStats
+	for _, ws := range stats {
+		c.Compaction.Compactions += ws.Compaction.Compactions
+		c.Compaction.Subcompactions += ws.Compaction.Subcompactions
+		c.Compaction.StallTime += ws.Compaction.StallTime
+		c.Compaction.SlowdownTime += ws.Compaction.SlowdownTime
+		c.Compaction.Slowdowns += ws.Compaction.Slowdowns
+		if ws.Compaction.MaxConcurrent > c.Compaction.MaxConcurrent {
+			c.Compaction.MaxConcurrent = ws.Compaction.MaxConcurrent
+		}
+	}
+	fmt.Printf("compaction     : %d compactions (%d sub); concurrent high-water %d; stall=%dms slowdown=%dms (%d slowdowns)\n",
+		c.Compaction.Compactions, c.Compaction.Subcompactions, c.Compaction.MaxConcurrent,
+		c.Compaction.StallTime.Milliseconds(), c.Compaction.SlowdownTime.Milliseconds(), c.Compaction.Slowdowns)
 }
 
 // reportRobustness prints the per-worker background-error summary:

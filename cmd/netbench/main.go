@@ -238,4 +238,8 @@ func reportServerCounters(addr string) {
 	fmt.Printf("server: coalesced_set_ops=%d coalesced_get_ops=%d store_batch_write_ops=%d store_multiget_ops=%d store_batched_ops=%d\n",
 		fields["coalesced_set_ops"], fields["coalesced_get_ops"],
 		fields["store_batch_write_ops"], fields["store_multiget_ops"], fields["store_batched_ops"])
+	fmt.Printf("server: store_compactions=%d store_subcompactions=%d store_concurrent_compactions_hw=%d store_compaction_stall_us=%d store_compaction_slowdown_us=%d store_compaction_slowdowns=%d\n",
+		fields["store_compactions"], fields["store_subcompactions"],
+		fields["store_concurrent_compactions_hw"], fields["store_compaction_stall_us"],
+		fields["store_compaction_slowdown_us"], fields["store_compaction_slowdowns"])
 }

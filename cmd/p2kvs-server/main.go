@@ -42,6 +42,9 @@ func main() {
 		maxConns     = flag.Int("max_conns", 1024, "max concurrent client connections")
 		maxPipeline  = flag.Int("max_pipeline", 128, "max pipelined commands coalesced per read window")
 		drainTimeout = flag.Duration("drain_timeout", 30*time.Second, "graceful shutdown bound (connections and store drain)")
+		maxBgComp    = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
+		subComp      = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
+		l0Slowdown   = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -69,6 +72,10 @@ func main() {
 		QueueDepth:   *queueDepth,
 		MaxBatch:     *maxBatch,
 		DrainTimeout: *drainTimeout,
+
+		MaxBackgroundCompactions: *maxBgComp,
+		MaxSubCompactions:        *subComp,
+		L0SlowdownTrigger:        *l0Slowdown,
 	})
 	if err != nil {
 		logger.Fatalf("p2kvs-server: open store: %v", err)

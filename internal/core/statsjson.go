@@ -28,6 +28,16 @@ type WorkerStatsJSON struct {
 	FlushRetries   int64  `json:"flush_retries"`
 	CompactRetries int64  `json:"compact_retries"`
 	InjectedFaults int64  `json:"injected_faults"`
+	// Compaction-scheduler counters: stall (hard-block) vs slowdown (soft
+	// delay) time are reported separately; ConcurrentCompactionsHW is the
+	// high-water mark of compactions running at once (max, not sum, in the
+	// aggregate).
+	CompactionStallUs       int64 `json:"compaction_stall_us"`
+	CompactionSlowdownUs    int64 `json:"compaction_slowdown_us"`
+	CompactionSlowdowns     int64 `json:"compaction_slowdowns"`
+	Compactions             int64 `json:"compactions"`
+	Subcompactions          int64 `json:"subcompactions"`
+	ConcurrentCompactionsHW int64 `json:"concurrent_compactions_hw"`
 }
 
 // StatsSnapshot is the JSON view of the whole store: an aggregate over all
@@ -56,6 +66,13 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 		FlushRetries:   ws.Health.FlushRetries,
 		CompactRetries: ws.Health.CompactRetries,
 		InjectedFaults: ws.Health.InjectedFaults,
+
+		CompactionStallUs:       ws.Compaction.StallTime.Microseconds(),
+		CompactionSlowdownUs:    ws.Compaction.SlowdownTime.Microseconds(),
+		CompactionSlowdowns:     ws.Compaction.Slowdowns,
+		Compactions:             ws.Compaction.Compactions,
+		Subcompactions:          ws.Compaction.Subcompactions,
+		ConcurrentCompactionsHW: ws.Compaction.MaxConcurrent,
 	}
 	if ws.Health.Err != nil {
 		out.HealthErr = ws.Health.Err.Error()
@@ -87,6 +104,14 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		agg.FlushRetries += j.FlushRetries
 		agg.CompactRetries += j.CompactRetries
 		agg.InjectedFaults += j.InjectedFaults
+		agg.CompactionStallUs += j.CompactionStallUs
+		agg.CompactionSlowdownUs += j.CompactionSlowdownUs
+		agg.CompactionSlowdowns += j.CompactionSlowdowns
+		agg.Compactions += j.Compactions
+		agg.Subcompactions += j.Subcompactions
+		if j.ConcurrentCompactionsHW > agg.ConcurrentCompactionsHW {
+			agg.ConcurrentCompactionsHW = j.ConcurrentCompactionsHW
+		}
 		if j.QueueHighWater > agg.QueueHighWater {
 			agg.QueueHighWater = j.QueueHighWater
 		}

@@ -349,6 +349,9 @@ type WorkerStats struct {
 	// Health is the engine's background-error report; zero-valued
 	// (StateHealthy) for engines without health reporting.
 	Health kv.Health
+	// Compaction is the engine's compaction-scheduler report; zero-valued
+	// for engines without compaction stats.
+	Compaction kv.CompactionStats
 }
 
 func (w *worker) stats() WorkerStats {
@@ -367,6 +370,9 @@ func (w *worker) stats() WorkerStats {
 	}
 	if w.hr != nil {
 		st.Health = w.hr.Health()
+	}
+	if cr, ok := w.engine.(kv.CompactionStatsReporter); ok {
+		st.Compaction = cr.CompactionStats()
 	}
 	return st
 }

@@ -7,6 +7,7 @@ package histogram
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
@@ -17,12 +18,73 @@ const (
 	numBuckets       = 8 * bucketsPerDecade // covers 1ns .. ~100s
 )
 
-var bucketUpper [numBuckets]float64
+var (
+	bucketUpper [numBuckets]float64
+	// bucketLimit[i] is the largest ns value mapping to bucket i under the
+	// log10 formula; bucketIndex resolves a sample against it with integer
+	// compares only, keeping math.Log10 off the per-sample hot path.
+	bucketLimit [numBuckets]int64
+	// lenBase[b] is the first bucket a value with bit length b can fall
+	// into, bounding bucketIndex's forward scan to one bit's worth of
+	// buckets (51/log2(10) ≈ 16 compares worst case).
+	lenBase [65]int16
+)
+
+// logBucket is the reference bucket mapping: the formula Record used to
+// evaluate per sample. Kept for table construction and equivalence tests.
+func logBucket(ns int64) int {
+	idx := int(math.Log10(float64(ns)) * bucketsPerDecade)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
 
 func init() {
 	for i := range bucketUpper {
 		bucketUpper[i] = math.Pow(10, float64(i+1)/bucketsPerDecade)
 	}
+	for i := range bucketLimit {
+		if i == numBuckets-1 {
+			bucketLimit[i] = math.MaxInt64
+			break
+		}
+		// Seed near the analytic boundary, then nudge until the reference
+		// mapping agrees exactly — float rounding in Log10/Pow can put the
+		// true boundary one or two integers off the seed.
+		n := int64(math.Pow(10, float64(i+1)/bucketsPerDecade))
+		if n < 1 {
+			n = 1
+		}
+		for logBucket(n) > i {
+			n--
+		}
+		for logBucket(n+1) <= i {
+			n++
+		}
+		bucketLimit[i] = n
+	}
+	for b := 1; b <= 64; b++ {
+		lo := int64(1) << (b - 1) // smallest value with bit length b
+		idx := 0
+		for idx < numBuckets-1 && bucketLimit[idx] < lo {
+			idx++
+		}
+		lenBase[b] = int16(idx)
+	}
+}
+
+// bucketIndex maps a sample (ns >= 1) to its bucket using the
+// precomputed tables; exactly equivalent to logBucket.
+func bucketIndex(ns int64) int {
+	idx := int(lenBase[bits.Len64(uint64(ns))])
+	for ns > bucketLimit[idx] {
+		idx++
+	}
+	return idx
 }
 
 // H is a concurrent latency histogram. The zero value is ready to use.
@@ -39,14 +101,7 @@ func (h *H) Record(d time.Duration) {
 	if ns < 1 {
 		ns = 1
 	}
-	idx := int(math.Log10(float64(ns)) * bucketsPerDecade)
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= numBuckets {
-		idx = numBuckets - 1
-	}
-	h.counts[idx].Add(1)
+	h.counts[bucketIndex(ns)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
 	for {

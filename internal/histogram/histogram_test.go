@@ -156,3 +156,78 @@ func TestSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestBucketIndexEquivalence verifies the bits.Len64 table lookup agrees
+// with the reference log10 mapping for every small value, around every
+// bucket boundary, and on random 63-bit samples.
+func TestBucketIndexEquivalence(t *testing.T) {
+	check := func(ns int64) {
+		t.Helper()
+		if got, want := bucketIndex(ns), logBucket(ns); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, logBucket = %d", ns, got, want)
+		}
+	}
+	for ns := int64(1); ns <= 200000; ns++ {
+		check(ns)
+	}
+	for i := 0; i < numBuckets-1; i++ {
+		for _, ns := range []int64{bucketLimit[i] - 1, bucketLimit[i], bucketLimit[i] + 1, bucketLimit[i] + 2} {
+			if ns >= 1 {
+				check(ns)
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1_000_000; i++ {
+		check(int64(r.Uint64() >> 1))
+	}
+	check(1 << 62)
+	check((1 << 63) - 1)
+}
+
+func TestBucketLimitMonotonic(t *testing.T) {
+	// Non-strict: sub-nanosecond buckets are empty for integer samples, so
+	// consecutive limits may repeat, but they must never decrease.
+	for i := 1; i < numBuckets; i++ {
+		if bucketLimit[i] < bucketLimit[i-1] {
+			t.Fatalf("bucketLimit[%d]=%d < bucketLimit[%d]=%d", i, bucketLimit[i], i-1, bucketLimit[i-1])
+		}
+	}
+}
+
+var sinkIdx int
+
+func BenchmarkBucketIndex(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	samples := make([]int64, 4096)
+	for i := range samples {
+		samples[i] = int64(r.Intn(1_000_000_000) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkIdx = bucketIndex(samples[i&4095])
+	}
+}
+
+func BenchmarkLogBucket(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	samples := make([]int64, 4096)
+	for i := range samples {
+		samples[i] = int64(r.Intn(1_000_000_000) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkIdx = logBucket(samples[i&4095])
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h H
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(12345)
+		for pb.Next() {
+			h.Record(d)
+			d += 7919 // walk across buckets
+		}
+	})
+}

@@ -10,7 +10,10 @@
 // the paper (OBM-write is disabled on engines without batch support).
 package kv
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrNotFound is returned by Get when the key does not exist (or its most
 // recent version is a tombstone).
@@ -85,6 +88,30 @@ type Health struct {
 // health. The p2KVS accessing layer surfaces it in per-worker stats.
 type HealthReporter interface {
 	Health() Health
+}
+
+// CompactionStats is a snapshot of an engine's compaction-scheduler and
+// write-backpressure activity.
+type CompactionStats struct {
+	// StallTime is cumulative time writers spent hard-blocked on L0/flush
+	// backpressure; SlowdownTime is cumulative time spent in soft-slowdown
+	// sleeps below the stall threshold. Slowdowns counts delayed writes.
+	StallTime    time.Duration
+	SlowdownTime time.Duration
+	Slowdowns    int64
+	// Compactions counts installed compactions; Subcompactions counts
+	// key-range splits executed inside them; MaxConcurrent is the
+	// high-water mark of compactions running at once.
+	Compactions    int64
+	Subcompactions int64
+	MaxConcurrent  int64
+}
+
+// CompactionStatsReporter is the optional capability of reporting
+// compaction and backpressure statistics. The p2KVS accessing layer
+// surfaces it in per-worker stats.
+type CompactionStatsReporter interface {
+	CompactionStats() CompactionStats
 }
 
 // Resumer is the optional capability of re-attempting recovery from

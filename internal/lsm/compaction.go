@@ -2,6 +2,8 @@ package lsm
 
 import (
 	"bytes"
+	"sort"
+	"sync"
 
 	"p2kvs/internal/ikey"
 	"p2kvs/internal/kv"
@@ -13,6 +15,13 @@ import (
 // bounds are open) down the tree until the range is fully merged — the
 // manual-compaction API production stores expose for space reclamation
 // and read-amp repair after bulk deletes.
+//
+// Under the Fragmented style the per-level step follows the fragmented
+// policy — the level's overlapping files are merged among themselves and
+// appended to the next level WITHOUT rewriting that level's existing
+// files, preserving the write-once-per-level invariant (and its
+// tombstone-drop precondition) that routing manual compactions through
+// the leveled path used to violate.
 func (d *DB) CompactRange(begin, end []byte) error {
 	if d.closed.Load() {
 		return kv.ErrClosed
@@ -21,70 +30,76 @@ func (d *DB) CompactRange(begin, end []byte) error {
 		return err
 	}
 	for level := 0; level < manifest.NumLevels-1; level++ {
-		for {
-			d.mu.Lock()
-			if d.bgErr != nil {
-				err := d.bgErr
-				d.mu.Unlock()
-				return err
-			}
-			if d.compacting {
-				// Wait out the background worker rather than race it.
-				d.cond.Wait()
-				d.mu.Unlock()
-				continue
-			}
-			d.compacting = true
-			v := d.vs.Current()
-			d.mu.Unlock()
-
-			var inputs []*manifest.FileMeta
-			for _, f := range v.Levels[level] {
-				if f.Overlaps(begin, end) {
-					inputs = append(inputs, f)
-				}
-			}
-			var err error
-			if len(inputs) > 0 {
-				err = d.compactFiles(v, level, inputs)
-			}
-			d.mu.Lock()
-			d.compacting = false
-			d.cond.Broadcast()
-			d.mu.Unlock()
-			if err != nil {
-				return err
-			}
-			break
+		job, err := d.claimManualJob(level, begin, end)
+		if err != nil {
+			return err
+		}
+		if job == nil {
+			continue
+		}
+		err = d.execJob(job)
+		d.finishJob(job)
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// compactFiles merges the given level files (plus next-level overlap)
-// into level+1, the shared body of leveled compaction and CompactRange.
-func (d *DB) compactFiles(v *manifest.Version, level int, inputs []*manifest.FileMeta) error {
-	lo, hi := keyRange(inputs)
-	out := level + 1
-	var lower []*manifest.FileMeta
-	for _, f := range v.Levels[out] {
-		if f.Overlaps(lo, hi) {
-			lower = append(lower, f)
+// claimManualJob builds a manual-compaction job for the files of one
+// level overlapping [begin, end], waiting out any conflicting background
+// compaction. Returns nil when nothing on the level overlaps the range.
+func (d *DB) claimManualJob(level int, begin, end []byte) (*compactionJob, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.bgErr != nil {
+			return nil, d.bgErr
 		}
+		if d.closed.Load() {
+			return nil, kv.ErrClosed
+		}
+		v := d.vs.Current()
+		var inputs []*manifest.FileMeta
+		for _, f := range v.Levels[level] {
+			if f.Overlaps(begin, end) {
+				inputs = append(inputs, f)
+			}
+		}
+		if len(inputs) == 0 {
+			return nil, nil
+		}
+		out := level + 1
+		lo, hi := keyRange(inputs)
+		var job *compactionJob
+		if d.opts.Style == Fragmented && level < manifest.NumLevels-2 {
+			job = &compactionJob{
+				level: level, out: out, inputs: inputs,
+				lo: lo, hi: hi, wholeLevel: true, fragmented: true, manual: true,
+				dropTombs: d.noDataBelow(v, out, lo, hi) && len(v.Levels[out]) == 0,
+			}
+			if d.conflictsLocked(job) {
+				job = nil
+			}
+		} else {
+			job = d.finishLeveledJobLocked(v, level, inputs)
+			if job != nil {
+				job.manual = true
+			}
+		}
+		if job != nil {
+			d.startJobLocked(job)
+			return job, nil
+		}
+		// Wait for a running compaction to release the range.
+		d.cond.Wait()
 	}
-	all := append(append([]*manifest.FileMeta(nil), inputs...), lower...)
-	dropTombs := d.noDataBelow(v, out, lo, hi)
-	outputs, err := d.mergeFiles(all, out, dropTombs, nil)
-	if err != nil {
-		return err
-	}
-	return d.installCompaction(level, inputs, out, lower, outputs)
 }
 
-// compactLoop is the background major-compaction thread (Figure 2 ③).
-// A failed compaction is retried with backoff rather than killing the
-// thread; exhausting the retry budget degrades the engine, after which
-// the loop idles until Resume re-kicks it.
+// compactLoop is the background compaction dispatcher (Figure 2 ③). Each
+// kick (flush landed, compaction finished, Resume) tops the pool back up
+// to MaxBackgroundCompactions; the jobs themselves run on their own
+// goroutines with per-job retry/backoff (see runCompaction).
 func (d *DB) compactLoop() {
 	defer d.bgWG.Done()
 	for {
@@ -92,33 +107,9 @@ func (d *DB) compactLoop() {
 		case <-d.stopC:
 			return
 		case <-d.compactC:
-			attempt := 0
-			for {
-				select {
-				case <-d.stopC:
-					return
-				default:
-				}
-				worked, err := d.compactOnce()
-				if err != nil {
-					if !d.noteBgFailure("compaction", err, attempt) {
-						break // degraded or closing; wait for Resume's kick
-					}
-					attempt++
-					d.perf.compactRetries.Add(1)
-					if !d.backoffWait(attempt) {
-						return // closing
-					}
-					continue
-				}
-				if attempt > 0 {
-					d.clearBgFailure("compaction")
-					attempt = 0
-				}
-				if !worked {
-					break
-				}
-			}
+			d.mu.Lock()
+			d.scheduleCompactionsLocked()
+			d.mu.Unlock()
 		}
 	}
 }
@@ -130,75 +121,6 @@ func (d *DB) levelTarget(level int) int64 {
 		t *= int64(d.opts.LevelMultiplier)
 	}
 	return t
-}
-
-// pickCompaction chooses the level with the highest overfull score, the
-// LevelDB heuristic. Returns -1 when nothing is over budget.
-func (d *DB) pickCompaction(v *manifest.Version) int {
-	bestLevel, bestScore := -1, 1.0
-	l0Score := float64(len(v.Levels[0])) / float64(d.opts.L0CompactionTrigger)
-	if l0Score >= bestScore {
-		bestLevel, bestScore = 0, l0Score
-	}
-	for level := 1; level < manifest.NumLevels-1; level++ {
-		score := float64(v.LevelSize(level)) / float64(d.levelTarget(level))
-		if score > bestScore {
-			bestLevel, bestScore = level, score
-		}
-	}
-	return bestLevel
-}
-
-// compactOnce performs at most one compaction. It returns whether work
-// was done.
-func (d *DB) compactOnce() (bool, error) {
-	d.mu.Lock()
-	if d.compacting || d.bgErr != nil {
-		d.mu.Unlock()
-		return false, nil
-	}
-	v := d.vs.Current()
-	level := d.pickCompaction(v)
-	if level < 0 {
-		d.mu.Unlock()
-		return false, nil
-	}
-	d.compacting = true
-	d.mu.Unlock()
-
-	var err error
-	if d.opts.Style == Fragmented && level < manifest.NumLevels-2 {
-		err = d.compactFragmented(v, level)
-	} else {
-		err = d.compactLeveled(v, level)
-	}
-
-	d.mu.Lock()
-	d.compacting = false
-	d.kick()
-	d.cond.Broadcast()
-	d.mu.Unlock()
-	return err == nil, err
-}
-
-// inputsForLevel selects the files to move out of a level. For L0 every
-// file participates (they overlap); for deeper levels one file is chosen
-// (largest first, a simple fairness heuristic).
-func (d *DB) inputsForLevel(v *manifest.Version, level int) []*manifest.FileMeta {
-	files := v.Levels[level]
-	if level == 0 || d.opts.Style == Fragmented {
-		return append([]*manifest.FileMeta(nil), files...)
-	}
-	if len(files) == 0 {
-		return nil
-	}
-	best := files[0]
-	for _, f := range files[1:] {
-		if f.Size > best.Size {
-			best = f
-		}
-	}
-	return []*manifest.FileMeta{best}
 }
 
 // keyRange computes the user-key span of a file set.
@@ -215,51 +137,6 @@ func keyRange(files []*manifest.FileMeta) (lo, hi []byte) {
 	return lo, hi
 }
 
-// compactLeveled merges inputs from level with the overlapping files of
-// level+1 and writes sorted, non-overlapping outputs into level+1.
-func (d *DB) compactLeveled(v *manifest.Version, level int) error {
-	inputs := d.inputsForLevel(v, level)
-	if len(inputs) == 0 {
-		return nil
-	}
-	lo, hi := keyRange(inputs)
-	out := level + 1
-	var lower []*manifest.FileMeta
-	for _, f := range v.Levels[out] {
-		if f.Overlaps(lo, hi) {
-			lower = append(lower, f)
-		}
-	}
-	all := append(append([]*manifest.FileMeta(nil), inputs...), lower...)
-	dropTombs := d.noDataBelow(v, out, lo, hi)
-	outputs, err := d.mergeFiles(all, out, dropTombs, nil)
-	if err != nil {
-		return err
-	}
-	return d.installCompaction(level, inputs, out, lower, outputs)
-}
-
-// compactFragmented implements the PebblesDB-style policy: the level's
-// files are merged among themselves and re-partitioned into level+1
-// WITHOUT rewriting level+1's existing data, so each byte is written once
-// per level instead of LevelMultiplier times. The next level tolerates
-// overlapping files (reads fan out, Get picks the newest version by
-// sequence number).
-func (d *DB) compactFragmented(v *manifest.Version, level int) error {
-	inputs := d.inputsForLevel(v, level)
-	if len(inputs) == 0 {
-		return nil
-	}
-	out := level + 1
-	lo, hi := keyRange(inputs)
-	dropTombs := d.noDataBelow(v, out, lo, hi) && len(v.Levels[out]) == 0
-	outputs, err := d.mergeFiles(inputs, out, dropTombs, nil)
-	if err != nil {
-		return err
-	}
-	return d.installCompaction(level, inputs, out, nil, outputs)
-}
-
 // noDataBelow reports whether no level deeper than out overlaps
 // [lo, hi] — the condition for dropping tombstones.
 func (d *DB) noDataBelow(v *manifest.Version, out int, lo, hi []byte) bool {
@@ -273,45 +150,170 @@ func (d *DB) noDataBelow(v *manifest.Version, out int, lo, hi []byte) bool {
 	return true
 }
 
+// mergeSplit merges the inputs, splitting the work into up to
+// MaxSubCompactions key-range subcompactions that run concurrently when
+// the merge is large enough to amortize the extra iterator setup. The
+// per-range output lists are stitched back together in key order so the
+// caller installs a single VersionEdit.
+func (d *DB) mergeSplit(inputs []*manifest.FileMeta, outLevel int, dropTombs bool) ([]manifest.FileMeta, error) {
+	bounds := d.subcompactionBounds(inputs)
+	if len(bounds) <= 1 {
+		return d.mergeFiles(inputs, outLevel, dropTombs, nil, nil)
+	}
+	outs := make([][]manifest.FileMeta, len(bounds))
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	for i, b := range bounds {
+		wg.Add(1)
+		go func(i int, lo, hi []byte) {
+			defer wg.Done()
+			outs[i], errs[i] = d.mergeFiles(inputs, outLevel, dropTombs, lo, hi)
+		}(i, b[0], b[1])
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// Subcompactions that finished cleanly still leave no trace: their
+		// outputs were never installed, so remove them.
+		for i, err := range errs {
+			if err != nil {
+				continue
+			}
+			for _, m := range outs[i] {
+				d.opts.FS.Remove(sstName(d.dir, m.Num))
+			}
+		}
+		return nil, firstErr
+	}
+	d.perf.subcompactions.Add(int64(len(bounds)))
+	var all []manifest.FileMeta
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all, nil
+}
+
+// subcompactionBounds picks the key ranges a merge is split into:
+// [nil,k1), [k1,k2), ... [kn,nil). Split points come from the input
+// files' own boundaries, so each range covers roughly one file's worth of
+// data per input run. Returns a single open range when splitting is
+// disabled or not worthwhile.
+func (d *DB) subcompactionBounds(inputs []*manifest.FileMeta) [][2][]byte {
+	whole := [][2][]byte{{nil, nil}}
+	n := d.opts.MaxSubCompactions
+	if n <= 1 {
+		return whole
+	}
+	var total int64
+	for _, f := range inputs {
+		total += f.Size
+	}
+	// A merge smaller than two output files gains nothing from splitting.
+	if total < 2*d.opts.TargetFileSize {
+		return whole
+	}
+	// Candidate split points: every input file boundary key, deduplicated.
+	var keys [][]byte
+	for _, f := range inputs {
+		keys = append(keys, ikey.UserKey(f.Smallest), ikey.UserKey(f.Largest))
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	uniq := keys[:0]
+	for _, k := range keys {
+		if len(uniq) == 0 || !bytes.Equal(uniq[len(uniq)-1], k) {
+			uniq = append(uniq, k)
+		}
+	}
+	// Interior candidates only: the smallest key cannot start a second
+	// range and the largest cannot end one early.
+	if len(uniq) < 3 {
+		return whole
+	}
+	interior := uniq[1 : len(uniq)-1]
+	if n-1 > len(interior) {
+		n = len(interior) + 1
+	}
+	bounds := make([][2][]byte, 0, n)
+	var prev []byte
+	for i := 1; i < n; i++ {
+		k := interior[i*len(interior)/n]
+		if prev != nil && bytes.Compare(k, prev) <= 0 {
+			continue
+		}
+		bounds = append(bounds, [2][]byte{prev, k})
+		prev = k
+	}
+	bounds = append(bounds, [2][]byte{prev, nil})
+	if len(bounds) <= 1 {
+		return whole
+	}
+	return bounds
+}
+
 // mergeFiles merge-sorts the input tables and writes outputs split at
-// TargetFileSize. Older duplicate versions are dropped (no snapshot
-// support across compactions); tombstones are dropped when dropTombs.
-func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs bool, guards [][]byte) ([]manifest.FileMeta, error) {
+// TargetFileSize, restricted to user keys in [lo, hi) when bounds are
+// given (nil = open) — the subcompaction window. Older duplicate versions
+// are dropped (no snapshot support across compactions); tombstones are
+// dropped when dropTombs. On any error every partial and finished output
+// file is closed and removed, so a failed merge leaves no orphans for the
+// retry to trip over.
+func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs bool, lo, hi []byte) (outputs []manifest.FileMeta, err error) {
 	var children []internalIterator
 	for _, fm := range inputs {
-		f, err := d.opts.FS.Open(sstName(d.dir, fm.Num))
-		if err != nil {
-			return nil, err
+		f, ferr := d.opts.FS.Open(sstName(d.dir, fm.Num))
+		if ferr != nil {
+			closeAll(children)
+			return nil, ferr
 		}
-		r, err := sstable.OpenWithCache(f, d.blocks, fm.Num)
-		if err != nil {
+		r, rerr := sstable.OpenWithCache(f, d.blocks, fm.Num)
+		if rerr != nil {
 			f.Close()
-			return nil, err
+			closeAll(children)
+			return nil, rerr
 		}
 		children = append(children, tableIterAdapter{r.NewIterator(), r})
-		d.perf.compactRead.Add(fm.Size)
 	}
 	merge := newMergingIter(children)
 	defer merge.Close()
 
 	var (
-		outputs []manifest.FileMeta
-		w       *sstable.Writer
-		wf      interface{ Close() error }
-		curNum  uint64
-		lastUK  []byte
-		haveUK  bool
+		w      *sstable.Writer
+		wf     interface{ Close() error }
+		curNum uint64
+		lastUK []byte
+		haveUK bool
 	)
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Mid-merge failure: close the in-progress writer and sweep every
+		// output written so far off the disk.
+		if w != nil {
+			wf.Close()
+			d.opts.FS.Remove(sstName(d.dir, curNum))
+		}
+		for _, m := range outputs {
+			d.opts.FS.Remove(sstName(d.dir, m.Num))
+		}
+		outputs = nil
+	}()
 	finishOutput := func() error {
 		if w == nil {
 			return nil
 		}
-		meta, err := w.Finish()
+		meta, ferr := w.Finish()
 		wf.Close()
 		w = nil
-		if err != nil {
+		if ferr != nil {
 			d.opts.FS.Remove(sstName(d.dir, curNum))
-			return err
+			return ferr
 		}
 		d.perf.compactWrite.Add(meta.Size)
 		outputs = append(outputs, manifest.FileMeta{
@@ -321,12 +323,20 @@ func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs boo
 		return nil
 	}
 
+	if lo == nil {
+		merge.SeekToFirst()
+	} else {
+		merge.Seek(ikey.SeekKey(lo, ikey.MaxSeq))
+	}
 	written := int64(0)
-	for merge.SeekToFirst(); merge.Valid(); merge.Next() {
+	for ; merge.Valid(); merge.Next() {
 		ik := merge.Key()
-		uk, _, kind, err := ikey.Decode(ik)
-		if err != nil {
-			return nil, err
+		uk, _, kind, derr := ikey.Decode(ik)
+		if derr != nil {
+			return nil, derr
+		}
+		if hi != nil && bytes.Compare(uk, hi) >= 0 {
+			break // next subcompaction's window
 		}
 		if haveUK && bytes.Equal(uk, lastUK) {
 			continue // shadowed older version
@@ -337,15 +347,17 @@ func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs boo
 			continue
 		}
 		if w != nil && written >= d.opts.TargetFileSize {
-			if err := finishOutput(); err != nil {
+			if err = finishOutput(); err != nil {
 				return nil, err
 			}
 			written = 0
 		}
 		if w == nil {
 			curNum = d.vs.NewFileNum()
-			f, err := d.opts.FS.Create(sstName(d.dir, curNum))
-			if err != nil {
+			f, ferr := d.opts.FS.Create(sstName(d.dir, curNum))
+			if ferr != nil {
+				w = nil
+				err = ferr
 				return nil, err
 			}
 			w = sstable.NewWriter(f, curNum)
@@ -354,22 +366,30 @@ func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs boo
 			}
 			wf = f
 		}
-		if err := w.Add(ik, merge.Value()); err != nil {
+		if err = w.Add(ik, merge.Value()); err != nil {
 			return nil, err
 		}
 		written += int64(len(ik) + len(merge.Value()))
 	}
-	if err := merge.Err(); err != nil {
+	if err = merge.Err(); err != nil {
 		return nil, err
 	}
-	if err := finishOutput(); err != nil {
+	if err = finishOutput(); err != nil {
 		return nil, err
 	}
 	return outputs, nil
 }
 
+func closeAll(its []internalIterator) {
+	for _, it := range its {
+		it.Close()
+	}
+}
+
 // installCompaction atomically swaps inputs for outputs in the manifest,
-// then deletes the obsolete files.
+// then deletes the obsolete files. Concurrent jobs install edits that
+// commute: the scheduler guarantees no two running jobs share a file or
+// an output range on the same level.
 func (d *DB) installCompaction(inLevel int, inputs []*manifest.FileMeta, outLevel int, lower []*manifest.FileMeta, outputs []manifest.FileMeta) error {
 	edit := &manifest.VersionEdit{}
 	for _, f := range inputs {

@@ -44,7 +44,11 @@ type DB struct {
 	imm        []*memHandle // flush queue, oldest first
 	wal        *wal.Writer  // == memH.walw; nil when DisableWAL
 	vs         *manifest.Set
-	compacting bool
+
+	// Running compactions (scheduler.go). compWG tracks their goroutines
+	// so Close can wait them out before tearing down the manifest.
+	compRunning []*compactionJob
+	compWG      sync.WaitGroup
 
 	// Background-error state (see bgerror.go). bgErr is the write-blocking
 	// degraded error; bgCause the most recent background failure; the
@@ -381,7 +385,17 @@ func (d *DB) WriteGSN(b *kv.Batch, gsn uint64) error {
 	h := d.memH
 	h.writers.Add(1)
 	d.mu.Unlock()
-	defer h.writers.Done()
+	// The pin must drop before maybeRotate: with synchronous flush
+	// (BackgroundCompaction off) rotation flushes inline, and flushOne
+	// waits out h.writers — still holding our own pin there deadlocks.
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			h.writers.Done()
+		}
+	}
+	defer release()
 
 	n := uint64(b.Len())
 	baseSeq := d.seq.Add(n) - n + 1
@@ -410,18 +424,22 @@ func (d *DB) WriteGSN(b *kv.Batch, gsn uint64) error {
 	d.perf.userBytes.Add(int64(b.Size()))
 	d.perf.totalNs.Add(int64(time.Since(start)))
 
+	release()
 	d.maybeRotate(h)
 	return nil
 }
 
-// maybeStall applies write backpressure when the flush queue or L0 is
-// overfull — the paper's "write stall" (§2.1).
+// maybeStall applies write backpressure. Two tiers (§2.1): past
+// L0StallTrigger (or a full flush queue) writers block until compaction
+// catches up — the paper's "write stall". Between L0SlowdownTrigger and
+// L0StallTrigger writers are merely delayed with a sleep that scales with
+// L0 pressure, so throughput degrades smoothly instead of falling off the
+// stall cliff (RocksDB's delayed-write path).
 func (d *DB) maybeStall() error {
 	if !d.opts.BackgroundCompaction {
 		return nil
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	waited := time.Time{}
 	for d.bgErr == nil && !d.closed.Load() &&
 		(len(d.imm) >= d.opts.MaxImmutables ||
@@ -435,7 +453,27 @@ func (d *DB) maybeStall() error {
 	if !waited.IsZero() {
 		d.perf.stallNs.Add(int64(time.Since(waited)))
 	}
-	return d.bgErr
+	err := d.bgErr
+	l0 := len(d.vs.Current().Levels[0])
+	slowdown := err == nil && !d.closed.Load() &&
+		l0 >= d.opts.L0SlowdownTrigger && l0 < d.opts.L0StallTrigger
+	if slowdown {
+		d.kick()
+	}
+	d.mu.Unlock()
+	if slowdown {
+		span := d.opts.L0StallTrigger - d.opts.L0SlowdownTrigger
+		if span < 1 {
+			span = 1
+		}
+		delay := d.opts.SlowdownDelay * time.Duration(l0-d.opts.L0SlowdownTrigger+1) / time.Duration(span)
+		if delay > 0 {
+			time.Sleep(delay)
+			d.perf.slowdownNs.Add(int64(delay))
+			d.perf.slowdowns.Add(1)
+		}
+	}
+	return err
 }
 
 // maybeRotate makes the memtable immutable once it exceeds its budget.
@@ -772,18 +810,39 @@ func (d *DB) bgErrSnapshot() error {
 }
 
 // CompactAll drains pending flushes and compacts until no level is over
-// budget (used by benchmarks to reach a steady state and by tests).
+// budget (used by benchmarks to reach a steady state and by tests). The
+// jobs run on the calling goroutine, interleaved with (and waiting out)
+// any background compactions.
 func (d *DB) CompactAll() error {
 	if err := d.Flush(); err != nil {
 		return err
 	}
 	for {
-		worked, err := d.compactOnce()
-		if err != nil {
+		d.mu.Lock()
+		for len(d.compRunning) > 0 && d.bgErr == nil && !d.closed.Load() {
+			d.cond.Wait()
+		}
+		if d.bgErr != nil {
+			err := d.bgErr
+			d.mu.Unlock()
 			return err
 		}
-		if !worked {
+		if d.closed.Load() {
+			d.mu.Unlock()
+			return kv.ErrClosed
+		}
+		job := d.pickJobLocked()
+		if job == nil {
+			d.mu.Unlock()
 			return nil
+		}
+		job.manual = true
+		d.startJobLocked(job)
+		d.mu.Unlock()
+		err := d.execJob(job)
+		d.finishJob(job)
+		if err != nil {
+			return err
 		}
 	}
 }
@@ -800,6 +859,13 @@ type Metrics struct {
 	FlushRetries   int64
 	CompactRetries int64
 	InjectedFaults int64 // non-zero only under a fault-injecting FS
+	// Compaction-scheduler counters (see scheduler.go).
+	StallNs               int64 // time writers spent hard-stalled
+	SlowdownNs            int64 // time writers spent in soft slowdown sleeps
+	Slowdowns             int64 // writes that took a slowdown sleep
+	Compactions           int64
+	Subcompactions        int64 // key-range splits executed inside compactions
+	ConcurrentCompactions int64 // high-water mark of jobs running at once
 }
 
 // Metrics snapshots structure sizes (Table 2 memory accounting).
@@ -807,11 +873,17 @@ func (d *DB) Metrics() Metrics {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	m := Metrics{
-		MemTableBytes:  d.memH.mem.ArenaSize(),
-		ImmutableCount: len(d.imm),
-		State:          kv.HealthState(d.stateA.Load()),
-		FlushRetries:   d.perf.flushRetries.Load(),
-		CompactRetries: d.perf.compactRetries.Load(),
+		MemTableBytes:         d.memH.mem.ArenaSize(),
+		ImmutableCount:        len(d.imm),
+		State:                 kv.HealthState(d.stateA.Load()),
+		FlushRetries:          d.perf.flushRetries.Load(),
+		CompactRetries:        d.perf.compactRetries.Load(),
+		StallNs:               d.perf.stallNs.Load(),
+		SlowdownNs:            d.perf.slowdownNs.Load(),
+		Slowdowns:             d.perf.slowdowns.Load(),
+		Compactions:           d.perf.compactions.Load(),
+		Subcompactions:        d.perf.subcompactions.Load(),
+		ConcurrentCompactions: d.perf.concurrentCompactHW.Load(),
 	}
 	if fc, ok := d.opts.FS.(vfs.FaultCounter); ok {
 		m.InjectedFaults = fc.InjectedFaults()
@@ -840,6 +912,9 @@ func (d *DB) Close() error {
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.bgWG.Wait()
+	// Running compactions must drain before the manifest closes: they
+	// write version edits through d.vs.
+	d.compWG.Wait()
 
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -69,6 +69,20 @@ type Options struct {
 	L0CompactionTrigger int
 	// L0StallTrigger is the L0 file count that stalls writers.
 	L0StallTrigger int
+	// L0SlowdownTrigger is the L0 file count at which writers are delayed
+	// with a scaled sleep instead of blocked — soft backpressure before
+	// the hard stall. Defaults to the midpoint of L0CompactionTrigger and
+	// L0StallTrigger.
+	L0SlowdownTrigger int
+	// SlowdownDelay is the maximum per-write sleep applied at the top of
+	// the slowdown band (scaled down linearly toward L0SlowdownTrigger).
+	SlowdownDelay time.Duration
+	// MaxBackgroundCompactions bounds how many compactions of disjoint
+	// level/key ranges run concurrently (default 2).
+	MaxBackgroundCompactions int
+	// MaxSubCompactions splits one large merge into up to this many
+	// key-range subcompactions that run in parallel (default 1 = off).
+	MaxSubCompactions int
 	// BaseLevelSize is the L1 capacity; each level is LevelMultiplier
 	// larger.
 	BaseLevelSize int64
@@ -123,6 +137,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.L0StallTrigger <= 0 {
 		o.L0StallTrigger = 12
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = (o.L0CompactionTrigger + o.L0StallTrigger) / 2
+	}
+	if o.SlowdownDelay <= 0 {
+		o.SlowdownDelay = time.Millisecond
+	}
+	if o.MaxBackgroundCompactions <= 0 {
+		o.MaxBackgroundCompactions = 2
+	}
+	if o.MaxSubCompactions <= 0 {
+		o.MaxSubCompactions = 1
 	}
 	if o.BaseLevelSize <= 0 {
 		o.BaseLevelSize = 16 << 20

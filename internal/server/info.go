@@ -59,5 +59,11 @@ func (s *Server) infoText() string {
 	fmt.Fprintf(&b, "store_shed:%d\r\n", agg.Shed)
 	fmt.Fprintf(&b, "store_queue_high_water:%d\r\n", agg.QueueHighWater)
 	fmt.Fprintf(&b, "store_health:%s\r\n", agg.Health)
+	fmt.Fprintf(&b, "store_compactions:%d\r\n", agg.Compactions)
+	fmt.Fprintf(&b, "store_subcompactions:%d\r\n", agg.Subcompactions)
+	fmt.Fprintf(&b, "store_concurrent_compactions_hw:%d\r\n", agg.ConcurrentCompactionsHW)
+	fmt.Fprintf(&b, "store_compaction_stall_us:%d\r\n", agg.CompactionStallUs)
+	fmt.Fprintf(&b, "store_compaction_slowdown_us:%d\r\n", agg.CompactionSlowdownUs)
+	fmt.Fprintf(&b, "store_compaction_slowdowns:%d\r\n", agg.CompactionSlowdowns)
 	return b.String()
 }

@@ -161,6 +161,17 @@ type Options struct {
 	// BlockCacheSize overrides the per-instance data-block cache budget
 	// (LSM engines; 0 = default 8 MiB, negative disables).
 	BlockCacheSize int64
+	// MaxBackgroundCompactions bounds how many compactions of disjoint
+	// levels/key ranges each LSM instance runs concurrently (0 = engine
+	// default 2).
+	MaxBackgroundCompactions int
+	// MaxSubCompactions splits one large merge into up to this many
+	// parallel key-range subcompactions (0 = engine default 1, off).
+	MaxSubCompactions int
+	// L0SlowdownTrigger is the per-instance L0 file count at which writers
+	// are delayed with a scaled sleep instead of blocked (0 = engine
+	// default, midway between the compaction and stall triggers).
+	L0SlowdownTrigger int
 	// SimulateHostCosts charges the per-request host software costs the
 	// paper identifies (log encode/checksum ~1us + ~6ns/B, lookup ~2us)
 	// in simulated time, multiplied by DeviceScale. Only meaningful
@@ -246,6 +257,9 @@ func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
 			lo.SyncWAL = opts.SyncWAL
 			lo.Compression = opts.Compression
 			lo.BlockCacheSize = opts.BlockCacheSize
+			lo.MaxBackgroundCompactions = opts.MaxBackgroundCompactions
+			lo.MaxSubCompactions = opts.MaxSubCompactions
+			lo.L0SlowdownTrigger = opts.L0SlowdownTrigger
 			if opts.SimulateHostCosts && opts.SimulateDevice != "" {
 				s := scale(opts)
 				lo.WALPerRecordCost = time.Duration(1000 * s)

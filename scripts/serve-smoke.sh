@@ -41,6 +41,18 @@ for counter in coalesced_set_ops coalesced_get_ops store_batch_write_ops store_m
     fi
 done
 
+# The compaction-scheduler counters must be present in INFO (values may
+# legitimately be zero on a short in-memory run; only absence is a bug).
+for counter in store_compactions store_subcompactions store_concurrent_compactions_hw \
+               store_compaction_stall_us store_compaction_slowdown_us store_compaction_slowdowns; do
+    n=$(echo "$OUT" | grep -o "${counter}=[0-9]*" | head -1 | cut -d= -f2)
+    if [ -z "${n:-}" ]; then
+        echo "serve-smoke: compaction counter $counter missing from server INFO" >&2
+        exit 1
+    fi
+done
+echo "serve-smoke: compaction counters surfaced: $(echo "$OUT" | grep -o 'store_[a-z_]*compaction[a-z_]*=[0-9]*' | tr '\n' ' ')"
+
 kill -TERM "$SRV_PID"
 for i in $(seq 1 100); do
     kill -0 "$SRV_PID" 2>/dev/null || break
