@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzDecodeBatchPayload -fuzztime=$(FUZZTIME) ./internal/lsm
 	$(GO) test -fuzz=FuzzBatchPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/lsm
 	$(GO) test -fuzz=FuzzRESPParse -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 # Short overload + torture pass: the fault-injection torture run (one
 # seed, reduced ops under -short) plus the accessing layer's admission /
@@ -39,6 +40,17 @@ torture-short:
 compaction-stress:
 	$(GO) test -race -timeout 10m -run 'Compaction|Scheduler|Slowdown|Subcompaction|JobsConflict|RangesOverlap|MergeFiles' ./internal/lsm
 	$(GO) test -race -short -timeout 5m -run 'Torture/lsm-parallel' ./internal/torture
+
+# Backup/restore stress: the restore-equivalence torture (checkpoint →
+# restore → byte-identical dump, for every engine family, including a
+# wrecked mid-checkpoint attempt), the checkpoint/barrier battery in core,
+# and the manifest parser's deterministic mutation sweep — all under the
+# race detector.
+backup-stress:
+	$(GO) test -race -timeout 10m -run 'RestoreEquivalence' ./internal/torture
+	$(GO) test -race -timeout 5m -run 'Checkpoint|Restore|Barrier' ./internal/core
+	$(GO) test -race -timeout 5m -run 'Manifest|ParseMutations|ParseRejects' ./internal/checkpoint
+	$(GO) test -race -timeout 5m -run 'Backup|Restore' .
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

@@ -49,6 +49,8 @@ func main() {
 		maxBgComp  = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
 		subComp    = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
 		l0Slowdown = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
+		ckptEvery  = flag.Int("checkpoint_every", 0, "take an online checkpoint every N completed ops (0 = off)")
+		ckptDir    = flag.String("checkpoint_dir", "dbbench-backup", "backup set -checkpoint_every writes into")
 	)
 	flag.Parse()
 
@@ -90,6 +92,10 @@ func main() {
 	}
 	defer store.Close()
 
+	if *ckptEvery > 0 {
+		saver.start(store, *ckptEvery, *ckptDir)
+	}
+
 	fmt.Printf("engine=%s p2=%v workers=%d threads=%d num=%d value=%dB device=%q\n",
 		*engine, *p2, w, *threads, *num, *valueSize, *dev)
 	loaded := false
@@ -115,9 +121,11 @@ func main() {
 		h := runOne(store, name, *num, *valueSize, *threads, *scanSize, *opDeadline, true)
 		latencies = append(latencies, namedSummary{name, h.Summary()})
 	}
+	saver.stop()
 	reportRobustness(store)
 	reportOverload(store)
 	reportCompaction(store)
+	reportCheckpoint(store)
 	for _, ls := range latencies {
 		fmt.Printf("latency %-12s: p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus (n=%d)\n",
 			ls.name, ls.sum.P50Us, ls.sum.P95Us, ls.sum.P99Us, ls.sum.MaxUs, ls.sum.Count)
@@ -130,6 +138,80 @@ func main() {
 		}
 		fmt.Println(string(raw))
 	}
+}
+
+// checkpointSaver takes online checkpoints while the workloads run: every
+// N completed ops the worker threads nudge a dedicated goroutine, which
+// backs the store up into a single incremental set. Triggers arriving
+// while a save is in flight coalesce into one.
+type checkpointSaver struct {
+	every   int64
+	ops     atomic.Int64
+	trigger chan struct{}
+	done    chan struct{}
+	fails   atomic.Int64
+}
+
+var saver checkpointSaver
+
+func (c *checkpointSaver) start(store *p2kvs.Store, every int, dir string) {
+	c.every = int64(every)
+	c.trigger = make(chan struct{}, 1)
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		for range c.trigger {
+			if _, err := p2kvs.Backup(store, dir); err != nil {
+				c.fails.Add(1)
+				fmt.Fprintln(os.Stderr, "dbbench: checkpoint:", err)
+			}
+		}
+	}()
+}
+
+// tick is called by every worker thread after each completed op.
+func (c *checkpointSaver) tick() {
+	if c.every == 0 {
+		return
+	}
+	if c.ops.Add(1)%c.every == 0 {
+		select {
+		case c.trigger <- struct{}{}:
+		default: // a save is already pending; coalesce
+		}
+	}
+}
+
+func (c *checkpointSaver) stop() {
+	if c.every == 0 {
+		return
+	}
+	close(c.trigger)
+	<-c.done
+}
+
+// reportCheckpoint prints the online-checkpoint summary: how many
+// checkpoints committed, the last barrier pause (the write-stall cost of
+// a save), and how the image was materialized.
+func reportCheckpoint(store *p2kvs.Store) {
+	if store.Checkpoints() == 0 {
+		return
+	}
+	var files p2kvs.WorkerStats
+	for _, ws := range store.Stats() {
+		files.Checkpoint.FilesLinked += ws.Checkpoint.FilesLinked
+		files.Checkpoint.FilesCopied += ws.Checkpoint.FilesCopied
+		files.Checkpoint.FilesReused += ws.Checkpoint.FilesReused
+		files.Checkpoint.BytesCopied += ws.Checkpoint.BytesCopied
+	}
+	line := fmt.Sprintf("checkpoint     : %d checkpoints; barrier=%s; %d linked, %d copied, %d reused; %d bytes copied",
+		store.Checkpoints(), time.Duration(store.CheckpointBarrierNs()),
+		files.Checkpoint.FilesLinked, files.Checkpoint.FilesCopied, files.Checkpoint.FilesReused,
+		files.Checkpoint.BytesCopied)
+	if f := saver.fails.Load(); f > 0 {
+		line += fmt.Sprintf("; %d FAILED", f)
+	}
+	fmt.Println(line)
 }
 
 // reportOverload prints the request-lifecycle summary: admission
@@ -284,6 +366,7 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 		}
 		cancel()
 		h.Record(time.Since(opStart))
+		saver.tick()
 		if errors.Is(err, kv.ErrOverloaded) || errors.Is(err, kv.ErrDeadlineExceeded) {
 			dropped.Add(1)
 			err = nil

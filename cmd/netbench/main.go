@@ -40,6 +40,7 @@ func main() {
 		benchmarks = flag.String("benchmarks", "set,get", "comma-separated phases: set, get, mixed")
 		getRatio   = flag.Float64("get_ratio", 0.9, "GET fraction for the mixed phase")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
+		bgsave     = flag.Bool("bgsave", false, "issue BGSAVE after the phases and wait for the save to commit")
 	)
 	flag.Parse()
 	if *keys <= 0 {
@@ -67,6 +68,9 @@ func main() {
 			loaded = true
 		}
 		runPhase(phase, *addr, *conns, *pipeline, *num, *valueSize, *keys, *dist, *getRatio, *seed, true)
+	}
+	if *bgsave {
+		bgsaveAndWait(*addr)
 	}
 	reportServerCounters(*addr)
 }
@@ -204,26 +208,25 @@ func runConn(phase, addr string, pipeline, ops, valueSize, keyspace int, dist st
 	return nil
 }
 
-// reportServerCounters pulls INFO and prints the batching counters that
-// prove pipeline coalescing reached the engine's batch paths.
-func reportServerCounters(addr string) {
+// infoFields pulls INFO and returns every numeric "key:value" line.
+func infoFields(addr string) (map[string]int64, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "netbench: info:", err)
-		return
+		return nil, err
 	}
 	defer nc.Close()
 	rd := server.NewReader(nc)
 	wr := server.NewWriter(nc)
 	wr.WriteCommand([]byte("INFO"))
 	if err := wr.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "netbench: info:", err)
-		return
+		return nil, err
 	}
 	rep, err := rd.ReadReply()
-	if err != nil || rep.Kind != '$' {
-		fmt.Fprintln(os.Stderr, "netbench: info: bad reply")
-		return
+	if err != nil {
+		return nil, err
+	}
+	if rep.Kind != '$' {
+		return nil, fmt.Errorf("bad INFO reply kind %q", rep.Kind)
 	}
 	fields := map[string]int64{}
 	for _, line := range strings.Split(string(rep.Str), "\r\n") {
@@ -235,6 +238,55 @@ func reportServerCounters(addr string) {
 			fields[k] = n
 		}
 	}
+	return fields, nil
+}
+
+// bgsaveAndWait issues BGSAVE and polls INFO until the background save
+// commits (or fails), so the final counter report reflects a finished
+// checkpoint.
+func bgsaveAndWait(addr string) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench: bgsave:", err)
+		return
+	}
+	rd := server.NewReader(nc)
+	wr := server.NewWriter(nc)
+	wr.WriteCommand([]byte("BGSAVE"))
+	if err := wr.Flush(); err != nil {
+		nc.Close()
+		fmt.Fprintln(os.Stderr, "netbench: bgsave:", err)
+		return
+	}
+	rep, err := rd.ReadReply()
+	nc.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench: bgsave:", err)
+		return
+	}
+	fmt.Printf("bgsave: %s\n", rep.Str)
+	if rep.IsError() {
+		return
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		f, err := infoFields(addr)
+		if err == nil && f["store_checkpoint_in_progress"] == 0 && f["store_checkpoints"] > 0 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintln(os.Stderr, "netbench: bgsave did not commit within 15s")
+}
+
+// reportServerCounters pulls INFO and prints the batching counters that
+// prove pipeline coalescing reached the engine's batch paths.
+func reportServerCounters(addr string) {
+	fields, err := infoFields(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench: info:", err)
+		return
+	}
 	fmt.Printf("server: coalesced_set_ops=%d coalesced_get_ops=%d store_batch_write_ops=%d store_multiget_ops=%d store_batched_ops=%d\n",
 		fields["coalesced_set_ops"], fields["coalesced_get_ops"],
 		fields["store_batch_write_ops"], fields["store_multiget_ops"], fields["store_batched_ops"])
@@ -242,4 +294,9 @@ func reportServerCounters(addr string) {
 		fields["store_compactions"], fields["store_subcompactions"],
 		fields["store_concurrent_compactions_hw"], fields["store_compaction_stall_us"],
 		fields["store_compaction_slowdown_us"], fields["store_compaction_slowdowns"])
+	fmt.Printf("server: store_checkpoints=%d store_checkpoint_barrier_ns=%d store_last_checkpoint_unix=%d store_checkpoint_files_linked=%d store_checkpoint_files_copied=%d store_checkpoint_files_reused=%d store_checkpoint_bytes_copied=%d\n",
+		fields["store_checkpoints"], fields["store_checkpoint_barrier_ns"],
+		fields["store_last_checkpoint_unix"], fields["store_checkpoint_files_linked"],
+		fields["store_checkpoint_files_copied"], fields["store_checkpoint_files_reused"],
+		fields["store_checkpoint_bytes_copied"])
 }

@@ -45,6 +45,7 @@ func main() {
 		maxBgComp    = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
 		subComp      = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
 		l0Slowdown   = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
+		ckptDir      = flag.String("checkpoint_dir", "", "backup set BGSAVE writes into; empty disables BGSAVE")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -88,6 +89,7 @@ func main() {
 		MaxConns:       *maxConns,
 		MaxPipeline:    *maxPipeline,
 		DebugAddr:      *debugAddr,
+		CheckpointDir:  *ckptDir,
 		Logf:           logger.Printf,
 	})
 

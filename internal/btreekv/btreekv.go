@@ -64,6 +64,13 @@ type DB struct {
 	gen    uint64
 	wal    *wal.Writer
 	closed bool
+
+	// Online-backup pinning (see PrepareCheckpoint): while > 0, retired
+	// generations' files are parked in ckptDeferred instead of deleted,
+	// because a backup in progress may still be copying them.
+	ckptPins     int
+	ckptDeferred []string
+	ckptStats    kv.CheckpointStats // under mu
 }
 
 var _ kv.Engine = (*DB)(nil)
@@ -380,12 +387,23 @@ func (d *DB) checkpointLocked() error {
 		d.base = nil
 	}
 	oldWAL.Close()
-	d.opts.FS.Remove(walName(d.dir, oldGen))
+	d.removeObsoleteLocked(walName(d.dir, oldGen))
 	if oldBase != nil {
 		oldBase.Close()
-		d.opts.FS.Remove(ckptName(d.dir, oldGen))
+		d.removeObsoleteLocked(ckptName(d.dir, oldGen))
 	}
 	return nil
+}
+
+// removeObsoleteLocked deletes a retired generation's file, or defers the
+// deletion while an online backup pins the captured generation. Caller
+// holds the write latch.
+func (d *DB) removeObsoleteLocked(path string) {
+	if d.ckptPins > 0 {
+		d.ckptDeferred = append(d.ckptDeferred, path)
+		return
+	}
+	d.opts.FS.Remove(path)
 }
 
 // Flush implements kv.Engine (checkpoint + journal sync).

@@ -1,0 +1,121 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"p2kvs/internal/vfs"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Seq:         3,
+		Workers:     2,
+		Engine:      "rocksdb",
+		Partitioner: "hash",
+		GSN:         41,
+		WorkerGSN:   []uint64{41, 17},
+		TakenUnixNs: 1700000000000000000,
+		BarrierNs:   125000,
+		Files: []File{
+			{Worker: 0, Path: "worker-0/000004.sst", Restore: "000004.sst", Size: 4096, CRC: 0xdeadbeef},
+			{Worker: 1, Path: "worker-1/000002-ckpt000003.log", Restore: "000002.log", Size: 128, CRC: 0x1},
+			{Worker: -1, Path: "TXNLOG-ckpt000003", Restore: "TXNLOG", Size: 18, CRC: 0x22},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	got, err := Parse(m.Encode())
+	if err != nil {
+		t.Fatalf("Parse(Encode()): %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestManifestWriteLoadGC(t *testing.T) {
+	fs := vfs.NewMem()
+	m := sampleManifest()
+	for _, f := range m.Files {
+		if err := vfs.WriteFile(fs, "bak/"+f.Path, make([]byte, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Garbage from a crashed later attempt must be collected.
+	if err := vfs.WriteFile(fs, "bak/worker-0/999999.sst", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "bak/TXNLOG-ckpt000099", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(fs, "bak", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(fs, "bak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != m.Seq || len(got.Files) != len(m.Files) {
+		t.Fatalf("loaded %+v", got)
+	}
+	GC(fs, "bak", m)
+	if fs.Exists("bak/worker-0/999999.sst") || fs.Exists("bak/TXNLOG-ckpt000099") {
+		t.Fatal("GC left unreferenced files")
+	}
+	for _, f := range m.Files {
+		if !fs.Exists("bak/" + f.Path) {
+			t.Fatalf("GC removed referenced file %s", f.Path)
+		}
+	}
+	if _, err := Load(fs, "empty"); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("Load(empty) = %v", err)
+	}
+}
+
+// seal appends a valid self-checksum trailer so a structurally damaged
+// body reaches the line parser instead of bouncing off the outer CRC.
+func seal(body string) string {
+	return body + fmt.Sprintf("crc %08x\n", crc32.Checksum([]byte(body), crcTable))
+}
+
+// TestParseRejects locks in typed failure for a catalogue of damaged
+// manifests: every case must return an error satisfying ErrCorrupt, and
+// none may panic.
+func TestParseRejects(t *testing.T) {
+	valid := string(sampleManifest().Encode())
+	cases := map[string]string{
+		"empty":               "",
+		"no trailing newline": valid[:len(valid)-1],
+		"bit flip":            valid[:9] + "X" + valid[10:],
+		"truncated":           valid[:len(valid)/2],
+		"missing crc":         "p2kvs-checkpoint v1\nseq 1\nworkers 1\nengine x\nworker 0 gsn 0\n",
+		"bad magic":           seal("p2kvs-checkpoint v9\nseq 1\nworkers 1\nengine x\nworker 0 gsn 0\n"),
+		"unknown directive":   seal("p2kvs-checkpoint v1\nbogus 1\n"),
+		"missing header":      seal("p2kvs-checkpoint v1\nseq 1\n"),
+		"zero seq":            seal("p2kvs-checkpoint v1\nseq 0\nworkers 1\nengine x\nworker 0 gsn 0\n"),
+		"absolute path": seal("p2kvs-checkpoint v1\nseq 1\nworkers 1\nengine x\nworker 0 gsn 0\n" +
+			"file 0 1 00000001 /etc/passwd x\n"),
+		"dotdot path": seal("p2kvs-checkpoint v1\nseq 1\nworkers 1\nengine x\nworker 0 gsn 0\n" +
+			"file 0 1 00000001 ../../escape x\n"),
+		"worker out of range": seal("p2kvs-checkpoint v1\nseq 1\nworkers 1\nengine x\nworker 0 gsn 0\n" +
+			"file 7 1 00000001 a b\n"),
+		"sparse worker gsn": seal("p2kvs-checkpoint v1\nseq 1\nworkers 2\nengine x\nworker 1 gsn 0\n"),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			m, err := Parse([]byte(data))
+			if err == nil {
+				t.Fatalf("Parse accepted %q: %+v", name, m)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err %v does not match ErrCorrupt", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2kvs/internal/checkpoint"
+	"p2kvs/internal/keyspace"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+// Store-wide online checkpoint: a GSN barrier pauses every worker at a
+// common watermark just long enough to capture each engine's cheap
+// checkpoint state (kv.Checkpointer.PrepareCheckpoint) plus the
+// transaction-log prefix, then writes resume while the bulk of the image
+// is written out. Consistency across workers comes from the transaction
+// protocol, not from the barrier alone: a cross-instance transaction's
+// commit record is appended only after every leg has been applied, so any
+// transaction only partially inside the captured WAL prefixes is missing
+// its commit in the captured TXNLOG prefix and is rolled back by the
+// recover filter when the image is restored — exactly the crash-recovery
+// path of §4.5.
+
+// ErrCheckpointUnsupported reports an engine without kv.Checkpointer.
+var ErrCheckpointUnsupported = errors.New("core: engine does not support checkpoints")
+
+// Checkpoint writes an online checkpoint of the whole store into dir on
+// fs, committing it with a CHECKPOINT manifest. A dir already holding a
+// committed checkpoint becomes a backup set: unchanged immutable files
+// are reused in place, so successive checkpoints are incremental. The
+// previous checkpoint stays valid until the new manifest commits.
+func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) {
+	if fs == nil {
+		return nil, errors.New("core: Checkpoint requires a filesystem")
+	}
+	if s.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	// One checkpoint at a time: concurrent calls would race on the backup
+	// set's sequence numbers.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	for _, w := range s.workers {
+		if _, ok := w.engine.(kv.Checkpointer); !ok {
+			return nil, fmt.Errorf("%w (worker %d)", ErrCheckpointUnsupported, w.id)
+		}
+	}
+	prev, err := checkpoint.Load(fs, dir)
+	if err != nil && !errors.Is(err, checkpoint.ErrNoManifest) {
+		return nil, fmt.Errorf("core: backup set has a damaged manifest (clear %s to start fresh): %w", dir, err)
+	}
+	seq := uint64(1)
+	prevFiles := make(map[string]checkpoint.File)
+	if prev != nil {
+		seq = prev.Seq + 1
+		for _, f := range prev.Files {
+			prevFiles[f.Path] = f
+		}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+
+	// --- Barrier: pause every worker at a common GSN watermark. ---
+	start := time.Now()
+	var ready sync.WaitGroup
+	release := make(chan struct{})
+	barriers := make([]*request, 0, len(s.workers))
+	abort := func(err error) (*checkpoint.Manifest, error) {
+		close(release)
+		for _, r := range barriers {
+			<-r.done
+		}
+		return nil, err
+	}
+	for _, w := range s.workers {
+		r := &request{
+			typ:            reqBarrier,
+			noMerge:        true,
+			barrierReady:   &ready,
+			barrierRelease: release,
+			done:           make(chan struct{}),
+		}
+		ready.Add(1)
+		// pushWait bypasses admission control: a barrier must land even on
+		// a saturated queue, and it waits behind the queued work it fences.
+		if err := w.q.pushWait(nil, r); err != nil {
+			ready.Done()
+			return abort(fmt.Errorf("core: checkpoint barrier on worker %d: %w", w.id, err))
+		}
+		barriers = append(barriers, r)
+	}
+	ready.Wait()
+
+	// All workers are parked: capture the watermarks and every engine's
+	// checkpoint state. PrepareCheckpoint is designed to be cheap (no bulk
+	// IO) so the pause stays short; the barrier duration is surfaced as
+	// checkpoint_barrier_ns.
+	gsn := s.gsn.Load()
+	workerGSN := make([]uint64, len(s.workers))
+	writers := make([]kv.CheckpointWriter, len(s.workers))
+	var prepErr error
+	for i, w := range s.workers {
+		workerGSN[i] = w.lastGSN.Load()
+		cw, err := w.engine.(kv.Checkpointer).PrepareCheckpoint()
+		if err != nil {
+			prepErr = fmt.Errorf("core: preparing checkpoint of worker %d: %w", w.id, err)
+			break
+		}
+		writers[i] = cw
+	}
+	txnSize := int64(-1)
+	if prepErr == nil && s.txn != nil {
+		txnSize = s.txn.size()
+	}
+	close(release)
+	for _, r := range barriers {
+		<-r.done
+	}
+	barrierNs := time.Since(start).Nanoseconds()
+	defer func() {
+		for _, cw := range writers {
+			if cw != nil {
+				cw.Release()
+			}
+		}
+	}()
+	if prepErr != nil {
+		return nil, prepErr
+	}
+	s.ckptBarrierNs.Store(barrierNs)
+
+	// --- Writes resumed: emit the image, then commit the manifest. ---
+	m := &checkpoint.Manifest{
+		Seq:         seq,
+		Workers:     len(s.workers),
+		Engine:      engineLabel(s.opts.EngineName),
+		Partitioner: partitionerName(s.opts.Partitioner),
+		GSN:         gsn,
+		WorkerGSN:   workerGSN,
+		TakenUnixNs: start.UnixNano(),
+		BarrierNs:   barrierNs,
+	}
+	for i, cw := range writers {
+		sub := fmt.Sprintf("worker-%d", i)
+		files, err := cw.WriteTo(fs, dir+"/"+sub, seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: writing checkpoint of worker %d: %w", i, err)
+		}
+		for _, f := range files {
+			mf := checkpoint.File{Worker: i, Path: sub + "/" + f.Name, Restore: f.Restore}
+			// A path already committed by a previous manifest is immutable
+			// by the naming convention, so its recorded checksum still
+			// holds — reusing it keeps incremental checkpoints from
+			// re-reading every unchanged SST.
+			if pf, ok := prevFiles[mf.Path]; ok {
+				mf.Size, mf.CRC = pf.Size, pf.CRC
+			} else {
+				crc, size, err := vfs.Checksum(fs, dir+"/"+mf.Path)
+				if err != nil {
+					return nil, err
+				}
+				mf.Size, mf.CRC = size, crc
+			}
+			m.Files = append(m.Files, mf)
+		}
+	}
+	if txnSize >= 0 {
+		name := fmt.Sprintf("TXNLOG-ckpt%06d", seq)
+		if err := vfs.CopyPrefix(s.opts.TxnFS, s.opts.TxnDir+"/TXNLOG", fs, dir+"/"+name, txnSize); err != nil {
+			return nil, fmt.Errorf("core: capturing transaction log: %w", err)
+		}
+		crc, size, err := vfs.Checksum(fs, dir+"/"+name)
+		if err != nil {
+			return nil, err
+		}
+		m.Files = append(m.Files, checkpoint.File{
+			Worker: -1, Path: name, Restore: "TXNLOG", Size: size, CRC: crc,
+		})
+	}
+	if err := checkpoint.Write(fs, dir, m); err != nil {
+		return nil, err
+	}
+	checkpoint.GC(fs, dir, m)
+	s.ckptCount.Add(1)
+	s.lastCkptUnix.Store(time.Now().Unix())
+	return m, nil
+}
+
+// CheckpointBarrierNs reports the duration of the most recent checkpoint's
+// worker pause, in nanoseconds (0 before the first checkpoint).
+func (s *Store) CheckpointBarrierNs() int64 { return s.ckptBarrierNs.Load() }
+
+// Checkpoints reports how many checkpoints committed on this store.
+func (s *Store) Checkpoints() int64 { return s.ckptCount.Load() }
+
+// LastCheckpointUnix reports the commit time (unix seconds) of the most
+// recent checkpoint, 0 when none has been taken — the LASTSAVE answer.
+func (s *Store) LastCheckpointUnix() int64 { return s.lastCkptUnix.Load() }
+
+func engineLabel(name string) string {
+	if name == "" {
+		return "unspecified"
+	}
+	return name
+}
+
+// partitionerName labels the partitioner family for the manifest, so a
+// restore can reject an image whose key→worker mapping would not match.
+func partitionerName(p keyspace.Partitioner) string {
+	switch p.(type) {
+	case keyspace.Hash:
+		return "hash"
+	case keyspace.Consistent:
+		return "consistent"
+	case keyspace.Range:
+		return "range"
+	default:
+		return "custom"
+	}
+}

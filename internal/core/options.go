@@ -92,6 +92,10 @@ type Options struct {
 	// requests never touch it.
 	TxnFS  vfs.FS
 	TxnDir string
+	// EngineName labels the engine family in checkpoint manifests so
+	// Restore can refuse an image taken with a different engine. Optional;
+	// empty means "unspecified" and restores skip the compatibility check.
+	EngineName string
 	// Meters, when non-nil, receives one busy meter per worker.
 	Meters *metrics.Group
 }

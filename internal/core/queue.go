@@ -20,9 +20,10 @@ type reqType uint8
 
 // Request types.
 const (
-	reqWrite reqType = iota // PUT / UPDATE / DELETE (always batchable together)
-	reqRead                 // GET
-	reqScan                 // SCAN / RANGE leg — executed alone
+	reqWrite   reqType = iota // PUT / UPDATE / DELETE (always batchable together)
+	reqRead                   // GET
+	reqScan                   // SCAN / RANGE leg — executed alone
+	reqBarrier                // checkpoint barrier — pauses the worker, never merged
 )
 
 // request is one unit of work in a worker queue.
@@ -57,6 +58,14 @@ type request struct {
 	// worker (the Put(K,V,callback) extension, §4.1).
 	done     chan struct{}
 	callback func(err error)
+
+	// Barrier payload (reqBarrier, always noMerge). The worker signals
+	// barrierReady when it reaches the request — every operation enqueued
+	// before the barrier has been applied — then parks until
+	// barrierRelease closes. While all workers are parked the store is at
+	// a cross-instance GSN watermark the checkpoint can capture.
+	barrierReady   *sync.WaitGroup
+	barrierRelease chan struct{}
 
 	// ctx, when non-nil, carries the request deadline. It is set only
 	// for contexts that can actually expire (Done() != nil), so the

@@ -38,6 +38,14 @@ type WorkerStatsJSON struct {
 	Compactions             int64 `json:"compactions"`
 	Subcompactions          int64 `json:"subcompactions"`
 	ConcurrentCompactionsHW int64 `json:"concurrent_compactions_hw"`
+	// Checkpoint counters: how often this worker's engine was captured and
+	// how the backup image was materialized (hard links and reuse are the
+	// incremental fast paths; copied bytes are the real IO cost).
+	Checkpoints           int64 `json:"checkpoints"`
+	CheckpointFilesLinked int64 `json:"checkpoint_files_linked"`
+	CheckpointFilesCopied int64 `json:"checkpoint_files_copied"`
+	CheckpointFilesReused int64 `json:"checkpoint_files_reused"`
+	CheckpointBytesCopied int64 `json:"checkpoint_bytes_copied"`
 }
 
 // StatsSnapshot is the JSON view of the whole store: an aggregate over all
@@ -47,6 +55,12 @@ type StatsSnapshot struct {
 	Workers   int               `json:"workers"`
 	Aggregate WorkerStatsJSON   `json:"aggregate"`
 	PerWorker []WorkerStatsJSON `json:"per_worker"`
+	// Store-level checkpoint state: committed checkpoints, the last
+	// barrier's worker-pause duration, and the last commit time (unix
+	// seconds, 0 before the first checkpoint).
+	Checkpoints         int64 `json:"store_checkpoints"`
+	CheckpointBarrierNs int64 `json:"checkpoint_barrier_ns"`
+	LastCheckpointUnix  int64 `json:"last_checkpoint_unix"`
 }
 
 func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
@@ -73,6 +87,12 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 		Compactions:             ws.Compaction.Compactions,
 		Subcompactions:          ws.Compaction.Subcompactions,
 		ConcurrentCompactionsHW: ws.Compaction.MaxConcurrent,
+
+		Checkpoints:           ws.Checkpoint.Checkpoints,
+		CheckpointFilesLinked: ws.Checkpoint.FilesLinked,
+		CheckpointFilesCopied: ws.Checkpoint.FilesCopied,
+		CheckpointFilesReused: ws.Checkpoint.FilesReused,
+		CheckpointBytesCopied: ws.Checkpoint.BytesCopied,
 	}
 	if ws.Health.Err != nil {
 		out.HealthErr = ws.Health.Err.Error()
@@ -109,6 +129,11 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		agg.CompactionSlowdowns += j.CompactionSlowdowns
 		agg.Compactions += j.Compactions
 		agg.Subcompactions += j.Subcompactions
+		agg.Checkpoints += j.Checkpoints
+		agg.CheckpointFilesLinked += j.CheckpointFilesLinked
+		agg.CheckpointFilesCopied += j.CheckpointFilesCopied
+		agg.CheckpointFilesReused += j.CheckpointFilesReused
+		agg.CheckpointBytesCopied += j.CheckpointBytesCopied
 		if j.ConcurrentCompactionsHW > agg.ConcurrentCompactionsHW {
 			agg.ConcurrentCompactionsHW = j.ConcurrentCompactionsHW
 		}
@@ -124,6 +149,9 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		}
 	}
 	snap.Aggregate = agg
+	snap.Checkpoints = s.ckptCount.Load()
+	snap.CheckpointBarrierNs = s.ckptBarrierNs.Load()
+	snap.LastCheckpointUnix = s.lastCkptUnix.Load()
 	return snap
 }
 

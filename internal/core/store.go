@@ -22,6 +22,13 @@ type Store struct {
 	gsn     atomic.Uint64
 	txn     *txnLog
 	closed  atomic.Bool
+
+	// Checkpoint state: ckptMu serializes Checkpoint calls; the atomics
+	// feed StatsSnapshot and the server's LASTSAVE / INFO.
+	ckptMu        sync.Mutex
+	ckptCount     atomic.Int64
+	ckptBarrierNs atomic.Int64
+	lastCkptUnix  atomic.Int64
 }
 
 var _ kv.Engine = (*Store)(nil)

@@ -98,6 +98,15 @@ func (t *txnLog) commit(gsn uint64) error {
 	return t.w.Append(gsn, encodeTxnRec(txnCommit, gsn))
 }
 
+// size reports the log's current byte length at a completed-record
+// boundary — the stable prefix a checkpoint captures. The log is
+// append-only, so [0, size) never changes after this returns.
+func (t *txnLog) size() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Size()
+}
+
 func (t *txnLog) close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -50,6 +50,11 @@ type worker struct {
 	batchWriteOps atomic.Int64
 	multiGetOps   atomic.Int64
 
+	// lastGSN is the highest GSN this worker has durably applied — the
+	// per-worker transaction watermark a checkpoint barrier records.
+	// Written only by the worker goroutine, read by the coordinator.
+	lastGSN atomic.Uint64
+
 	// Overload / lifecycle stats. rejected counts admission-control
 	// rejections (ErrOverloaded), expired counts requests whose context
 	// ended before or while being submitted (caller-visible deadline
@@ -148,7 +153,19 @@ func (w *worker) execute(reqs []*request) {
 		w.executeReads(reqs)
 	case reqScan:
 		w.executeScan(reqs[0])
+	case reqBarrier:
+		w.executeBarrier(reqs[0])
 	}
+}
+
+// executeBarrier parks the worker at a checkpoint barrier: everything
+// enqueued before the barrier has been applied, nothing enqueued after it
+// runs until the coordinator releases. The coordinator uses the pause to
+// capture every engine's checkpoint state at one GSN watermark.
+func (w *worker) executeBarrier(r *request) {
+	r.barrierReady.Done()
+	<-r.barrierRelease
+	r.complete(nil)
 }
 
 // executeWrites applies a run of write-type requests. With OBM and an
@@ -174,6 +191,9 @@ func (w *worker) executeWrites(reqs []*request) {
 			err = gw.WriteGSN(&b, gsn)
 		} else {
 			err = bw.Write(&b)
+		}
+		if err == nil && uniformGSN && gsn > w.lastGSN.Load() {
+			w.lastGSN.Store(gsn)
 		}
 		for _, r := range reqs {
 			r.complete(err)
@@ -352,6 +372,9 @@ type WorkerStats struct {
 	// Compaction is the engine's compaction-scheduler report; zero-valued
 	// for engines without compaction stats.
 	Compaction kv.CompactionStats
+	// Checkpoint is the engine's online-backup activity report;
+	// zero-valued for engines without checkpoint support.
+	Checkpoint kv.CheckpointStats
 }
 
 func (w *worker) stats() WorkerStats {
@@ -373,6 +396,9 @@ func (w *worker) stats() WorkerStats {
 	}
 	if cr, ok := w.engine.(kv.CompactionStatsReporter); ok {
 		st.Compaction = cr.CompactionStats()
+	}
+	if kr, ok := w.engine.(kv.CheckpointStatsReporter); ok {
+		st.Checkpoint = kr.CheckpointStats()
 	}
 	return st
 }

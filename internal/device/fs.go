@@ -54,6 +54,10 @@ func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
 // Exists implements vfs.FS.
 func (f *FS) Exists(name string) bool { return f.inner.Exists(name) }
 
+// Link implements vfs.FS. Hard links are a metadata operation — no data
+// moves, so nothing is charged to the device.
+func (f *FS) Link(oldname, newname string) error { return f.inner.Link(oldname, newname) }
+
 type devFile struct {
 	inner vfs.File
 	dev   *Device

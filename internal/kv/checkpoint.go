@@ -1,0 +1,66 @@
+package kv
+
+import "p2kvs/internal/vfs"
+
+// CheckpointFile describes one file an engine emitted into a checkpoint
+// image.
+type CheckpointFile struct {
+	// Name is the file's path relative to the checkpoint directory the
+	// engine was given in WriteTo.
+	Name string
+	// Restore is the path, relative to the engine's data directory, the
+	// file must be materialized at when the image is restored.
+	Restore string
+}
+
+// CheckpointStats is a snapshot of an engine's checkpoint activity,
+// cumulative over the engine's lifetime.
+type CheckpointStats struct {
+	// Checkpoints counts completed engine checkpoints.
+	Checkpoints int64
+	// FilesLinked / FilesCopied / FilesReused break down how checkpoint
+	// files were materialized: hard-linked (zero bytes moved), copied, or
+	// already present in the backup set from an earlier checkpoint
+	// (incremental reuse). BytesCopied counts only bytes physically
+	// copied — the number the incremental path drives to zero.
+	FilesLinked int64
+	FilesCopied int64
+	FilesReused int64
+	BytesCopied int64
+}
+
+// CheckpointStatsReporter is the optional capability of reporting
+// checkpoint statistics. The p2KVS accessing layer surfaces it in
+// per-worker stats.
+type CheckpointStatsReporter interface {
+	CheckpointStats() CheckpointStats
+}
+
+// CheckpointWriter is the slow half of a two-phase engine checkpoint. It
+// holds a pinned, consistent point-in-time view captured by
+// PrepareCheckpoint and can materialize it while the engine keeps serving
+// writes.
+type CheckpointWriter interface {
+	// WriteTo materializes the captured view under dir on fs and returns
+	// the files making up the image. seq is the backup set's checkpoint
+	// sequence number: files whose content differs between checkpoints
+	// must embed it in their names, so a crashed later checkpoint can
+	// never clobber files an earlier CHECKPOINT manifest references;
+	// immutable files (SSTs) keep stable names and are skipped when
+	// already present — the incremental path.
+	WriteTo(fs vfs.FS, dir string, seq uint64) ([]CheckpointFile, error)
+	// Release drops the pinned view. It must be called exactly once,
+	// whether or not WriteTo succeeded, or the engine will defer file
+	// deletions forever.
+	Release()
+}
+
+// Checkpointer is the optional capability of participating in an online
+// store-wide checkpoint. PrepareCheckpoint is called while the accessing
+// layer has the engine's worker paused at a GSN barrier; it must be fast
+// (capture references, sizes and positions — no bulk IO) because its
+// runtime is write-stall time. The returned writer does the bulk IO after
+// writes resume.
+type Checkpointer interface {
+	PrepareCheckpoint() (CheckpointWriter, error)
+}

@@ -65,8 +65,9 @@ type Store struct {
 	workers []*worker
 	closed  bool
 	// mu guards closed: submitters hold it shared while enqueueing so
-	// Close cannot close a queue mid-send.
-	mu sync.RWMutex
+	// Close cannot close a queue mid-send. It also guards ckptStats.
+	mu        sync.RWMutex
+	ckptStats kv.CheckpointStats
 }
 
 var _ kv.Engine = (*Store)(nil)
@@ -149,6 +150,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		w.wg.Add(1)
 		go w.loop()
 		s.workers = append(s.workers, w)
+	}
+	// A restored backup image materializes as a SNAPSHOT file (see
+	// checkpoint.go); replay it through the normal write path.
+	if opts.FS.Exists(dir + "/" + snapshotName) {
+		if err := s.replaySnapshot(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }

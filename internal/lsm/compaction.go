@@ -411,7 +411,9 @@ func (d *DB) installCompaction(inLevel int, inputs []*manifest.FileMeta, outLeve
 	d.perf.compactions.Add(1)
 	for _, f := range append(append([]*manifest.FileMeta(nil), inputs...), lower...) {
 		d.tcache.evict(f.Num)
-		d.opts.FS.Remove(sstName(d.dir, f.Num))
+		// Deferred while a checkpoint pin holds: the captured version may
+		// still reference this input (DESIGN.md §10).
+		d.removeObsolete(sstName(d.dir, f.Num))
 	}
 	return nil
 }

@@ -38,12 +38,12 @@ type DB struct {
 	seq    atomic.Uint64
 	closed atomic.Bool
 
-	mu         sync.Mutex
-	cond       *sync.Cond // stall/flush-progress signaling
-	memH       *memHandle
-	imm        []*memHandle // flush queue, oldest first
-	wal        *wal.Writer  // == memH.walw; nil when DisableWAL
-	vs         *manifest.Set
+	mu   sync.Mutex
+	cond *sync.Cond // stall/flush-progress signaling
+	memH *memHandle
+	imm  []*memHandle // flush queue, oldest first
+	wal  *wal.Writer  // == memH.walw; nil when DisableWAL
+	vs   *manifest.Set
 
 	// Running compactions (scheduler.go). compWG tracks their goroutines
 	// so Close can wait them out before tearing down the manifest.
@@ -59,6 +59,13 @@ type DB struct {
 	flushFailing   bool
 	compactFailing bool
 	stateA         atomic.Int32
+
+	// Checkpoint pinning (checkpoint.go): while ckptPins > 0 an
+	// in-progress checkpoint still references the captured version's SSTs
+	// and WAL prefixes, so file deletions are parked in ckptDeferred and
+	// executed when the last pin releases.
+	ckptPins     int
+	ckptDeferred []string
 
 	writerMu sync.Mutex // serializes writes when !PipelinedWrite
 

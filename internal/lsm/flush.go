@@ -76,7 +76,9 @@ func (d *DB) doFlush(h *memHandle) error {
 	retireWAL := func() {
 		if h.walw != nil {
 			h.walw.Close()
-			d.opts.FS.Remove(walName(d.dir, h.logNum))
+			// Deferred while a checkpoint pin holds: the captured image may
+			// still be copying this log's prefix.
+			d.removeObsolete(walName(d.dir, h.logNum))
 		}
 	}
 	if d.opts.MemTableOnly || h.mem.Empty() {

@@ -34,6 +34,14 @@ type Perf struct {
 	BloomSkips               int64 // table probes skipped by bloom filters
 	TableProbes              int64 // SSTable Get probes actually performed
 	WriteGroupIOs            int64 // WAL IOs after group aggregation
+	// Checkpoint counters (checkpoint.go): how backup files were
+	// materialized — hard-linked, physically copied, or reused from an
+	// earlier checkpoint in the same backup set.
+	Checkpoints           int64
+	CheckpointFilesLinked int64
+	CheckpointFilesCopied int64
+	CheckpointFilesReused int64
+	CheckpointBytesCopied int64
 }
 
 // perfCounters is the atomic backing store for Perf.
@@ -63,6 +71,13 @@ type perfCounters struct {
 	// Robustness: background job attempts beyond the first.
 	flushRetries   atomic.Int64
 	compactRetries atomic.Int64
+
+	// Checkpoint activity (checkpoint.go).
+	ckptCount       atomic.Int64
+	ckptFilesLinked atomic.Int64
+	ckptFilesCopied atomic.Int64
+	ckptFilesReused atomic.Int64
+	ckptBytesCopied atomic.Int64
 }
 
 // Perf snapshots the engine's counters.
@@ -86,6 +101,11 @@ func (d *DB) Perf() Perf {
 		GetCount:                 d.perf.gets.Load(),
 		BloomSkips:               d.perf.bloomSkips.Load(),
 		TableProbes:              d.perf.tableProbes.Load(),
+		Checkpoints:              d.perf.ckptCount.Load(),
+		CheckpointFilesLinked:    d.perf.ckptFilesLinked.Load(),
+		CheckpointFilesCopied:    d.perf.ckptFilesCopied.Load(),
+		CheckpointFilesReused:    d.perf.ckptFilesReused.Load(),
+		CheckpointBytesCopied:    d.perf.ckptBytesCopied.Load(),
 	}
 	p.WALTime = time.Duration(d.perf.walIONsBase.Load())
 	p.WALLockTime = time.Duration(d.perf.walLockNsBase.Load())

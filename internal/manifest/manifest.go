@@ -302,6 +302,16 @@ func (s *Set) Rotate() error {
 	return s.rotateLocked()
 }
 
+// SnapshotEdit returns the entire current state (log number, file-number
+// allocator, last sequence, and every live file) as one edit, captured
+// atomically. Checkpoints encode it as the trimmed MANIFEST of a backup
+// image.
+func (s *Set) SnapshotEdit() *VersionEdit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotEdit()
+}
+
 // snapshotEdit captures the entire current state as one edit.
 func (s *Set) snapshotEdit() *VersionEdit {
 	e := &VersionEdit{

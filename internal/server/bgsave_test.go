@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"p2kvs/internal/core"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/vfs"
+)
+
+// startCheckpointServer boots a server over real LSM engines on a shared
+// MemFS so BGSAVE has something checkpointable, with the backup set on
+// the same in-memory filesystem.
+func startCheckpointServer(t *testing.T, fs *vfs.MemFS) *testServer {
+	t.Helper()
+	return startTestServer(t, 2, nil, func(o *core.Options) {
+		o.EngineFactory = func(id int, filter func(uint64) bool) (kv.Engine, error) {
+			opts := lsm.RocksDBOptions(fs)
+			opts.MemTableSize = 16 << 10
+			return lsm.OpenWith(fmt.Sprintf("srv/inst-%02d", id), opts, lsm.OpenOptions{RecoverFilter: filter})
+		}
+		o.TxnFS = fs
+		o.TxnDir = "srv/txn"
+	}, Config{CheckpointDir: "bak", CheckpointFS: fs})
+}
+
+// waitSaved polls INFO until the background save commits (or fails) and
+// returns the final INFO text.
+func waitSaved(t *testing.T, c *client) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info := string(c.do(t, "INFO").Str)
+		if strings.Contains(info, "store_checkpoint_in_progress:0") {
+			return info
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background save did not finish within 10s")
+	return ""
+}
+
+func TestBgsaveLastsaveInfo(t *testing.T) {
+	fs := vfs.NewMem()
+	ts := startCheckpointServer(t, fs)
+	c := dialTest(t, ts)
+
+	for i := 0; i < 200; i++ {
+		if rep := c.do(t, "SET", fmt.Sprintf("key-%03d", i), "v"); rep.IsError() {
+			t.Fatalf("SET: %s", rep.Str)
+		}
+	}
+	if n := c.do(t, "LASTSAVE"); n.Int != 0 {
+		t.Fatalf("LASTSAVE before any save = %d", n.Int)
+	}
+
+	rep := c.do(t, "BGSAVE")
+	if rep.IsError() || string(rep.Str) != "Background saving started" {
+		t.Fatalf("BGSAVE reply = %q (err=%v)", rep.Str, rep.IsError())
+	}
+	info := waitSaved(t, c)
+	if !strings.Contains(info, "store_checkpoints:1") {
+		t.Fatalf("INFO after save missing store_checkpoints:1:\n%s", info)
+	}
+	if strings.Contains(info, "store_last_checkpoint_error") {
+		t.Fatalf("INFO reports a save error:\n%s", info)
+	}
+	for _, counter := range []string{
+		"store_checkpoint_barrier_ns:", "store_checkpoint_files_linked:",
+		"store_checkpoint_files_copied:", "store_checkpoint_files_reused:",
+		"store_checkpoint_bytes_copied:",
+	} {
+		if !strings.Contains(info, counter) {
+			t.Fatalf("INFO missing %q:\n%s", counter, info)
+		}
+	}
+	if n := c.do(t, "LASTSAVE"); n.Int == 0 {
+		t.Fatal("LASTSAVE still 0 after a committed save")
+	}
+	if !fs.Exists("bak/" + "CHECKPOINT") {
+		t.Fatal("no CHECKPOINT manifest in the backup set")
+	}
+
+	// A second BGSAVE into the same set is the incremental path.
+	if rep := c.do(t, "BGSAVE"); rep.IsError() {
+		t.Fatalf("second BGSAVE: %s", rep.Str)
+	}
+	if info := waitSaved(t, c); !strings.Contains(info, "store_checkpoints:2") {
+		t.Fatalf("INFO after second save:\n%s", info)
+	}
+}
+
+func TestBgsaveDisabledWithoutDir(t *testing.T) {
+	ts := startTestServer(t, 1, nil, nil, Config{})
+	c := dialTest(t, ts)
+	rep := c.do(t, "BGSAVE")
+	if !rep.IsError() || !strings.Contains(string(rep.Str), "BGSAVE disabled") {
+		t.Fatalf("BGSAVE without checkpoint dir = %q", rep.Str)
+	}
+}
+
+// TestBgsaveUnsupportedEngineSurfacesError: stub engines don't implement
+// kv.Checkpointer, so the background save must fail — visibly, through
+// INFO's store_last_checkpoint_error — rather than silently succeed.
+func TestBgsaveUnsupportedEngineSurfacesError(t *testing.T) {
+	ts := startTestServer(t, 1, nil, nil, Config{CheckpointDir: "bak", CheckpointFS: vfs.NewMem()})
+	c := dialTest(t, ts)
+	if rep := c.do(t, "BGSAVE"); rep.IsError() {
+		t.Fatalf("BGSAVE start: %s", rep.Str)
+	}
+	info := waitSaved(t, c)
+	if !strings.Contains(info, "store_last_checkpoint_error") {
+		t.Fatalf("failed save not surfaced in INFO:\n%s", info)
+	}
+	if !strings.Contains(info, "store_checkpoints:0") {
+		t.Fatalf("failed save still bumped the counter:\n%s", info)
+	}
+}

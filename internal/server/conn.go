@@ -240,6 +240,10 @@ func (c *conn) execOne(cmd [][]byte) {
 		c.execScan(cmd)
 	case "INFO":
 		c.wr.WriteBulkString(c.srv.infoText())
+	case "BGSAVE":
+		c.execBgsave()
+	case "LASTSAVE":
+		c.wr.WriteInt(c.srv.store.LastCheckpointUnix())
 	case "COMMAND":
 		// redis-cli handshake: an empty reply keeps it happy.
 		c.wr.WriteArrayHeader(0)
@@ -261,6 +265,22 @@ func (c *conn) execOne(cmd [][]byte) {
 		c.wr.WriteError("ERR unknown command '" + string(cmd[0]) + "'")
 	}
 	c.srv.stats.latFor(strings.ToLower(name)).Record(time.Since(start))
+}
+
+// execBgsave starts a background checkpoint into the configured backup
+// directory, mirroring Redis BGSAVE semantics: the reply acknowledges the
+// start, LASTSAVE (and INFO's store_last_checkpoint_unix) report the
+// completion.
+func (c *conn) execBgsave() {
+	if c.srv.cfg.CheckpointDir == "" {
+		c.wr.WriteError("ERR BGSAVE disabled: server started without a checkpoint directory")
+		return
+	}
+	if !c.srv.bgsave() {
+		c.wr.WriteError("ERR Background save already in progress")
+		return
+	}
+	c.wr.WriteSimple("Background saving started")
 }
 
 func (c *conn) argErr(name string) {

@@ -65,5 +65,25 @@ func (s *Server) infoText() string {
 	fmt.Fprintf(&b, "store_compaction_stall_us:%d\r\n", agg.CompactionStallUs)
 	fmt.Fprintf(&b, "store_compaction_slowdown_us:%d\r\n", agg.CompactionSlowdownUs)
 	fmt.Fprintf(&b, "store_compaction_slowdowns:%d\r\n", agg.CompactionSlowdowns)
+
+	fmt.Fprintf(&b, "# Persistence\r\n")
+	fmt.Fprintf(&b, "store_checkpoints:%d\r\n", snap.Checkpoints)
+	fmt.Fprintf(&b, "store_checkpoint_barrier_ns:%d\r\n", snap.CheckpointBarrierNs)
+	fmt.Fprintf(&b, "store_last_checkpoint_unix:%d\r\n", snap.LastCheckpointUnix)
+	fmt.Fprintf(&b, "store_checkpoint_in_progress:%d\r\n", boolInt(s.saving.Load()))
+	fmt.Fprintf(&b, "store_checkpoint_files_linked:%d\r\n", agg.CheckpointFilesLinked)
+	fmt.Fprintf(&b, "store_checkpoint_files_copied:%d\r\n", agg.CheckpointFilesCopied)
+	fmt.Fprintf(&b, "store_checkpoint_files_reused:%d\r\n", agg.CheckpointFilesReused)
+	fmt.Fprintf(&b, "store_checkpoint_bytes_copied:%d\r\n", agg.CheckpointBytesCopied)
+	if err := s.lastSaveError(); err != nil {
+		fmt.Fprintf(&b, "store_last_checkpoint_error:%s\r\n", strings.ReplaceAll(err.Error(), "\r\n", " "))
+	}
 	return b.String()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -9,6 +9,7 @@ import (
 
 	"p2kvs/internal/core"
 	"p2kvs/internal/histogram"
+	"p2kvs/internal/vfs"
 )
 
 // Config configures a Server.
@@ -35,6 +36,12 @@ type Config struct {
 	// DebugAddr, when non-empty, starts an HTTP listener serving
 	// /metrics (JSON), /debug/vars (expvar) and /debug/pprof.
 	DebugAddr string
+	// CheckpointDir is the backup set BGSAVE writes into. Empty disables
+	// BGSAVE (the command replies with an error).
+	CheckpointDir string
+	// CheckpointFS is the filesystem holding CheckpointDir; nil means the
+	// host filesystem. Tests point it at an in-memory FS.
+	CheckpointFS vfs.FS
 	// Logf receives server logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -110,7 +117,48 @@ type Server struct {
 	downOnce   sync.Once
 	downErr    error
 
+	// BGSAVE state: one background checkpoint at a time; the last
+	// failure is surfaced in INFO so an unattended BGSAVE cannot fail
+	// silently.
+	saving      atomic.Bool
+	saveWG      sync.WaitGroup
+	saveErrMu   sync.Mutex
+	lastSaveErr error
+
 	start time.Time
+}
+
+// bgsave starts a background checkpoint into cfg.CheckpointDir. It
+// returns false when one is already running.
+func (s *Server) bgsave() bool {
+	if !s.saving.CompareAndSwap(false, true) {
+		return false
+	}
+	fs := s.cfg.CheckpointFS
+	if fs == nil {
+		fs = vfs.NewOS()
+	}
+	s.saveWG.Add(1)
+	go func() {
+		defer s.saveWG.Done()
+		defer s.saving.Store(false)
+		_, err := s.store.Checkpoint(fs, s.cfg.CheckpointDir)
+		s.saveErrMu.Lock()
+		s.lastSaveErr = err
+		s.saveErrMu.Unlock()
+		if err != nil {
+			s.cfg.Logf("p2kvs-server: background save failed: %v", err)
+		} else {
+			s.cfg.Logf("p2kvs-server: background save complete")
+		}
+	}()
+	return true
+}
+
+func (s *Server) lastSaveError() error {
+	s.saveErrMu.Lock()
+	defer s.saveErrMu.Unlock()
+	return s.lastSaveErr
 }
 
 // New builds a Server; call Serve or ListenAndServe to run it.
@@ -262,6 +310,9 @@ func (s *Server) shutdown(ctx context.Context) error {
 	if s.debug != nil {
 		s.debug.close()
 	}
+	// A background save still writing its image must finish before the
+	// store closes underneath it.
+	s.saveWG.Wait()
 	s.cfg.Logf("p2kvs-server: drained, closing store")
 	if err := s.store.Close(); err != nil && drainErr == nil {
 		drainErr = err

@@ -63,6 +63,7 @@ const (
 	OpWrite
 	OpRead
 	OpSync
+	OpLink
 )
 
 func (o Op) String() string {
@@ -87,6 +88,8 @@ func (o Op) String() string {
 		return "read"
 	case OpSync:
 		return "sync"
+	case OpLink:
+		return "link"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -287,6 +290,14 @@ func (f *FaultFS) MkdirAll(dir string) error {
 
 // Exists implements FS.
 func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
+
+// Link implements FS.
+func (f *FaultFS) Link(oldname, newname string) error {
+	if d := f.check(OpLink, oldname+" -> "+newname); d.err != nil {
+		return d.err
+	}
+	return f.inner.Link(oldname, newname)
+}
 
 type faultFile struct {
 	fs    *FaultFS

@@ -1,0 +1,155 @@
+package vfs
+
+import (
+	"hash/crc32"
+	"io"
+)
+
+// ReadFile returns the full contents of name.
+func ReadFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && !(err == io.EOF && int64(n) == size) {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFile creates name with the given contents and syncs it.
+func WriteFile(fs FS, name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CopyPrefix copies the first n bytes of src (on srcFS) to dst (on dstFS),
+// creating dst through a temporary name so a partially written copy never
+// shadows a complete one. It is the backbone of checkpointing: WAL files
+// are append-only, so a [0, n) prefix captured at a known watermark is a
+// stable, self-consistent image even while the source keeps growing.
+func CopyPrefix(srcFS FS, src string, dstFS FS, dst string, n int64) error {
+	in, err := srcFS.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := dstFS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<16)
+	var off int64
+	for off < n {
+		chunk := int64(len(buf))
+		if n-off < chunk {
+			chunk = n - off
+		}
+		rn, rerr := in.ReadAt(buf[:chunk], off)
+		if rn > 0 {
+			if _, werr := out.Write(buf[:rn]); werr != nil {
+				out.Close()
+				dstFS.Remove(tmp)
+				return werr
+			}
+			off += int64(rn)
+		}
+		if rerr != nil {
+			if rerr == io.EOF && off == n {
+				break
+			}
+			out.Close()
+			dstFS.Remove(tmp)
+			return rerr
+		}
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		dstFS.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		dstFS.Remove(tmp)
+		return err
+	}
+	return dstFS.Rename(tmp, dst)
+}
+
+// CopyFile copies all of src (on srcFS) to dst (on dstFS) via CopyPrefix.
+func CopyFile(srcFS FS, src string, dstFS FS, dst string) error {
+	in, err := srcFS.Open(src)
+	if err != nil {
+		return err
+	}
+	size, err := in.Size()
+	in.Close()
+	if err != nil {
+		return err
+	}
+	return CopyPrefix(srcFS, src, dstFS, dst, size)
+}
+
+// LinkOrCopy makes newname hold the same bytes as oldname, preferring a
+// hard link (zero data movement) and falling back to a full copy when the
+// filesystem refuses the link (e.g. a cross-device destination).
+// Both names are on the same FS. Returns linked=true when the cheap path
+// was taken.
+func LinkOrCopy(fs FS, oldname, newname string) (linked bool, err error) {
+	if err := fs.Link(oldname, newname); err == nil {
+		return true, nil
+	}
+	return false, CopyFile(fs, oldname, fs, newname)
+}
+
+// Checksum returns the CRC-32C of the file's full contents along with its
+// size. Backup manifests record both for end-to-end restore verification.
+func Checksum(fs FS, name string) (crc uint32, size int64, err error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	size, err = f.Size()
+	if err != nil {
+		return 0, 0, err
+	}
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	buf := make([]byte, 1<<16)
+	var off int64
+	for off < size {
+		n, rerr := f.ReadAt(buf, off)
+		if n > 0 {
+			h.Write(buf[:n])
+			off += int64(n)
+		}
+		if rerr != nil {
+			if rerr == io.EOF && off == size {
+				break
+			}
+			return 0, 0, rerr
+		}
+	}
+	return h.Sum32(), size, nil
+}

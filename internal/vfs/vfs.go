@@ -51,6 +51,11 @@ type FS interface {
 	MkdirAll(dir string) error
 	// Exists reports whether the file exists.
 	Exists(name string) bool
+	// Link creates newname as a hard link to oldname: both names address
+	// the same underlying bytes, and removing one leaves the other intact.
+	// Linking over an existing newname is an error. Callers that may run
+	// on filesystems without hard-link support should use LinkOrCopy.
+	Link(oldname, newname string) error
 }
 
 // ErrNotExist mirrors os.ErrNotExist for the in-memory implementations.
@@ -170,6 +175,26 @@ func (fs *MemFS) Exists(name string) bool {
 	defer fs.mu.Unlock()
 	_, ok := fs.files[clean(name)]
 	return ok
+}
+
+// Link implements FS. A MemFS hard link aliases the shared file data, so
+// the durability watermark (and Crash truncation) is shared too — exactly
+// the semantics of two directory entries over one inode.
+func (fs *MemFS) Link(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.frozen {
+		return errors.New("vfs: filesystem crashed")
+	}
+	od, ok := fs.files[clean(oldname)]
+	if !ok {
+		return fmt.Errorf("vfs: link %s: %w", oldname, ErrNotExist)
+	}
+	if _, ok := fs.files[clean(newname)]; ok {
+		return fmt.Errorf("vfs: link %s: %w", newname, os.ErrExist)
+	}
+	fs.files[clean(newname)] = od
+	return nil
 }
 
 // Crash drops all non-durable bytes (everything written since each file's
@@ -341,6 +366,14 @@ func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 func (OSFS) Exists(name string) bool {
 	_, err := os.Stat(name)
 	return err == nil
+}
+
+// Link implements FS.
+func (OSFS) Link(oldname, newname string) error {
+	if err := os.MkdirAll(filepath.Dir(newname), 0o755); err != nil {
+		return err
+	}
+	return os.Link(oldname, newname)
 }
 
 type osFile struct{ *os.File }

@@ -181,8 +181,18 @@ type Options struct {
 
 // Open creates or reopens a p2KVS store.
 func Open(opts Options) (*Store, error) {
+	opts, fs, err := buildFS(opts)
+	if err != nil {
+		return nil, err
+	}
+	return openWithFS(opts, fs)
+}
+
+// buildFS normalizes opts and constructs the filesystem stack Open and
+// Restore share (in-memory or host, optionally device-wrapped).
+func buildFS(opts Options) (Options, vfs.FS, error) {
 	if opts.Dir == "" {
-		return nil, errors.New("p2kvs: Options.Dir is required")
+		return opts, nil, errors.New("p2kvs: Options.Dir is required")
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 8
@@ -206,9 +216,12 @@ func Open(opts Options) (*Store, error) {
 	case "hdd":
 		fs = device.WrapFS(fs, device.New(device.HDD, scale(opts)))
 	default:
-		return nil, fmt.Errorf("p2kvs: unknown device profile %q", opts.SimulateDevice)
+		return opts, nil, fmt.Errorf("p2kvs: unknown device profile %q", opts.SimulateDevice)
 	}
+	return opts, fs, nil
+}
 
+func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
 	factory, err := engineFactory(fs, opts)
 	if err != nil {
 		return nil, err
@@ -227,6 +240,7 @@ func Open(opts Options) (*Store, error) {
 	copts.DrainTimeout = opts.DrainTimeout
 	copts.TxnFS = fs
 	copts.TxnDir = opts.Dir + "/txn"
+	copts.EngineName = string(opts.Engine)
 	if opts.MergedScan {
 		copts.Scan = core.ScanMerged
 	}

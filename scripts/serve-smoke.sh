@@ -14,7 +14,8 @@ trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
 go build -o "$BIN/p2kvs-server" ./cmd/p2kvs-server
 go build -o "$BIN/netbench" ./cmd/netbench
 
-"$BIN/p2kvs-server" -addr "$ADDR" -inmemory -workers 8 -cmd_timeout 5s >"$LOG" 2>&1 &
+"$BIN/p2kvs-server" -addr "$ADDR" -inmemory -workers 8 -cmd_timeout 5s \
+    -checkpoint_dir "$BIN/backup" >"$LOG" 2>&1 &
 SRV_PID=$!
 
 for i in $(seq 1 50); do
@@ -29,8 +30,36 @@ for i in $(seq 1 50); do
     sleep 0.1
 done
 
-OUT=$("$BIN/netbench" -addr "$ADDR" -benchmarks set,get -conns 4 -pipeline 16 -num 8000)
+OUT=$("$BIN/netbench" -addr "$ADDR" -benchmarks set,get -conns 4 -pipeline 16 -num 8000 -bgsave)
 echo "$OUT"
+
+# BGSAVE must have been accepted and committed: the checkpoint counters
+# from INFO prove a backup image landed in the checkpoint directory.
+echo "$OUT" | grep -q "bgsave: Background saving started" || {
+    echo "serve-smoke: BGSAVE was not accepted" >&2
+    exit 1
+}
+for counter in store_checkpoints store_last_checkpoint_unix; do
+    n=$(echo "$OUT" | grep -o "${counter}=[0-9]*" | head -1 | cut -d= -f2)
+    if [ -z "${n:-}" ] || [ "$n" -le 0 ]; then
+        echo "serve-smoke: expected $counter > 0 after BGSAVE (got '${n:-missing}')" >&2
+        exit 1
+    fi
+done
+for counter in store_checkpoint_barrier_ns store_checkpoint_files_linked \
+               store_checkpoint_files_copied store_checkpoint_files_reused \
+               store_checkpoint_bytes_copied; do
+    n=$(echo "$OUT" | grep -o "${counter}=[0-9]*" | head -1 | cut -d= -f2)
+    if [ -z "${n:-}" ]; then
+        echo "serve-smoke: checkpoint counter $counter missing from server INFO" >&2
+        exit 1
+    fi
+done
+[ -f "$BIN/backup/CHECKPOINT" ] || {
+    echo "serve-smoke: BGSAVE committed but no CHECKPOINT manifest on disk" >&2
+    exit 1
+}
+echo "serve-smoke: BGSAVE committed: $(echo "$OUT" | grep -o 'store_checkpoint[a-z_]*=[0-9]*' | tr '\n' ' ')"
 
 # The pipelined runs must have been coalesced into engine-level batches.
 for counter in coalesced_set_ops coalesced_get_ops store_batch_write_ops store_multiget_ops; do
