@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ backup-stress:
 	$(GO) test -race -timeout 5m -run 'Checkpoint|Restore|Barrier' ./internal/core
 	$(GO) test -race -timeout 5m -run 'Manifest|ParseMutations|ParseRejects' ./internal/checkpoint
 	$(GO) test -race -timeout 5m -run 'Backup|Restore' .
+
+# Crash-recovery stress: kill -9 a real server process under pipelined
+# load, restart, verify acked writes (commit mode) / clean recovery
+# (async modes) over the wire. CYCLES=n overrides the commit-mode count.
+crash-stress:
+	./scripts/crash-stress.sh
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

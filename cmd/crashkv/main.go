@@ -1,0 +1,439 @@
+// Command crashkv is the crash-recovery torture harness: it spawns a
+// real p2kvs-server process, drives pipelined SET load while journaling
+// every acknowledged write, SIGKILLs the server at a random moment
+// (including mid-BGSAVE), restarts it, and verifies over the wire that
+// the durability contract held:
+//
+//   - under -mode commit (SyncOnCommit), every acknowledged write is
+//     present after the kill: for each key the stored sequence number is
+//     in [highest acked, highest attempted];
+//   - under -mode interval / never, acked writes may be lost but the
+//     store must restart cleanly and every surviving value must be
+//     well-formed (no torn or cross-key bytes served).
+//
+// The cycle repeats -cycles times; any violation exits non-zero.
+//
+// Example:
+//
+//	go build -o bin/p2kvs-server ./cmd/p2kvs-server
+//	go run ./cmd/crashkv -server bin/p2kvs-server -cycles 25 -mode commit
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"p2kvs/internal/ackedlog"
+	"p2kvs/internal/server"
+)
+
+var (
+	serverBin = flag.String("server", "bin/p2kvs-server", "path to the p2kvs-server binary")
+	dir       = flag.String("dir", "", "data directory (default: a fresh temp dir)")
+	cycles    = flag.Int("cycles", 25, "kill/restart cycles")
+	mode      = flag.String("mode", "commit", "durability mode: commit, interval, never")
+	engine    = flag.String("engine", "rocksdb", "server engine")
+	workers   = flag.Int("workers", 4, "server worker count")
+	conns     = flag.Int("conns", 4, "load connections")
+	pipeline  = flag.Int("pipeline", 8, "pipelined SETs per window")
+	keysPer   = flag.Int("keys_per_conn", 200, "key range owned by each connection")
+	valueSize = flag.Int("value_size", 128, "value size in bytes")
+	seed      = flag.Int64("seed", 0, "RNG seed (0 = time-based)")
+	ackedPath = flag.String("acked_log", "", "journal acked writes here (default <dir>/acked.log)")
+	verbose   = flag.Bool("v", false, "log every cycle's detail")
+)
+
+// keyState tracks one key's write progress. Keys are partitioned by
+// connection, so each is touched by exactly one goroutine during load;
+// the driver reads the state only after the load goroutines stop.
+type keyState struct {
+	attempted int64 // highest seq ever sent in a SET
+	acked     int64 // highest seq the server acked
+}
+
+type harness struct {
+	rng    *rand.Rand
+	addr   string
+	states [][]keyState // [conn][key]
+	acked  *ackedlog.Writer
+	// totals for the final report (atomics: load connections update them
+	// concurrently)
+	setsAcked  atomic.Int64
+	bgsaves    atomic.Int64
+	kills      int
+	verifyOps  int64
+	serverLogs *os.File
+}
+
+func key(conn, i int) string { return fmt.Sprintf("c%02d-k%05d", conn, i) }
+
+func value(conn, i int, seq int64) string {
+	head := fmt.Sprintf("s%08d|%s|", seq, key(conn, i))
+	if pad := *valueSize - len(head); pad > 0 {
+		head += strings.Repeat("x", pad)
+	}
+	return head
+}
+
+// parseValue validates a stored value's structure and extracts its seq.
+func parseValue(conn, i int, v string) (int64, error) {
+	var seq int64
+	var k string
+	head, _, ok := strings.Cut(v, "|")
+	if !ok {
+		return 0, fmt.Errorf("no seq delimiter in %q", truncate(v))
+	}
+	if _, err := fmt.Sscanf(head, "s%d", &seq); err != nil {
+		return 0, fmt.Errorf("bad seq header in %q", truncate(v))
+	}
+	rest := v[len(head)+1:]
+	k, _, ok = strings.Cut(rest, "|")
+	if !ok || k != key(conn, i) {
+		return 0, fmt.Errorf("key echo mismatch in %q (want %s)", truncate(v), key(conn, i))
+	}
+	if want := value(conn, i, seq); v != want {
+		return 0, fmt.Errorf("padding corrupted in %q", truncate(v))
+	}
+	return seq, nil
+}
+
+func truncate(s string) string {
+	if len(s) > 48 {
+		return s[:48] + "..."
+	}
+	return s
+}
+
+func main() {
+	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	switch *mode {
+	case "commit", "interval", "never":
+	default:
+		fatalf("unknown -mode %q", *mode)
+	}
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "crashkv-*")
+		if err != nil {
+			fatalf("mkdtemp: %v", err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+	if *ackedPath == "" {
+		*ackedPath = *dir + "/acked.log"
+	}
+
+	h := &harness{rng: rand.New(rand.NewSource(*seed))}
+	h.states = make([][]keyState, *conns)
+	for c := range h.states {
+		h.states[c] = make([]keyState, *keysPer)
+	}
+	var err error
+	if h.acked, err = ackedlog.Create(*ackedPath); err != nil {
+		fatalf("acked log: %v", err)
+	}
+	defer h.acked.Close()
+	if h.serverLogs, err = os.Create(*dir + "/server.log"); err != nil {
+		fatalf("server log: %v", err)
+	}
+	defer h.serverLogs.Close()
+
+	// One port for the whole run, grabbed from the kernel then released.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("pick port: %v", err)
+	}
+	h.addr = lis.Addr().String()
+	lis.Close()
+
+	fmt.Printf("crashkv: mode=%s engine=%s cycles=%d conns=%d pipeline=%d seed=%d dir=%s addr=%s\n",
+		*mode, *engine, *cycles, *conns, *pipeline, *seed, *dir, h.addr)
+
+	for cycle := 0; cycle < *cycles; cycle++ {
+		cmd := h.startServer()
+		if err := h.awaitReady(); err != nil {
+			cmd.Process.Kill()
+			fatalf("cycle %d: server never became ready: %v", cycle, err)
+		}
+		// The restarted server must still hold everything the previous
+		// incarnations acked.
+		if err := h.verify(); err != nil {
+			cmd.Process.Kill()
+			fatalf("cycle %d: VERIFICATION FAILED: %v", cycle, err)
+		}
+		h.runLoadAndKill(cmd, cycle)
+	}
+
+	// Final incarnation: verify, prove the store still accepts writes,
+	// then shut down gracefully.
+	cmd := h.startServer()
+	if err := h.awaitReady(); err != nil {
+		cmd.Process.Kill()
+		fatalf("final: server never became ready: %v", err)
+	}
+	if err := h.verify(); err != nil {
+		cmd.Process.Kill()
+		fatalf("final: VERIFICATION FAILED: %v", err)
+	}
+	if err := h.probeWrite(); err != nil {
+		cmd.Process.Kill()
+		fatalf("final: store rejected writes after recovery: %v", err)
+	}
+	cmd.Process.Signal(os.Interrupt)
+	if err := cmd.Wait(); err != nil {
+		fatalf("final: graceful shutdown failed: %v", err)
+	}
+	fmt.Printf("crashkv: PASS — %d kills, %d acked sets verified across restarts, %d verification reads, %d bgsaves\n",
+		h.kills, h.setsAcked.Load(), h.verifyOps, h.bgsaves.Load())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crashkv: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// startServer spawns a fresh p2kvs-server on the harness address.
+func (h *harness) startServer() *exec.Cmd {
+	args := []string{
+		"-addr", h.addr,
+		"-dir", *dir + "/db",
+		"-engine", *engine,
+		"-workers", fmt.Sprint(*workers),
+		"-checkpoint_dir", *dir + "/backup",
+		"-conn_idle_timeout", "30s",
+	}
+	switch *mode {
+	case "commit":
+		args = append(args, "-wal_sync", "commit")
+	case "interval":
+		args = append(args, "-wal_sync", "25ms")
+	case "never":
+		args = append(args, "-wal_sync", "never")
+	}
+	cmd := exec.Command(*serverBin, args...)
+	cmd.Stdout = h.serverLogs
+	cmd.Stderr = h.serverLogs
+	if err := cmd.Start(); err != nil {
+		fatalf("start server: %v", err)
+	}
+	return cmd
+}
+
+func (h *harness) awaitReady() error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		nc, err := net.DialTimeout("tcp", h.addr, time.Second)
+		if err == nil {
+			rd, wr := server.NewReader(nc), server.NewWriter(nc)
+			wr.WriteCommand([]byte("PING"))
+			if wr.Flush() == nil {
+				if rep, err := rd.ReadReply(); err == nil && !rep.IsError() {
+					nc.Close()
+					return nil
+				}
+			}
+			nc.Close()
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return errors.New("timeout")
+}
+
+// verify walks every key ever acked and checks the restarted server's
+// state against the journal.
+func (h *harness) verify() error {
+	nc, err := net.DialTimeout("tcp", h.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	for c := range h.states {
+		for i := range h.states[c] {
+			st := &h.states[c][i]
+			if st.attempted == 0 {
+				continue
+			}
+			wr.WriteCommand([]byte("GET"), []byte(key(c, i)))
+			if err := wr.Flush(); err != nil {
+				return err
+			}
+			rep, err := rd.ReadReply()
+			if err != nil {
+				return err
+			}
+			h.verifyOps++
+			if rep.IsError() {
+				return fmt.Errorf("GET %s: server error %q", key(c, i), rep.Str)
+			}
+			if rep.Nil {
+				if *mode == "commit" && st.acked > 0 {
+					return fmt.Errorf("ACKED WRITE LOST: %s acked seq %d but key is gone", key(c, i), st.acked)
+				}
+				continue
+			}
+			seq, perr := parseValue(c, i, string(rep.Str))
+			if perr != nil {
+				return fmt.Errorf("CORRUPT VALUE for %s: %v", key(c, i), perr)
+			}
+			if seq > st.attempted {
+				return fmt.Errorf("IMPOSSIBLE SEQ for %s: stored %d > highest attempted %d", key(c, i), seq, st.attempted)
+			}
+			if *mode == "commit" && seq < st.acked {
+				return fmt.Errorf("ACKED WRITE LOST: %s stored seq %d < acked seq %d", key(c, i), seq, st.acked)
+			}
+			// Recovery must not resurrect state older than the previous
+			// verification pass already observed as durable.
+			if seq >= st.acked {
+				st.acked = seq // tighten the floor for the next cycle
+			}
+		}
+	}
+	return nil
+}
+
+// probeWrite checks the store still accepts and serves a write.
+func (h *harness) probeWrite() error {
+	nc, err := net.DialTimeout("tcp", h.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	wr.WriteCommand([]byte("SET"), []byte("crashkv-probe"), []byte("alive"))
+	wr.WriteCommand([]byte("GET"), []byte("crashkv-probe"))
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+	set, err := rd.ReadReply()
+	if err != nil {
+		return err
+	}
+	if set.IsError() {
+		return fmt.Errorf("SET: %s", set.Str)
+	}
+	get, err := rd.ReadReply()
+	if err != nil {
+		return err
+	}
+	if string(get.Str) != "alive" {
+		return fmt.Errorf("GET after SET: got %q", get.Str)
+	}
+	return nil
+}
+
+// runLoadAndKill drives pipelined load from every connection, lets it
+// run for a random 150–600ms, then SIGKILLs the server mid-flight —
+// sometimes mid-BGSAVE, thanks to a dedicated connection firing BGSAVE
+// throughout the window.
+func (h *harness) runLoadAndKill(cmd *exec.Cmd, cycle int) {
+	stop := make(chan struct{})
+	done := make(chan struct{}, *conns+1)
+	for c := 0; c < *conns; c++ {
+		go func(c int) {
+			defer func() { done <- struct{}{} }()
+			h.loadConn(c, stop)
+		}(c)
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		h.bgsaveConn(stop)
+	}()
+
+	live := 150*time.Millisecond + time.Duration(h.rng.Int63n(int64(450*time.Millisecond)))
+	time.Sleep(live)
+	cmd.Process.Kill() // SIGKILL: no drain, no flush, no goodbye
+	cmd.Wait()
+	h.kills++
+	close(stop)
+	for i := 0; i < *conns+1; i++ {
+		<-done
+	}
+	if *verbose {
+		fmt.Printf("crashkv: cycle %d: killed after %v (acked so far: %d)\n", cycle, live.Round(time.Millisecond), h.setsAcked.Load())
+	}
+}
+
+// loadConn owns keys [0, keys_per_conn) of partition c and writes them
+// with monotonically increasing per-key sequence numbers, journaling
+// every ack. It exits on the first connection error (the kill).
+func (h *harness) loadConn(c int, stop chan struct{}) {
+	nc, err := net.DialTimeout("tcp", h.addr, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	rng := rand.New(rand.NewSource(*seed + int64(c) + 1))
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// One pipeline window of SETs on random keys in this partition.
+		idxs := make([]int, *pipeline)
+		seqs := make([]int64, *pipeline)
+		for i := range idxs {
+			k := rng.Intn(*keysPer)
+			st := &h.states[c][k]
+			st.attempted++
+			idxs[i], seqs[i] = k, st.attempted
+			wr.WriteCommand([]byte("SET"), []byte(key(c, k)), []byte(value(c, k, st.attempted)))
+		}
+		if wr.Flush() != nil {
+			return
+		}
+		for i := range idxs {
+			rep, err := rd.ReadReply()
+			if err != nil {
+				return
+			}
+			if rep.IsError() {
+				continue // LOADSHED etc: not acked, seq stays attempted-only
+			}
+			st := &h.states[c][idxs[i]]
+			if seqs[i] > st.acked {
+				st.acked = seqs[i]
+			}
+			h.setsAcked.Add(1)
+			h.acked.Append("set", key(c, idxs[i]), fmt.Sprint(seqs[i]))
+		}
+	}
+}
+
+// bgsaveConn fires BGSAVE repeatedly so some kills land mid-checkpoint.
+func (h *harness) bgsaveConn(stop chan struct{}) {
+	nc, err := net.DialTimeout("tcp", h.addr, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		wr.WriteCommand([]byte("BGSAVE"))
+		if wr.Flush() != nil {
+			return
+		}
+		if _, err := rd.ReadReply(); err != nil {
+			return
+		}
+		h.bgsaves.Add(1)
+	}
+}

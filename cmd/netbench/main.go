@@ -23,10 +23,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2kvs/internal/ackedlog"
 	"p2kvs/internal/histogram"
 	"p2kvs/internal/server"
 	"p2kvs/internal/workload"
 )
+
+// ackedW, when non-nil, journals every SET the server acknowledged
+// (-acked_log). A crash-recovery harness replays the journal after a
+// server restart to prove no acked write was lost.
+var ackedW *ackedlog.Writer
 
 func main() {
 	var (
@@ -41,8 +47,18 @@ func main() {
 		getRatio   = flag.Float64("get_ratio", 0.9, "GET fraction for the mixed phase")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		bgsave     = flag.Bool("bgsave", false, "issue BGSAVE after the phases and wait for the save to commit")
+		ackedLog   = flag.String("acked_log", "", "journal every acked SET (key and value) to this file for later crash-recovery verification")
 	)
 	flag.Parse()
+	if *ackedLog != "" {
+		w, err := ackedlog.Create(*ackedLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netbench: acked_log:", err)
+			os.Exit(1)
+		}
+		ackedW = w
+		defer w.Close()
+	}
 	if *keys <= 0 {
 		*keys = *num
 	}
@@ -167,8 +183,10 @@ func runConn(phase, addr string, pipeline, ops, valueSize, keyspace int, dist st
 			window = left
 		}
 		isGet := make([]bool, window)
+		idxs := make([]uint64, window)
 		for i := 0; i < window; i++ {
 			idx := ch.Next()
+			idxs[i] = idx
 			get := phase == "get" || (phase == "mixed" && rng.Float64() < getRatio)
 			isGet[i] = get
 			if get {
@@ -199,6 +217,15 @@ func runConn(phase, addr string, pipeline, ops, valueSize, keyspace int, dist st
 				}
 			case isGet[i] && rep.Kind == '$' && !rep.Nil:
 				res.hits.Add(1)
+			case !isGet[i] && ackedW != nil:
+				// The server acked this SET; journal it for post-crash
+				// verification. Same-key overwrites are identical by
+				// construction (Value is deterministic in the key index).
+				k := workload.Key(idxs[i])
+				v := workload.Value(idxs[i], valueSize)
+				if err := ackedW.Append("set", string(k), string(v)); err != nil {
+					return err
+				}
 			}
 		}
 		res.rtt.Record(time.Since(start))

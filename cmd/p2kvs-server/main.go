@@ -38,9 +38,12 @@ func main() {
 		queueDepth   = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
 		maxBatch     = flag.Int("max_batch", 0, "OBM batch cap (0 = default 32)")
 		syncWAL      = flag.Bool("sync", false, "fsync per commit")
+		walSync      = flag.String("wal_sync", "", "WAL durability policy: never, commit, or an interval like 100ms; empty defers to -sync")
 		cmdTimeout   = flag.Duration("cmd_timeout", 0, "per-command deadline (0 = none)")
 		maxConns     = flag.Int("max_conns", 1024, "max concurrent client connections")
 		maxPipeline  = flag.Int("max_pipeline", 128, "max pipelined commands coalesced per read window")
+		idleTimeout  = flag.Duration("conn_idle_timeout", 0, "close connections idle for this long (0 = never)")
+		writeTimeout = flag.Duration("conn_write_timeout", 0, "per-flush write deadline for slow clients (0 = none)")
 		drainTimeout = flag.Duration("drain_timeout", 30*time.Second, "graceful shutdown bound (connections and store drain)")
 		maxBgComp    = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
 		subComp      = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
@@ -63,12 +66,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	var (
+		syncPolicy   p2kvs.SyncPolicy
+		syncInterval time.Duration
+	)
+	switch *walSync {
+	case "":
+		// Defer to -sync.
+	case "never":
+		syncPolicy = p2kvs.SyncNever
+		*syncWAL = false
+	case "commit":
+		syncPolicy = p2kvs.SyncOnCommit
+	default:
+		d, err := time.ParseDuration(*walSync)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "p2kvs-server: -wal_sync must be never, commit, or a positive duration, got %q\n", *walSync)
+			os.Exit(2)
+		}
+		syncPolicy, syncInterval = p2kvs.SyncInterval, d
+	}
+
 	store, err := p2kvs.Open(p2kvs.Options{
-		Dir:          *dir,
-		Workers:      *workers,
-		Engine:       p2kvs.EngineKind(*engine),
-		InMemory:     *inMemory,
-		SyncWAL:      *syncWAL,
+		Dir:      *dir,
+		Workers:  *workers,
+		Engine:   p2kvs.EngineKind(*engine),
+		InMemory: *inMemory,
+		SyncWAL:  *syncWAL,
+
+		WALSync:         syncPolicy,
+		WALSyncInterval: syncInterval,
+
 		Admission:    policy,
 		QueueDepth:   *queueDepth,
 		MaxBatch:     *maxBatch,
@@ -83,14 +111,16 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		Store:          store,
-		CommandTimeout: *cmdTimeout,
-		MaxConns:       *maxConns,
-		MaxPipeline:    *maxPipeline,
-		DebugAddr:      *debugAddr,
-		CheckpointDir:  *ckptDir,
-		Logf:           logger.Printf,
+		Addr:            *addr,
+		Store:           store,
+		CommandTimeout:  *cmdTimeout,
+		MaxConns:        *maxConns,
+		MaxPipeline:     *maxPipeline,
+		ConnIdleTimeout: *idleTimeout,
+		WriteTimeout:    *writeTimeout,
+		DebugAddr:       *debugAddr,
+		CheckpointDir:   *ckptDir,
+		Logf:            logger.Printf,
 	})
 
 	serveErr := make(chan error, 1)

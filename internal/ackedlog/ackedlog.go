@@ -1,0 +1,102 @@
+// Package ackedlog is a tiny client-side journal of acknowledged writes,
+// shared by the load tools (netbench -acked_log, crashkv). A load driver
+// appends one record per write the server *acked*; after a server crash
+// and restart a verifier replays the log and checks every acked write is
+// still present. The log lives in the driver process, which survives the
+// server's crash, so buffered writes are fine — Flush before verifying.
+//
+// Records are lines of tab-separated fields. Fields are hex-escaped so
+// arbitrary binary keys and values round-trip.
+package ackedlog
+
+import (
+	"bufio"
+	"encoding/hex"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Writer appends records to an acked-write log.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// Create creates (truncating) the log at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append writes one record. Safe for concurrent use (each connection of
+// a load driver logs its own acks).
+func (w *Writer) Append(fields ...string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, fld := range fields {
+		if i > 0 {
+			if err := w.bw.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if _, err := w.bw.WriteString(hex.EncodeToString([]byte(fld))); err != nil {
+			return err
+		}
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush pushes buffered records to the OS.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// Close flushes and closes the log.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReadAll parses every record in the log at path.
+func ReadAll(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		rec := make([]string, len(parts))
+		for i, p := range parts {
+			b, err := hex.DecodeString(p)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = string(b)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2kvs/internal/bptree"
 	"p2kvs/internal/ikey"
 	"p2kvs/internal/kv"
+	"p2kvs/internal/spacewatch"
 	"p2kvs/internal/sstable"
 	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
@@ -33,8 +35,14 @@ import (
 type Options struct {
 	// FS hosts the engine's files. Required.
 	FS vfs.FS
-	// SyncWAL fsyncs the journal on every commit.
+	// SyncWAL fsyncs the journal on every commit. Equivalent to
+	// WALSync = wal.PolicyCommit; kept for existing call sites.
 	SyncWAL bool
+	// WALSync selects the journal durability policy; the zero value
+	// defers to SyncWAL. WALSyncInterval bounds staleness under
+	// wal.PolicyInterval (default 100ms).
+	WALSync         wal.SyncPolicy
+	WALSyncInterval time.Duration
 	// CheckpointBytes is the dirty-buffer budget that triggers a
 	// checkpoint (default 8 MiB).
 	CheckpointBytes int64
@@ -71,6 +79,15 @@ type DB struct {
 	ckptPins     int
 	ckptDeferred []string
 	ckptStats    kv.CheckpointStats // under mu
+
+	// Disk-full degraded state (health.go): bgErr blocks writes while set
+	// (it matches kv.ErrDegraded); spaceWatch auto-resumes once space
+	// frees.
+	bgErr          error
+	diskFull       bool
+	diskFullEvents atomic.Int64
+	autoResumes    atomic.Int64
+	spaceWatch     *spacewatch.Watchdog
 }
 
 var _ kv.Engine = (*DB)(nil)
@@ -86,6 +103,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if opts.CheckpointBytes <= 0 {
 		opts.CheckpointBytes = 8 << 20
+	}
+	if opts.WALSync == wal.PolicyNever && opts.SyncWAL {
+		opts.WALSync = wal.PolicyCommit
 	}
 	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, err
@@ -145,7 +165,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.wal = wal.NewWriter(wf, wal.Options{SyncOnCommit: opts.SyncWAL})
+	d.wal = wal.NewWriter(wf, d.walOpts())
 	// Re-log replayed state, then swap the journal in atomically.
 	reErr := error(nil)
 	d.dirty.Ascend(nil, func(k []byte, v dirtyVal) bool {
@@ -164,7 +184,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := opts.FS.Rename(walName(dir, d.gen)+".new", walName(dir, d.gen)); err != nil {
 		return nil, err
 	}
+	d.spaceWatch = spacewatch.New(d.diskFullDegraded, d.spaceProbe, d.autoResume, 0, 0)
 	return d, nil
+}
+
+func (d *DB) walOpts() wal.Options {
+	return wal.Options{Policy: d.opts.WALSync, SyncEvery: d.opts.WALSyncInterval}
 }
 
 func encodeRec(key, val []byte, tomb bool) []byte {
@@ -211,11 +236,24 @@ func (d *DB) update(key, value []byte, tomb bool) error {
 		d.mu.Unlock()
 		return kv.ErrClosed
 	}
+	if d.bgErr != nil {
+		// Disk-full degraded: fail writes fast; reads keep serving and
+		// the watchdog resumes once space frees.
+		err := d.bgErr
+		d.mu.Unlock()
+		return err
+	}
 	if d.opts.PerUpdateCost > 0 {
 		time.Sleep(d.opts.PerUpdateCost)
 	}
 	if err := d.wal.Append(0, encodeRec(key, value, tomb)); err != nil {
-		if d.wal.Tainted() {
+		switch {
+		case vfs.IsNoSpace(err):
+			// Checkpoint self-heal would write a whole new generation on
+			// the same full disk; degrade instead and let the watchdog
+			// re-platform at Resume.
+			d.degradeLocked(err)
+		case d.wal.Tainted():
 			// The journal may end in a torn or unsynced record; anything
 			// appended behind it would be silently dropped at replay.
 			// Re-platform on a fresh checkpoint + journal (best-effort —
@@ -229,6 +267,13 @@ func (d *DB) update(key, value []byte, tomb bool) error {
 	needCkpt := d.dirtyB >= d.opts.CheckpointBytes
 	if needCkpt {
 		err := d.checkpointLocked()
+		if err != nil && vfs.IsNoSpace(err) {
+			// The write itself was acked (journal append succeeded); only
+			// the reconciliation hit the full disk. Degrade so further
+			// writes don't pile onto an unreconcilable dirty buffer.
+			d.degradeLocked(err)
+			err = nil
+		}
 		d.mu.Unlock()
 		return err
 	}
@@ -368,7 +413,7 @@ func (d *DB) checkpointLocked() error {
 
 	// Swap in-memory state; retire the old generation.
 	oldWAL, oldBase, oldGen := d.wal, d.base, d.gen
-	d.wal = wal.NewWriter(wf, wal.Options{SyncOnCommit: d.opts.SyncWAL})
+	d.wal = wal.NewWriter(wf, d.walOpts())
 	d.dirty = bptree.New[dirtyVal]()
 	d.dirtyB = 0
 	d.gen = newGen
@@ -430,11 +475,18 @@ func (d *DB) Metrics() Metrics {
 // Close implements kv.Engine.
 func (d *DB) Close() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return nil
 	}
 	d.closed = true
+	d.mu.Unlock()
+	// Stop the watchdog without holding the latch — its predicate takes it.
+	if d.spaceWatch != nil {
+		d.spaceWatch.Close()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	err := d.wal.Close()
 	if d.base != nil {
 		d.base.Close()

@@ -28,6 +28,13 @@ type WorkerStatsJSON struct {
 	FlushRetries   int64  `json:"flush_retries"`
 	CompactRetries int64  `json:"compact_retries"`
 	InjectedFaults int64  `json:"injected_faults"`
+	// Disk-full robustness: whether the engine is currently degraded by
+	// space exhaustion, how many times it entered that state, and how many
+	// times the space watchdog auto-resumed it (in the aggregate, DiskFull
+	// ORs across workers and the counters sum).
+	DiskFull       bool  `json:"disk_full"`
+	DiskFullEvents int64 `json:"disk_full_events"`
+	AutoResumes    int64 `json:"auto_resumes"`
 	// Compaction-scheduler counters: stall (hard-block) vs slowdown (soft
 	// delay) time are reported separately; ConcurrentCompactionsHW is the
 	// high-water mark of compactions running at once (max, not sum, in the
@@ -80,6 +87,9 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 		FlushRetries:   ws.Health.FlushRetries,
 		CompactRetries: ws.Health.CompactRetries,
 		InjectedFaults: ws.Health.InjectedFaults,
+		DiskFull:       ws.Health.DiskFull,
+		DiskFullEvents: ws.Health.DiskFullEvents,
+		AutoResumes:    ws.Health.AutoResumes,
 
 		CompactionStallUs:       ws.Compaction.StallTime.Microseconds(),
 		CompactionSlowdownUs:    ws.Compaction.SlowdownTime.Microseconds(),
@@ -124,6 +134,9 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		agg.FlushRetries += j.FlushRetries
 		agg.CompactRetries += j.CompactRetries
 		agg.InjectedFaults += j.InjectedFaults
+		agg.DiskFull = agg.DiskFull || j.DiskFull
+		agg.DiskFullEvents += j.DiskFullEvents
+		agg.AutoResumes += j.AutoResumes
 		agg.CompactionStallUs += j.CompactionStallUs
 		agg.CompactionSlowdownUs += j.CompactionSlowdownUs
 		agg.CompactionSlowdowns += j.CompactionSlowdowns

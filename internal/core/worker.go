@@ -87,11 +87,17 @@ func newWorker(id int, engine kv.Engine, opts Options) *worker {
 // degradedErr fast-fails write submission when this worker's engine is in
 // read-only degraded mode, so writes bounce at the accessing layer instead
 // of queueing behind a shard that cannot commit them. Reads are unaffected.
+// The engine's own error is chained in so callers (the server's error
+// mapper in particular) can classify the cause — e.g. vfs.IsNoSpace for
+// disk-full replies.
 func (w *worker) degradedErr() error {
 	if w.hr == nil {
 		return nil
 	}
 	if h := w.hr.Health(); h.State == kv.StateReadOnly {
+		if h.Err != nil {
+			return fmt.Errorf("core: shard %d: %w: %w", w.id, kv.ErrDegraded, h.Err)
+		}
 		return fmt.Errorf("core: shard %d: %w", w.id, kv.ErrDegraded)
 	}
 	return nil

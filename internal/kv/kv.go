@@ -82,6 +82,16 @@ type Health struct {
 	// InjectedFaults counts faults fired by a fault-injecting filesystem
 	// under the engine, when one is present (vfs.FaultCounter); 0 otherwise.
 	InjectedFaults int64
+	// DiskFull reports that the current degraded state was caused by
+	// space exhaustion (ENOSPC): reads keep working, writes fail, and the
+	// engine's watchdog will auto-Resume once space frees. Always false
+	// when State is StateHealthy.
+	DiskFull bool
+	// DiskFullEvents counts transitions into disk-full degraded mode over
+	// the engine's lifetime; AutoResumes counts how many times the space
+	// watchdog brought the engine back without an explicit Resume call.
+	DiskFullEvents int64
+	AutoResumes    int64
 }
 
 // HealthReporter is the optional capability of reporting background-error

@@ -1,0 +1,85 @@
+package kvell
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+func TestDiskFullDegradesAndAutoResumes(t *testing.T) {
+	// Slabs are created eagerly per worker, so give the quota enough room
+	// for the empty files plus a few thousand slots, then fill.
+	qfs := vfs.NewQuota(vfs.NewMem(), 256<<10)
+	s, err := Open("db", Options{FS: qfs, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var acked []string
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		// Distinct keys force tail growth (in-place updates would never
+		// extend the slab, so they can't hit the quota).
+		err := s.Put([]byte(k), make([]byte, 400))
+		if err == nil {
+			acked = append(acked, k)
+			continue
+		}
+		if !vfs.IsNoSpace(err) && !errors.Is(err, kv.ErrDegraded) {
+			t.Fatalf("Put(%s): unexpected error class: %v", k, err)
+		}
+		break
+	}
+	if len(acked) == 0 {
+		t.Fatal("no write ever succeeded")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := s.Health()
+		if h.State == kv.StateReadOnly && h.DiskFull {
+			if h.DiskFullEvents == 0 {
+				t.Fatal("DiskFull set but DiskFullEvents == 0")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store never entered disk-full read-only mode: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Put([]byte("blocked"), []byte("v")); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("write while disk-full: got %v, want ErrDegraded", err)
+	}
+
+	// Reads keep serving acked state throughout.
+	for _, k := range []string{acked[0], acked[len(acked)/2], acked[len(acked)-1]} {
+		if _, err := s.Get([]byte(k)); err != nil {
+			t.Fatalf("Get(%s) while disk-full: %v", k, err)
+		}
+	}
+
+	// Space comes back; the watchdog must auto-resume on its own.
+	qfs.SetBudget(64 << 20)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if err := s.Put([]byte("after"), []byte("v")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writes never resumed after space freed: health %+v", s.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h := s.Health(); h.AutoResumes == 0 {
+		t.Fatalf("auto-resume not counted: %+v", h)
+	}
+	if _, err := s.Get([]byte(acked[0])); err != nil {
+		t.Fatalf("Get after resume: %v", err)
+	}
+}

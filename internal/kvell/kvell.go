@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2kvs/internal/bloom"
 	"p2kvs/internal/bptree"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/metrics"
+	"p2kvs/internal/spacewatch"
 	"p2kvs/internal/vfs"
 )
 
@@ -65,9 +67,19 @@ type Store struct {
 	workers []*worker
 	closed  bool
 	// mu guards closed: submitters hold it shared while enqueueing so
-	// Close cannot close a queue mid-send. It also guards ckptStats.
+	// Close cannot close a queue mid-send. It also guards ckptStats and
+	// the degraded state.
 	mu        sync.RWMutex
 	ckptStats kv.CheckpointStats
+
+	// Disk-full degraded state (health.go): while bgErr is set writes are
+	// rejected at submit (the error matches kv.ErrDegraded) and reads keep
+	// serving; spaceWatch auto-resumes once space frees.
+	bgErr          error
+	diskFull       bool
+	diskFullEvents atomic.Int64
+	autoResumes    atomic.Int64
+	spaceWatch     *spacewatch.Watchdog
 }
 
 var _ kv.Engine = (*Store)(nil)
@@ -96,6 +108,8 @@ type worker struct {
 	queue     chan *request
 	meter     *metrics.Meter
 	perOpCost time.Duration
+	// degrade reports a space-exhaustion write failure to the store.
+	degrade func(error)
 
 	index *bptree.Tree[loc]
 	slabs [len6]*slab
@@ -140,6 +154,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			index:     bptree.New[loc](),
 			cache:     newPageCache(opts.CacheBytes / int64(opts.Workers)),
 			perOpCost: opts.PerOpCost,
+			degrade:   s.noteNoSpace,
 		}
 		if opts.Meters != nil {
 			w.meter = opts.Meters.Meter(fmt.Sprintf("kvell-w%d", i))
@@ -159,6 +174,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.spaceWatch = spacewatch.New(s.diskFullDegraded, s.spaceProbe, s.autoResume, 0, 0)
 	return s, nil
 }
 
@@ -256,8 +272,14 @@ func (w *worker) handle(req *request) {
 		req.value, req.found, req.err = w.get(req.key)
 	case kv.OpPut:
 		req.err = w.put(req.key, req.value)
+		if req.err != nil && vfs.IsNoSpace(req.err) {
+			w.degrade(req.err)
+		}
 	case kv.OpDelete:
 		req.err = w.delete(req.key)
+		if req.err != nil && vfs.IsNoSpace(req.err) {
+			w.degrade(req.err)
+		}
 	case opScan:
 		req.out, req.err = w.scan(req.start, req.limit)
 	}
@@ -393,6 +415,12 @@ func (s *Store) submit(w *worker, req *request) error {
 		s.mu.RUnlock()
 		return kv.ErrClosed
 	}
+	if s.bgErr != nil && (req.op == kv.OpPut || req.op == kv.OpDelete) {
+		// Disk-full degraded: reject writes fast, keep serving reads.
+		err := s.bgErr
+		s.mu.RUnlock()
+		return err
+	}
 	req.done = make(chan struct{})
 	w.queue <- req
 	s.mu.RUnlock()
@@ -477,6 +505,9 @@ func (s *Store) Flush() error {
 				continue
 			}
 			if err := sl.f.Sync(); err != nil {
+				if vfs.IsNoSpace(err) {
+					s.noteNoSpace(err)
+				}
 				return err
 			}
 		}
@@ -517,6 +548,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.spaceWatch != nil {
+		s.spaceWatch.Close()
+	}
 	for _, w := range s.workers {
 		close(w.queue)
 		w.wg.Wait()

@@ -3,6 +3,7 @@ package lsm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"p2kvs/internal/kv"
@@ -69,11 +70,21 @@ func (d *DB) updateStateLocked() {
 
 // degradeLocked installs the write-blocking degraded error (first failure
 // wins) and wakes every stalled writer and Flush waiter so they observe
-// it. Caller holds d.mu.
+// it. A degrade caused by space exhaustion additionally enters disk-full
+// mode: the space watchdog starts polling (reclaiming obsolete files and
+// probing for freed space) so the engine auto-resumes without operator
+// intervention. Caller holds d.mu.
 func (d *DB) degradeLocked(job string, cause error) {
 	if d.bgErr == nil {
 		d.bgErr = &degradedError{job: job, cause: cause}
 		d.bgCause = cause
+		if vfs.IsNoSpace(cause) {
+			d.diskFull = true
+			d.perf.diskFullEvents.Add(1)
+			if d.spaceWatch != nil {
+				d.spaceWatch.Kick()
+			}
+		}
 	}
 	d.updateStateLocked()
 	d.cond.Broadcast()
@@ -98,7 +109,11 @@ func (d *DB) noteBgFailure(job string, err error, attempt int) bool {
 	} else {
 		d.compactFailing = true
 	}
-	if isPermanentBgErr(err) || attempt+1 >= d.opts.BgMaxRetries {
+	// ENOSPC degrades immediately rather than burning the retry budget:
+	// re-running the job cannot free space, while degrading at once lets
+	// the watchdog start reclaiming and keeps reads served in the
+	// meantime.
+	if isPermanentBgErr(err) || vfs.IsNoSpace(err) || attempt+1 >= d.opts.BgMaxRetries {
 		d.degradeLocked(job, err)
 		return false
 	}
@@ -151,6 +166,15 @@ func (d *DB) noteWriteFailure(h *memHandle, err error) {
 		return
 	}
 	d.mu.Lock()
+	if vfs.IsNoSpace(err) {
+		// The disk is full: rotating would create another file on the
+		// same full disk (and push more memtables at a flush path that
+		// cannot write either). Degrade instead; Resume rotates away from
+		// the tainted log once space is back.
+		d.degradeLocked("wal append", err)
+		d.mu.Unlock()
+		return
+	}
 	if d.memH == h && h.walw != nil && h.walw.Tainted() {
 		d.rotateLocked()
 	}
@@ -187,6 +211,8 @@ func (d *DB) Health() kv.Health {
 	if fc, ok := d.opts.FS.(vfs.FaultCounter); ok {
 		h.InjectedFaults = fc.InjectedFaults()
 	}
+	h.DiskFullEvents = d.perf.diskFullEvents.Load()
+	h.AutoResumes = d.perf.autoResumes.Load()
 	if h.State != kv.StateHealthy {
 		d.mu.Lock()
 		if d.bgErr != nil {
@@ -194,6 +220,7 @@ func (d *DB) Health() kv.Health {
 		} else {
 			h.Err = d.bgCause
 		}
+		h.DiskFull = d.diskFull
 		d.mu.Unlock()
 	}
 	return h
@@ -211,6 +238,7 @@ func (d *DB) Resume() error {
 	d.bgCause = nil
 	d.flushFailing = false
 	d.compactFailing = false
+	d.diskFull = false
 	d.updateStateLocked()
 	if d.wal != nil && d.wal.Tainted() {
 		d.rotateLocked()
@@ -223,4 +251,85 @@ func (d *DB) Resume() error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Disk-full handling: obsolete-file GC and the auto-resume watchdog
+// ---------------------------------------------------------------------------
+
+// diskFullDegraded is the watchdog's "still stuck?" predicate.
+func (d *DB) diskFullDegraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.diskFull && d.bgErr != nil
+}
+
+// spaceProbe first garbage-collects files no longer referenced by the
+// current version (a full disk is exactly when reclaiming them matters
+// most), then checks whether a small durable write succeeds.
+func (d *DB) spaceProbe() bool {
+	d.reclaimSpace()
+	return vfs.ProbeSpace(d.opts.FS, d.dir)
+}
+
+// autoResume is invoked by the watchdog once the probe succeeds while the
+// engine is still disk-full degraded.
+func (d *DB) autoResume() {
+	d.perf.autoResumes.Add(1)
+	_ = d.Resume()
+}
+
+// reclaimSpace deletes files in the instance directory that nothing
+// references: SSTs absent from the current version and logs older than
+// the manifest's LogNum (already flushed). It only runs while the engine
+// is degraded — no flush or compaction can start then, so a name absent
+// from the snapshot taken under d.mu cannot become live again (file
+// numbers are never reused) — and defers to checkpoint pins, which may
+// still reference retired files.
+func (d *DB) reclaimSpace() {
+	d.mu.Lock()
+	if d.bgErr == nil || d.closed.Load() || d.ckptPins > 0 || len(d.compRunning) > 0 {
+		d.mu.Unlock()
+		return
+	}
+	live := make(map[string]bool)
+	for _, level := range d.vs.Current().Levels {
+		for _, fm := range level {
+			live[sstName(d.dir, fm.Num)] = true
+		}
+	}
+	if d.memH != nil && d.memH.walw != nil {
+		live[walName(d.dir, d.memH.logNum)] = true
+	}
+	for _, h := range d.imm {
+		if h.walw != nil {
+			live[walName(d.dir, h.logNum)] = true
+		}
+	}
+	minLog := d.vs.LogNum
+	names, err := d.opts.FS.List(d.dir)
+	if err != nil {
+		d.mu.Unlock()
+		return
+	}
+	var victims []string
+	for _, name := range names {
+		full := d.dir + "/" + name
+		if live[full] {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".sst"):
+			victims = append(victims, full)
+		case strings.HasSuffix(name, ".log"):
+			var num uint64
+			if _, err := fmt.Sscanf(name, "%06d.log", &num); err == nil && num < minLog {
+				victims = append(victims, full)
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, v := range victims {
+		d.opts.FS.Remove(v)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"p2kvs/internal/kv"
 	"p2kvs/internal/manifest"
 	"p2kvs/internal/memtable"
+	"p2kvs/internal/spacewatch"
 	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
 )
@@ -54,11 +55,15 @@ type DB struct {
 	// degraded error; bgCause the most recent background failure; the
 	// *Failing flags track jobs currently in their retry loop. stateA
 	// mirrors the derived kv.HealthState for lock-free health checks.
+	// diskFull marks a degraded state caused by ENOSPC; spaceWatch polls
+	// for freed space and auto-resumes the engine.
 	bgErr          error
 	bgCause        error
 	flushFailing   bool
 	compactFailing bool
+	diskFull       bool
 	stateA         atomic.Int32
+	spaceWatch     *spacewatch.Watchdog
 
 	// Checkpoint pinning (checkpoint.go): while ckptPins > 0 an
 	// in-progress checkpoint still references the captured version's SSTs
@@ -145,6 +150,8 @@ func OpenWith(dir string, opts Options, oo OpenOptions) (*DB, error) {
 		go d.flushLoop()
 		go d.compactLoop()
 	}
+	d.spaceWatch = spacewatch.New(d.diskFullDegraded, d.spaceProbe, d.autoResume,
+		opts.BgBaseBackoff, opts.BgMaxBackoff)
 	return d, nil
 }
 
@@ -267,7 +274,8 @@ func (d *DB) installMemtable() error {
 			return err
 		}
 		h.walw = wal.NewWriter(f, wal.Options{
-			SyncOnCommit:  d.opts.SyncWAL,
+			Policy:        d.opts.WALSync,
+			SyncEvery:     d.opts.WALSyncInterval,
 			GroupCommit:   d.opts.GroupCommit,
 			PerRecordCost: d.opts.WALPerRecordCost,
 			PerByteCost:   d.opts.WALPerByteCost,
@@ -518,7 +526,8 @@ func (d *DB) rotateLocked() {
 			return
 		}
 		h.walw = wal.NewWriter(f, wal.Options{
-			SyncOnCommit:  d.opts.SyncWAL,
+			Policy:        d.opts.WALSync,
+			SyncEvery:     d.opts.WALSyncInterval,
 			GroupCommit:   d.opts.GroupCommit,
 			PerRecordCost: d.opts.WALPerRecordCost,
 			PerByteCost:   d.opts.WALPerByteCost,
@@ -918,6 +927,9 @@ func (d *DB) Close() error {
 	d.mu.Lock()
 	d.cond.Broadcast()
 	d.mu.Unlock()
+	if d.spaceWatch != nil {
+		d.spaceWatch.Close()
+	}
 	d.bgWG.Wait()
 	// Running compactions must drain before the manifest closes: they
 	// write version edits through d.vs.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"p2kvs/internal/vfs"
+	"p2kvs/internal/wal"
 )
 
 // CompactionStyle selects how levels are maintained.
@@ -50,7 +51,16 @@ type Options struct {
 	GroupCommit bool
 	// SyncWAL fsyncs the log on every commit. Default false = RocksDB
 	// async logging, as configured in the paper's experiments (§3.4).
+	// Equivalent to WALSync = wal.PolicyCommit; kept for existing call
+	// sites.
 	SyncWAL bool
+	// WALSync selects the WAL durability policy (wal.PolicyNever /
+	// PolicyInterval / PolicyCommit). The zero value defers to SyncWAL.
+	// See DESIGN.md §11 for the contract each policy gives at SIGKILL.
+	WALSync wal.SyncPolicy
+	// WALSyncInterval bounds durability staleness under PolicyInterval
+	// (default 100ms).
+	WALSyncInterval time.Duration
 	// DisableWAL skips logging entirely (used by Figure 8b's
 	// memtable-only runs and by flush-free bulk loads).
 	DisableWAL bool
@@ -170,6 +180,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BgMaxBackoff <= 0 {
 		o.BgMaxBackoff = time.Second
+	}
+	if o.WALSync == wal.PolicyNever && o.SyncWAL {
+		o.WALSync = wal.PolicyCommit
+	}
+	if o.WALSync == wal.PolicyInterval && o.WALSyncInterval <= 0 {
+		o.WALSyncInterval = 100 * time.Millisecond
 	}
 	return o
 }

@@ -68,9 +68,12 @@ type perfCounters struct {
 	walLockNsBase       atomic.Int64
 	walGroupBase        atomic.Int64
 
-	// Robustness: background job attempts beyond the first.
+	// Robustness: background job attempts beyond the first, disk-full
+	// degrade transitions, and watchdog-driven auto-resumes.
 	flushRetries   atomic.Int64
 	compactRetries atomic.Int64
+	diskFullEvents atomic.Int64
+	autoResumes    atomic.Int64
 
 	// Checkpoint activity (checkpoint.go).
 	ckptCount       atomic.Int64

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
 )
 
 // conn serves one client connection.
@@ -48,7 +49,7 @@ func (c *conn) serve() {
 			c.srv.stats.pipelines.Add(1)
 			c.srv.stats.commands.Add(int64(len(cmds)))
 			c.processWindow(cmds)
-			if c.wr.Flush() != nil || c.closing {
+			if c.flush() != nil || c.closing {
 				return
 			}
 		}
@@ -57,7 +58,7 @@ func (c *conn) serve() {
 			if errors.As(rerr, &perr) {
 				c.srv.stats.protoErrors.Add(1)
 				c.wr.WriteError("ERR Protocol error: " + perr.Error())
-				c.wr.Flush()
+				c.flush()
 			}
 			// EOF, read-deadline expiry from beginDrain, or a hard
 			// network error: nothing more to reply to, close.
@@ -72,8 +73,16 @@ func (c *conn) serve() {
 // complete commands are processed (and answered) before the error closes
 // the connection.
 func (c *conn) readWindow() ([][][]byte, error) {
+	if t := c.srv.cfg.ConnIdleTimeout; t > 0 && !c.srv.draining.Load() {
+		c.nc.SetReadDeadline(time.Now().Add(t))
+	}
 	first, err := c.rd.ReadCommand()
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && !c.srv.draining.Load() {
+			// Idle expiry, not the drain kick from beginDrain.
+			c.srv.stats.idleClosed.Add(1)
+		}
 		return nil, err
 	}
 	cmds := [][][]byte{first}
@@ -85,6 +94,17 @@ func (c *conn) readWindow() ([][][]byte, error) {
 		cmds = append(cmds, cmd)
 	}
 	return cmds, nil
+}
+
+// flush writes out every buffered reply, bounded by cfg.WriteTimeout: a
+// client that stops reading is disconnected (the deadline fails the
+// flush and serve returns) instead of wedging this goroutine forever.
+func (c *conn) flush() error {
+	if t := c.srv.cfg.WriteTimeout; t > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(t))
+		defer c.nc.SetWriteDeadline(time.Time{})
+	}
+	return c.wr.Flush()
 }
 
 // cmdName returns the upper-cased command verb.
@@ -141,9 +161,19 @@ func (c *conn) cmdCtx() (context.Context, context.CancelFunc) {
 
 // writeStoreErr maps store errors onto RESP error classes: admission
 // control → -LOADSHED (retry after backoff), deadline expiry → -TIMEOUT,
-// degraded shard → -READONLY, closed store → -SHUTDOWN.
+// degraded shard → -READONLY (with a distinct "disk full" detail when the
+// cause is space exhaustion — that variant self-heals once space frees),
+// closed store → -SHUTDOWN.
 func (c *conn) writeStoreErr(err error) {
 	switch {
+	// Checked before ErrOverloaded: under AdmitReject a degraded shard's
+	// error is wrapped in ErrOverloaded too, and "disk full, retry later /
+	// free space" is the more actionable diagnosis. Matched on the space
+	// cause alone so the very first failing write — which carries raw
+	// ENOSPC, before the shard has flipped to degraded — gets the same
+	// reply as every later one.
+	case vfs.IsNoSpace(err):
+		c.wr.WriteError("READONLY disk full: " + err.Error())
 	case errors.Is(err, kv.ErrOverloaded):
 		c.srv.stats.loadshed.Add(1)
 		c.wr.WriteError("LOADSHED " + err.Error())

@@ -66,6 +66,14 @@ func (s *Server) infoText() string {
 	fmt.Fprintf(&b, "store_compaction_slowdown_us:%d\r\n", agg.CompactionSlowdownUs)
 	fmt.Fprintf(&b, "store_compaction_slowdowns:%d\r\n", agg.CompactionSlowdowns)
 
+	fmt.Fprintf(&b, "# Robustness\r\n")
+	fmt.Fprintf(&b, "store_degraded:%d\r\n", boolInt(agg.Health == "read-only"))
+	fmt.Fprintf(&b, "store_disk_full:%d\r\n", boolInt(agg.DiskFull))
+	fmt.Fprintf(&b, "store_disk_full_events:%d\r\n", agg.DiskFullEvents)
+	fmt.Fprintf(&b, "store_auto_resumes:%d\r\n", agg.AutoResumes)
+	fmt.Fprintf(&b, "conn_panics_recovered:%d\r\n", s.stats.panics.Load())
+	fmt.Fprintf(&b, "conn_idle_closed:%d\r\n", s.stats.idleClosed.Load())
+
 	fmt.Fprintf(&b, "# Persistence\r\n")
 	fmt.Fprintf(&b, "store_checkpoints:%d\r\n", snap.Checkpoints)
 	fmt.Fprintf(&b, "store_checkpoint_barrier_ns:%d\r\n", snap.CheckpointBarrierNs)

@@ -33,6 +33,14 @@ type Config struct {
 	// window before replies are flushed (default 128). It also bounds
 	// the size of a coalesced SET/GET run.
 	MaxPipeline int
+	// ConnIdleTimeout closes a connection that sends no command for this
+	// long, so abandoned sockets cannot pin the MaxConns semaphore
+	// forever. Zero disables the idle check.
+	ConnIdleTimeout time.Duration
+	// WriteTimeout bounds each reply flush; a client that stops reading
+	// (filling its receive window) is disconnected instead of wedging the
+	// serving goroutine. Zero disables the write deadline.
+	WriteTimeout time.Duration
 	// DebugAddr, when non-empty, starts an HTTP listener serving
 	// /metrics (JSON), /debug/vars (expvar) and /debug/pprof.
 	DebugAddr string
@@ -76,6 +84,8 @@ type serverStats struct {
 	timeouts      atomic.Int64 // -TIMEOUT replies (deadline expiry)
 	unknown       atomic.Int64 // unknown commands
 	protoErrors   atomic.Int64 // protocol errors (connection then closed)
+	panics        atomic.Int64 // per-connection panics recovered (conn closed, server kept serving)
+	idleClosed    atomic.Int64 // connections closed by ConnIdleTimeout
 
 	lat map[string]*histogram.H // per-command latency, fixed key set
 }
@@ -261,6 +271,17 @@ func (s *Server) Serve(lis net.Listener) error {
 				s.stats.active.Add(-1)
 				s.connWG.Done()
 				<-s.sem
+			}()
+			// Panic isolation: a bug triggered by one client's input costs
+			// that client its connection, not the whole server. Registered
+			// after the bookkeeping defer so the semaphore and counters are
+			// still released on the panic path.
+			defer func() {
+				if r := recover(); r != nil {
+					s.stats.panics.Add(1)
+					s.cfg.Logf("p2kvs-server: panic serving %s (connection closed): %v", nc.RemoteAddr(), r)
+					nc.Close()
+				}
 			}()
 			c.serve()
 		}()

@@ -1,0 +1,99 @@
+// Package spacewatch provides the disk-full auto-resume watchdog shared
+// by the storage engines. When an engine degrades to read-only because of
+// space exhaustion it kicks its watchdog; the watchdog polls with capped
+// exponential backoff until either the engine is no longer disk-full
+// degraded (someone resumed it by hand) or a probe shows writes succeed
+// again, at which point it invokes the engine's resume hook. The single
+// goroutine is started at engine open and parked on a channel, so kicking
+// never races engine shutdown.
+package spacewatch
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog polls for freed space on behalf of one engine instance.
+type Watchdog struct {
+	degraded func() bool // still disk-full degraded?
+	probe    func() bool // does a small durable write succeed now?
+	resume   func()      // clear the degraded state
+	base     time.Duration
+	max      time.Duration
+
+	kickC chan struct{}
+	stopC chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// New starts a watchdog goroutine. degraded reports whether the engine is
+// still in disk-full read-only mode; probe attempts a small durable write
+// and reports success; resume is called once the probe succeeds while
+// still degraded. base/max bound the poll backoff (defaults 5ms/1s).
+func New(degraded, probe func() bool, resume func(), base, max time.Duration) *Watchdog {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	w := &Watchdog{
+		degraded: degraded,
+		probe:    probe,
+		resume:   resume,
+		base:     base,
+		max:      max,
+		kickC:    make(chan struct{}, 1),
+		stopC:    make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// Kick wakes the watchdog after the engine enters disk-full degraded
+// mode. Multiple kicks coalesce; kicking a closed watchdog is a no-op.
+func (w *Watchdog) Kick() {
+	select {
+	case w.kickC <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the watchdog and waits for its goroutine to exit.
+func (w *Watchdog) Close() {
+	w.once.Do(func() { close(w.stopC) })
+	w.wg.Wait()
+}
+
+func (w *Watchdog) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopC:
+			return
+		case <-w.kickC:
+		}
+		delay := w.base
+		for {
+			t := time.NewTimer(delay)
+			select {
+			case <-w.stopC:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if !w.degraded() {
+				break // resumed by hand (or never actually degraded)
+			}
+			if w.probe() {
+				w.resume()
+				break
+			}
+			if delay *= 2; delay > w.max {
+				delay = w.max
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package spacewatch
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchdogResumesWhenProbeSucceeds(t *testing.T) {
+	var degraded, space, resumed atomic.Bool
+	degraded.Store(true)
+	w := New(
+		degraded.Load,
+		space.Load,
+		func() { resumed.Store(true); degraded.Store(false) },
+		time.Millisecond, 4*time.Millisecond,
+	)
+	defer w.Close()
+
+	w.Kick()
+	time.Sleep(20 * time.Millisecond)
+	if resumed.Load() {
+		t.Fatal("resumed before space freed")
+	}
+	space.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for !resumed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never resumed after space freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWatchdogStopsWhenResumedByHand(t *testing.T) {
+	var degraded atomic.Bool
+	var probes, resumes atomic.Int64
+	degraded.Store(true)
+	w := New(
+		degraded.Load,
+		func() bool { probes.Add(1); return false },
+		func() { resumes.Add(1) },
+		time.Millisecond, 2*time.Millisecond,
+	)
+	defer w.Close()
+
+	w.Kick()
+	time.Sleep(10 * time.Millisecond)
+	degraded.Store(false) // manual Resume
+	time.Sleep(10 * time.Millisecond)
+	n := probes.Load()
+	time.Sleep(20 * time.Millisecond)
+	if probes.Load() != n {
+		t.Fatal("watchdog kept probing after manual resume")
+	}
+	if resumes.Load() != 0 {
+		t.Fatal("watchdog resumed an engine that was no longer degraded")
+	}
+}
+
+func TestWatchdogCloseUnblocks(t *testing.T) {
+	var trues atomic.Bool
+	trues.Store(true)
+	w := New(trues.Load, func() bool { return false }, func() {}, time.Millisecond, time.Millisecond)
+	w.Kick()
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { w.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung")
+	}
+}

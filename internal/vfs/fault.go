@@ -116,6 +116,12 @@ type Rule struct {
 	// generic error wrapping ErrInjected. Ignored by pure BitFlip/Delay
 	// rules.
 	Err error
+	// NoSpace makes error-type firings report space exhaustion: the
+	// injected error matches both ErrInjected and ErrNoSpace (IsNoSpace
+	// returns true for it), so torture configs can exercise the engines'
+	// disk-full degradation without layering a QuotaFS. Ignored when Err
+	// is set explicitly.
+	NoSpace bool
 	// TornWrite, on a write operation, persists only a prefix of the
 	// buffer (half, rounded down) before failing — a torn write. Without
 	// it a firing write rule fails without persisting anything.
@@ -219,7 +225,11 @@ func (f *FaultFS) check(op Op, path string) decision {
 		}
 		if d.err == nil {
 			d.err = r.Err
-			if d.err == nil {
+			switch {
+			case d.err != nil:
+			case r.NoSpace:
+				d.err = fmt.Errorf("%w: %w: %s %s", ErrInjected, ErrNoSpace, op, path)
+			default:
 				d.err = fmt.Errorf("%w: %s %s", ErrInjected, op, path)
 			}
 			d.torn = r.TornWrite

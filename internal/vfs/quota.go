@@ -1,0 +1,252 @@
+package vfs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// QuotaFS wraps an FS with a runtime-adjustable byte budget, modelling a
+// device that runs out of space. Writes that would push total usage past
+// the budget fail with ErrNoSpace before reaching the inner FS; while
+// usage already exceeds the budget (after SetBudget shrank it), the
+// namespace-mutating operations Create, Rename and Link, plus Sync, fail
+// with ErrNoSpace too — matching a real filesystem where even metadata
+// updates need free blocks. Reads, Open, List, Exists and Remove always
+// pass through, and Remove/Rename-over-existing reclaim the replaced
+// file's bytes.
+//
+// Accounting is by apparent file size as observed through this wrapper:
+// Write charges the appended bytes, WriteAt charges only the extension
+// beyond the file's current size (in-place updates are free, as on a real
+// block device), Create resets the file's charge to zero (truncation).
+// Opening a file the wrapper has not seen charges its current size, so a
+// QuotaFS layered over a directory with existing state starts from the
+// right baseline.
+type QuotaFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	budget int64 // <0 = unlimited
+	sizes  map[string]int64
+	used   int64
+
+	denials atomic.Int64
+}
+
+// NewQuota wraps inner with the given byte budget. A negative budget
+// means unlimited (useful as the initial state before a test shrinks it).
+func NewQuota(inner FS, budget int64) *QuotaFS {
+	return &QuotaFS{inner: inner, budget: budget, sizes: make(map[string]int64)}
+}
+
+// SetBudget adjusts the byte budget at runtime. Shrinking below current
+// usage does not truncate anything; it makes subsequent writes (and
+// Create/Rename/Link/Sync) fail until enough files are removed or the
+// budget grows again.
+func (fs *QuotaFS) SetBudget(budget int64) {
+	fs.mu.Lock()
+	fs.budget = budget
+	fs.mu.Unlock()
+}
+
+// Budget returns the current byte budget (<0 = unlimited).
+func (fs *QuotaFS) Budget() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.budget
+}
+
+// Used returns the bytes currently charged against the budget.
+func (fs *QuotaFS) Used() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.used
+}
+
+// Denials returns how many operations were rejected with ErrNoSpace.
+func (fs *QuotaFS) Denials() int64 { return fs.denials.Load() }
+
+func (fs *QuotaFS) noSpace(op, name string) error {
+	fs.denials.Add(1)
+	return fmt.Errorf("vfs: %s %s: %w", op, name, ErrNoSpace)
+}
+
+// overLocked reports whether usage already exceeds the budget.
+func (fs *QuotaFS) overLocked() bool {
+	return fs.budget >= 0 && fs.used > fs.budget
+}
+
+// reserve charges n bytes against name, failing if that would exceed the
+// budget. Called with fs.mu NOT held.
+func (fs *QuotaFS) reserve(op, name string, n int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.budget >= 0 && fs.used+n > fs.budget {
+		return fs.noSpace(op, name)
+	}
+	fs.used += n
+	fs.sizes[clean(name)] += n
+	return nil
+}
+
+// release undoes a reservation after the inner write failed.
+func (fs *QuotaFS) release(name string, n int64) {
+	fs.mu.Lock()
+	fs.used -= n
+	fs.sizes[clean(name)] -= n
+	fs.mu.Unlock()
+}
+
+// forget drops name's charge (file removed or replaced).
+func (fs *QuotaFS) forgetLocked(name string) {
+	key := clean(name)
+	fs.used -= fs.sizes[key]
+	delete(fs.sizes, key)
+}
+
+// Create implements FS. Creating truncates, so the file's charge resets;
+// while over budget even that fails (no free blocks for the new inode).
+func (fs *QuotaFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	if fs.overLocked() {
+		fs.mu.Unlock()
+		return nil, fs.noSpace("create", name)
+	}
+	fs.mu.Unlock()
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.forgetLocked(name)
+	fs.sizes[clean(name)] = 0
+	fs.mu.Unlock()
+	return &quotaFile{fs: fs, name: name, f: f}, nil
+}
+
+// Open implements FS. If the wrapper has not seen this file before (it
+// predates the QuotaFS), its current size is charged as the baseline.
+func (fs *QuotaFS) Open(name string) (File, error) {
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	if _, ok := fs.sizes[clean(name)]; !ok {
+		if sz, serr := f.Size(); serr == nil {
+			fs.sizes[clean(name)] = sz
+			fs.used += sz
+		}
+	}
+	fs.mu.Unlock()
+	return &quotaFile{fs: fs, name: name, f: f}, nil
+}
+
+// Remove implements FS and reclaims the file's bytes.
+func (fs *QuotaFS) Remove(name string) error {
+	if err := fs.inner.Remove(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.forgetLocked(name)
+	fs.mu.Unlock()
+	return nil
+}
+
+// Rename implements FS. Renaming over an existing target reclaims the
+// replaced bytes; while over budget the rename itself fails (directory
+// updates need free blocks too), keeping e.g. manifest installs from
+// sneaking past a full disk.
+func (fs *QuotaFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	if fs.overLocked() {
+		fs.mu.Unlock()
+		return fs.noSpace("rename", oldname)
+	}
+	fs.mu.Unlock()
+	if err := fs.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.forgetLocked(newname)
+	okey, nkey := clean(oldname), clean(newname)
+	fs.sizes[nkey] = fs.sizes[okey]
+	delete(fs.sizes, okey)
+	fs.mu.Unlock()
+	return nil
+}
+
+// List implements FS.
+func (fs *QuotaFS) List(dir string) ([]string, error) { return fs.inner.List(dir) }
+
+// MkdirAll implements FS.
+func (fs *QuotaFS) MkdirAll(dir string) error { return fs.inner.MkdirAll(dir) }
+
+// Exists implements FS.
+func (fs *QuotaFS) Exists(name string) bool { return fs.inner.Exists(name) }
+
+// Link implements FS. A hard link shares the underlying bytes, so nothing
+// is charged, but while over budget the directory update fails.
+func (fs *QuotaFS) Link(oldname, newname string) error {
+	fs.mu.Lock()
+	if fs.overLocked() {
+		fs.mu.Unlock()
+		return fs.noSpace("link", oldname)
+	}
+	fs.mu.Unlock()
+	return fs.inner.Link(oldname, newname)
+}
+
+type quotaFile struct {
+	fs   *QuotaFS
+	name string
+	f    File
+}
+
+func (f *quotaFile) Write(p []byte) (int, error) {
+	if err := f.fs.reserve("write", f.name, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n, err := f.f.Write(p)
+	if err != nil || n < len(p) {
+		f.fs.release(f.name, int64(len(p)-n))
+	}
+	return n, err
+}
+
+func (f *quotaFile) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	f.fs.mu.Lock()
+	ext := end - f.fs.sizes[clean(f.name)]
+	f.fs.mu.Unlock()
+	if ext < 0 {
+		ext = 0
+	}
+	if ext > 0 {
+		if err := f.fs.reserve("write", f.name, ext); err != nil {
+			return 0, err
+		}
+	}
+	n, err := f.f.WriteAt(p, off)
+	if err != nil && ext > 0 {
+		f.fs.release(f.name, ext)
+	}
+	return n, err
+}
+
+func (f *quotaFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *quotaFile) Sync() error {
+	f.fs.mu.Lock()
+	over := f.fs.overLocked()
+	f.fs.mu.Unlock()
+	if over {
+		return f.fs.noSpace("sync", f.name)
+	}
+	return f.f.Sync()
+}
+
+func (f *quotaFile) Size() (int64, error) { return f.f.Size() }
+
+func (f *quotaFile) Close() error { return f.f.Close() }

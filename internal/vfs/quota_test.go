@@ -1,0 +1,180 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQuotaFSWriteBudget(t *testing.T) {
+	fs := NewQuota(NewMem(), 100)
+	f, err := fs.Create("db/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 60)); err != nil {
+		t.Fatalf("write under budget: %v", err)
+	}
+	if _, err := f.Write(make([]byte, 60)); !IsNoSpace(err) {
+		t.Fatalf("write past budget: got %v, want ENOSPC", err)
+	}
+	if got := fs.Used(); got != 60 {
+		t.Fatalf("failed write must not charge: used = %d, want 60", got)
+	}
+	// The remaining budget still accepts a fitting write.
+	if _, err := f.Write(make([]byte, 40)); err != nil {
+		t.Fatalf("write filling budget exactly: %v", err)
+	}
+	if fs.Denials() == 0 {
+		t.Fatal("denial counter never advanced")
+	}
+}
+
+func TestQuotaFSWriteAtChargesOnlyExtension(t *testing.T) {
+	fs := NewQuota(NewMem(), 100)
+	f, err := fs.Create("db/slab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	// In-place rewrite: no extension, no charge, succeeds at full budget.
+	if _, err := f.WriteAt(make([]byte, 50), 25); err != nil {
+		t.Fatalf("in-place WriteAt at full budget: %v", err)
+	}
+	// Extension past the budget fails.
+	if _, err := f.WriteAt(make([]byte, 50), 75); !IsNoSpace(err) {
+		t.Fatalf("extending WriteAt past budget: got %v, want ENOSPC", err)
+	}
+}
+
+func TestQuotaFSRemoveReclaims(t *testing.T) {
+	fs := NewQuota(NewMem(), 100)
+	f, _ := fs.Create("db/a")
+	f.Write(make([]byte, 100))
+	f.Close()
+	g, _ := fs.Create("db/b")
+	if _, err := g.Write([]byte("x")); !IsNoSpace(err) {
+		t.Fatalf("budget full: got %v, want ENOSPC", err)
+	}
+	if err := fs.Remove("db/a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Used(); got != 0 {
+		t.Fatalf("used after remove = %d, want 0", got)
+	}
+	if _, err := g.Write(make([]byte, 100)); err != nil {
+		t.Fatalf("write after reclaim: %v", err)
+	}
+}
+
+func TestQuotaFSRenameOverReclaims(t *testing.T) {
+	fs := NewQuota(NewMem(), 100)
+	a, _ := fs.Create("db/a")
+	a.Write(make([]byte, 60))
+	b, _ := fs.Create("db/b")
+	b.Write(make([]byte, 40))
+	if err := fs.Rename("db/a", "db/b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Used(); got != 60 {
+		t.Fatalf("used after rename-over = %d, want 60", got)
+	}
+}
+
+func TestQuotaFSShrinkBlocksNamespaceAndSync(t *testing.T) {
+	fs := NewQuota(NewMem(), -1)
+	f, _ := fs.Create("db/a")
+	f.Write(make([]byte, 100))
+	fs.SetBudget(50) // now over budget
+	if _, err := fs.Create("db/new"); !IsNoSpace(err) {
+		t.Fatalf("Create while over budget: got %v, want ENOSPC", err)
+	}
+	if err := fs.Rename("db/a", "db/a2"); !IsNoSpace(err) {
+		t.Fatalf("Rename while over budget: got %v, want ENOSPC", err)
+	}
+	if err := f.Sync(); !IsNoSpace(err) {
+		t.Fatalf("Sync while over budget: got %v, want ENOSPC", err)
+	}
+	// Reads always pass through.
+	if _, err := f.ReadAt(make([]byte, 10), 0); err != nil {
+		t.Fatalf("read while over budget: %v", err)
+	}
+	// Growing the budget clears the condition.
+	fs.SetBudget(200)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after budget grows: %v", err)
+	}
+	if _, err := f.Write(make([]byte, 50)); err != nil {
+		t.Fatalf("write after budget grows: %v", err)
+	}
+}
+
+func TestQuotaFSOpenChargesExistingFiles(t *testing.T) {
+	mem := NewMem()
+	f, _ := mem.Create("db/old")
+	f.Write(make([]byte, 70))
+	f.Close()
+
+	fs := NewQuota(mem, 100)
+	g, err := fs.Open("db/old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if got := fs.Used(); got != 70 {
+		t.Fatalf("used after opening pre-existing file = %d, want 70", got)
+	}
+	h, _ := fs.Create("db/new")
+	if _, err := h.Write(make([]byte, 50)); !IsNoSpace(err) {
+		t.Fatalf("write ignoring pre-existing baseline: got %v, want ENOSPC", err)
+	}
+}
+
+func TestQuotaFSProbeSpace(t *testing.T) {
+	fs := NewQuota(NewMem(), 10)
+	if ProbeSpace(fs, "db") {
+		t.Fatal("ProbeSpace succeeded with a 10-byte budget")
+	}
+	fs.SetBudget(1 << 20)
+	if !ProbeSpace(fs, "db") {
+		t.Fatal("ProbeSpace failed with a roomy budget")
+	}
+	if fs.Exists("db/.space-probe") {
+		t.Fatal("probe file left behind")
+	}
+}
+
+func TestFaultFSNoSpaceRule(t *testing.T) {
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpWrite, NoSpace: true, CountN: 2})
+	f, err := fs.Create("db/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	_, err = f.Write([]byte("second"))
+	if !IsNoSpace(err) {
+		t.Fatalf("NoSpace rule: got %v, want ENOSPC classification", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("NoSpace rule error must still match ErrInjected, got %v", err)
+	}
+	if fs.InjectedFaults() != 1 {
+		t.Fatalf("injected count = %d, want 1", fs.InjectedFaults())
+	}
+}
+
+func TestFaultFSNoSpaceRuleSync(t *testing.T) {
+	fs := NewFault(NewMem())
+	fs.Inject(Rule{Op: OpSync, NoSpace: true, OneShot: true})
+	f, _ := fs.Create("db/a")
+	if err := f.Sync(); !IsNoSpace(err) {
+		t.Fatalf("sync: got %v, want ENOSPC", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("one-shot rule persisted: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // File is the subset of file behaviour the engines need. LSM engines use
@@ -60,6 +61,38 @@ type FS interface {
 
 // ErrNotExist mirrors os.ErrNotExist for the in-memory implementations.
 var ErrNotExist = os.ErrNotExist
+
+// ErrNoSpace is the space-exhaustion error reported by QuotaFS and by
+// FaultFS rules with NoSpace set. Engines classify it with IsNoSpace, not
+// by comparing against this sentinel, so that real ENOSPC from the host
+// filesystem is handled identically.
+var ErrNoSpace = errors.New("vfs: no space left on device")
+
+// IsNoSpace reports whether err is a space-exhaustion error: ErrNoSpace
+// (QuotaFS, FaultFS) or the operating system's ENOSPC surfaced through
+// OSFS. This is the single classifier every engine uses to decide that a
+// failed write is transient disk-full rather than a permanent fault.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}
+
+// ProbeSpace reports whether dir currently accepts a small durable write:
+// it creates a scratch file, writes and syncs a few hundred bytes, and
+// removes it. The disk-full watchdogs use this to decide when space has
+// been freed and the engine may auto-resume.
+func ProbeSpace(fs FS, dir string) bool {
+	name := dir + "/.space-probe"
+	f, err := fs.Create(name)
+	if err != nil {
+		return false
+	}
+	var probe [512]byte
+	_, werr := f.Write(probe[:])
+	serr := f.Sync()
+	f.Close()
+	fs.Remove(name)
+	return werr == nil && serr == nil
+}
 
 // ---------------------------------------------------------------------------
 // MemFS

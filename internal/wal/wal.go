@@ -17,6 +17,7 @@ package wal
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
 	"sync"
@@ -28,11 +29,51 @@ import (
 
 const headerLen = 16
 
+// SyncPolicy selects when the log fsyncs, i.e. what an acknowledged
+// append guarantees if the process dies. See DESIGN.md §11 for the full
+// contract.
+type SyncPolicy int
+
+const (
+	// PolicyNever never fsyncs on the append path (RocksDB async
+	// logging, the paper's default): an acked append survives process
+	// death only once something else — rotation, Flush, Close — synced
+	// the file. Zero value.
+	PolicyNever SyncPolicy = iota
+	// PolicyInterval fsyncs lazily on the append path whenever
+	// Options.SyncEvery has elapsed since the last sync: a crash loses
+	// at most the appends of the final interval.
+	PolicyInterval
+	// PolicyCommit fsyncs before any append in the group is
+	// acknowledged: every acked append survives SIGKILL. The group
+	// leader performs one fsync for the whole group, so the cost
+	// amortizes across the OBM batch exactly like the write itself.
+	PolicyCommit
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case PolicyNever:
+		return "never"
+	case PolicyInterval:
+		return "interval"
+	case PolicyCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
 // Options configures a Writer.
 type Options struct {
-	// SyncOnCommit fsyncs after every group write. The paper's default
-	// configuration uses RocksDB async logging (no fsync per write), so
-	// this defaults to false.
+	// Policy selects the durability policy (default PolicyNever, unless
+	// the legacy SyncOnCommit flag below promotes it).
+	Policy SyncPolicy
+	// SyncEvery bounds durability staleness under PolicyInterval
+	// (default 100ms). Ignored by the other policies.
+	SyncEvery time.Duration
+	// SyncOnCommit is the legacy boolean form of PolicyCommit, kept so
+	// existing call sites and configs keep their meaning: when set and
+	// Policy is the zero value, the writer runs PolicyCommit.
 	SyncOnCommit bool
 	// GroupCommit enables leader/follower aggregation. Disabled, every
 	// append performs its own IO under the log mutex.
@@ -87,6 +128,11 @@ type Writer struct {
 	tainted bool
 	size    int64
 
+	// lastSync is only touched on the write path (solo appends hold mu;
+	// grouped appends serialize through the single active leader), so it
+	// needs no extra synchronization.
+	lastSync time.Time
+
 	appends  atomic.Int64
 	groupIOs atomic.Int64
 	bytes    atomic.Int64
@@ -105,7 +151,13 @@ func NewWriter(f vfs.File, opts Options) *Writer {
 	if opts.MaxGroupCount <= 0 {
 		opts.MaxGroupCount = 1024
 	}
-	w := &Writer{opts: opts, f: f}
+	if opts.SyncOnCommit && opts.Policy == PolicyNever {
+		opts.Policy = PolicyCommit
+	}
+	if opts.Policy == PolicyInterval && opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	w := &Writer{opts: opts, f: f, lastSync: time.Now()}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -119,7 +171,7 @@ var ErrClosed = errors.New("wal: closed")
 // replay. The owner must rotate to a fresh log.
 var ErrTainted = errors.New("wal: log tainted by failed write")
 
-// Append durably (subject to SyncOnCommit) appends one record and blocks
+// Append durably (subject to Options.Policy) appends one record and blocks
 // until it is written. Safe for concurrent use.
 func (w *Writer) Append(gsn uint64, payload []byte) error {
 	w.appends.Add(1)
@@ -253,8 +305,21 @@ func (w *Writer) writeRecords(group []*waiter) error {
 		return err
 	}
 	w.size += int64(len(w.buf))
-	if w.opts.SyncOnCommit {
-		return w.f.Sync()
+	switch w.opts.Policy {
+	case PolicyCommit:
+		// One fsync for the whole group: the leader pays it once and
+		// every member's ack then implies durability.
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.lastSync = time.Now()
+	case PolicyInterval:
+		if now := time.Now(); now.Sub(w.lastSync) >= w.opts.SyncEvery {
+			if err := w.f.Sync(); err != nil {
+				return err
+			}
+			w.lastSync = now
+		}
 	}
 	return nil
 }

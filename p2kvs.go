@@ -33,6 +33,7 @@ import (
 	"p2kvs/internal/kvell"
 	"p2kvs/internal/lsm"
 	"p2kvs/internal/vfs"
+	"p2kvs/internal/wal"
 )
 
 // Re-exported types: the facade aliases the internal contract types so
@@ -59,6 +60,21 @@ type (
 	// AdmissionPolicy selects the overload behaviour of request
 	// submission (see the AdmitBlock/AdmitReject/AdmitWait constants).
 	AdmissionPolicy = core.AdmissionPolicy
+	// SyncPolicy selects WAL durability on engines with a log (see the
+	// SyncNever/SyncInterval/SyncOnCommit constants).
+	SyncPolicy = wal.SyncPolicy
+)
+
+// WAL durability policies (re-exported from the wal package). Under
+// SyncOnCommit, any write acknowledged to the caller survives a crash —
+// including SIGKILL — of the process (the fsync happens before the ack).
+// SyncInterval bounds the data-loss window to Options.WALSyncInterval;
+// SyncNever leaves durability to the OS page cache and engine
+// checkpoints.
+const (
+	SyncNever    = wal.PolicyNever
+	SyncInterval = wal.PolicyInterval
+	SyncOnCommit = wal.PolicyCommit
 )
 
 // Admission policies (re-exported from core).
@@ -151,8 +167,15 @@ type Options struct {
 	// PinWorkers locks worker goroutines to OS threads.
 	PinWorkers bool
 	// SyncWAL makes per-commit durability synchronous on engines with a
-	// WAL.
+	// WAL. Equivalent to WALSync = SyncOnCommit; kept for existing call
+	// sites.
 	SyncWAL bool
+	// WALSync selects the WAL durability policy explicitly; the zero
+	// value (SyncNever) defers to SyncWAL. WALSyncInterval bounds
+	// staleness under SyncInterval (default 100ms). Ignored by engines
+	// without a log (KVell).
+	WALSync         SyncPolicy
+	WALSyncInterval time.Duration
 	// MergedScan switches SCAN to the serial global-iterator strategy.
 	MergedScan bool
 	// Compression enables per-block DEFLATE compression in the LSM
@@ -269,6 +292,8 @@ func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
 				lo = lsm.RocksDBOptions(fs)
 			}
 			lo.SyncWAL = opts.SyncWAL
+			lo.WALSync = opts.WALSync
+			lo.WALSyncInterval = opts.WALSyncInterval
 			lo.Compression = opts.Compression
 			lo.BlockCacheSize = opts.BlockCacheSize
 			lo.MaxBackgroundCompactions = opts.MaxBackgroundCompactions
@@ -284,7 +309,12 @@ func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
 		}, nil
 	case EngineWiredTiger:
 		return func(id int, _ func(uint64) bool) (kv.Engine, error) {
-			return btreekv.Open(instDir(id), btreekv.Options{FS: fs, SyncWAL: opts.SyncWAL})
+			return btreekv.Open(instDir(id), btreekv.Options{
+				FS:              fs,
+				SyncWAL:         opts.SyncWAL,
+				WALSync:         opts.WALSync,
+				WALSyncInterval: opts.WALSyncInterval,
+			})
 		}, nil
 	case EngineKVell:
 		return func(id int, _ func(uint64) bool) (kv.Engine, error) {

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Crash-recovery stress: build the real server binary, then run the
+# crashkv kill/restart torture in every durability mode. Commit mode is
+# the load-bearing run (zero acked-write loss across $CYCLES SIGKILLs);
+# the async modes prove the store reopens uncorrupted when durability is
+# relaxed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CYCLES="${CYCLES:-25}"
+ASYNC_CYCLES="${ASYNC_CYCLES:-5}"
+GO="${GO:-go}"
+
+mkdir -p bin
+$GO build -o bin/p2kvs-server ./cmd/p2kvs-server
+$GO build -o bin/crashkv ./cmd/crashkv
+
+echo "== crash-stress: commit mode, $CYCLES cycles =="
+./bin/crashkv -server bin/p2kvs-server -cycles "$CYCLES" -mode commit
+
+echo "== crash-stress: interval mode, $ASYNC_CYCLES cycles =="
+./bin/crashkv -server bin/p2kvs-server -cycles "$ASYNC_CYCLES" -mode interval
+
+echo "== crash-stress: never mode, $ASYNC_CYCLES cycles =="
+./bin/crashkv -server bin/p2kvs-server -cycles "$ASYNC_CYCLES" -mode never
+
+echo "== crash-stress: commit mode, wiredtiger engine, $ASYNC_CYCLES cycles =="
+./bin/crashkv -server bin/p2kvs-server -cycles "$ASYNC_CYCLES" -mode commit -engine wiredtiger
+
+echo "crash-stress: all modes passed"
