@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,18 @@ backup-stress:
 	$(GO) test -race -timeout 5m -run 'Checkpoint|Restore|Barrier' ./internal/core
 	$(GO) test -race -timeout 5m -run 'Manifest|ParseMutations|ParseRejects' ./internal/checkpoint
 	$(GO) test -race -timeout 5m -run 'Backup|Restore' .
+
+# At-rest integrity stress: the bit-flip torture (random single-bit
+# flips across every engine family's files; every read must come back
+# correct, not-found, or loudly CORRUPTION — never silently wrong), the
+# per-engine corruption/quarantine/repair batteries, the scrub runner,
+# the WAL rot-vs-tear discrimination tests, and the end-to-end
+# over-the-wire corruption test — all race-enabled.
+scrub-stress:
+	$(GO) test -race -timeout 10m -run 'BitFlipAtRestTorture' ./internal/torture
+	$(GO) test -race -timeout 5m -run 'Corrupt|Scrub|Quarantine|Repair|Flip|Rot|Checksum|Limiter|Runner' \
+		./internal/block ./internal/wal ./internal/lsm ./internal/btreekv \
+		./internal/kvell ./internal/scrub ./internal/vfs ./internal/server
 
 # Crash-recovery stress: kill -9 a real server process under pipelined
 # load, restart, verify acked writes (commit mode) / clean recovery

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -51,8 +52,10 @@ func main() {
 		l0Slowdown = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
 		ckptEvery  = flag.Int("checkpoint_every", 0, "take an online checkpoint every N completed ops (0 = off)")
 		ckptDir    = flag.String("checkpoint_dir", "dbbench-backup", "backup set -checkpoint_every writes into")
+		verify     = flag.Bool("verify", false, "paranoid reads: check every read value against the workload pattern; corruption errors are counted, a silently wrong value is fatal")
 	)
 	flag.Parse()
+	verifier.on = *verify
 
 	var policy p2kvs.AdmissionPolicy
 	switch *admission {
@@ -122,6 +125,7 @@ func main() {
 		latencies = append(latencies, namedSummary{name, h.Summary()})
 	}
 	saver.stop()
+	reportVerify()
 	reportRobustness(store)
 	reportOverload(store)
 	reportCompaction(store)
@@ -137,6 +141,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(raw))
+	}
+}
+
+// verifier holds -verify mode state. The split matters: a corruption
+// error is the store refusing to serve damaged data (working as designed,
+// counted), while a value mismatch is a silent lie and fails the bench.
+var verifier struct {
+	on          bool
+	reads       atomic.Int64
+	corruptions atomic.Int64
+	mismatches  atomic.Int64
+}
+
+// reportVerify prints the paranoid-read summary and fails the run on any
+// silently wrong value.
+func reportVerify() {
+	if !verifier.on {
+		return
+	}
+	fmt.Printf("corruption     : %d reads verified; %d corruption errors (loud); %d silent mismatches\n",
+		verifier.reads.Load(), verifier.corruptions.Load(), verifier.mismatches.Load())
+	if verifier.mismatches.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "dbbench: FATAL: store served silently wrong values")
+		os.Exit(1)
 	}
 }
 
@@ -357,9 +385,15 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 		case isScan:
 			_, err = store.ScanCtx(ctx, workload.Key(idx), scanSize)
 		case isRead:
-			_, err = store.GetCtx(ctx, workload.Key(idx))
+			var got []byte
+			got, err = store.GetCtx(ctx, workload.Key(idx))
 			if err == kv.ErrNotFound {
 				err = nil
+			} else if verifier.on && err == nil {
+				verifier.reads.Add(1)
+				if !bytes.Equal(got, workload.Value(idx, valueSize)) {
+					verifier.mismatches.Add(1)
+				}
 			}
 		default:
 			err = store.PutCtx(ctx, workload.Key(idx), workload.Value(idx, valueSize))
@@ -367,6 +401,13 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 		cancel()
 		h.Record(time.Since(opStart))
 		saver.tick()
+		if verifier.on && errors.Is(err, kv.ErrCorruption) {
+			// A loud corruption error is the store refusing to lie; paranoid
+			// mode counts it and keeps going so the damage extent shows in
+			// the final report. Only a silent mismatch fails the run.
+			verifier.corruptions.Add(1)
+			err = nil
+		}
 		if errors.Is(err, kv.ErrOverloaded) || errors.Is(err, kv.ErrDeadlineExceeded) {
 			dropped.Add(1)
 			err = nil

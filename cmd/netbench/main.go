@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,6 +35,18 @@ import (
 // server restart to prove no acked write was lost.
 var ackedW *ackedlog.Writer
 
+// verifier, when enabled (-verify), checks every GET hit against the
+// deterministic workload pattern. A -CORRUPTION reply is the loud,
+// contractual answer for damaged data and is merely counted; a reply
+// carrying a *wrong value* is the one unforgivable outcome and fails
+// the whole run.
+var verifier struct {
+	on          bool
+	reads       atomic.Int64
+	corruptions atomic.Int64
+	mismatches  atomic.Int64
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:6380", "server address")
@@ -48,8 +61,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		bgsave     = flag.Bool("bgsave", false, "issue BGSAVE after the phases and wait for the save to commit")
 		ackedLog   = flag.String("acked_log", "", "journal every acked SET (key and value) to this file for later crash-recovery verification")
+		verify     = flag.Bool("verify", false, "paranoid reads: check every GET hit against the workload pattern; -CORRUPTION replies are counted, a silently wrong value is fatal")
 	)
 	flag.Parse()
+	verifier.on = *verify
 	if *ackedLog != "" {
 		w, err := ackedlog.Create(*ackedLog)
 		if err != nil {
@@ -88,7 +103,22 @@ func main() {
 	if *bgsave {
 		bgsaveAndWait(*addr)
 	}
+	if verifier.on {
+		reportVerify()
+	}
 	reportServerCounters(*addr)
+}
+
+// reportVerify prints the paranoid-read tally and fails the run if any
+// GET came back with a silently wrong value — the one outcome the
+// integrity machinery exists to make impossible.
+func reportVerify() {
+	fmt.Printf("corruption     : %8d hits verified; %d -CORRUPTION replies (loud); %d silent mismatches\n",
+		verifier.reads.Load(), verifier.corruptions.Load(), verifier.mismatches.Load())
+	if verifier.mismatches.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "netbench: FATAL: server served silently wrong values")
+		os.Exit(1)
+	}
 }
 
 // chooser builds the per-connection key chooser.
@@ -212,11 +242,21 @@ func runConn(phase, addr string, pipeline, ops, valueSize, keyspace int, dist st
 					res.loadshed.Add(1)
 				case strings.HasPrefix(msg, "TIMEOUT"):
 					res.timeouts.Add(1)
+				case verifier.on && strings.HasPrefix(msg, "CORRUPTION"):
+					// The loud answer for damaged data: the server refused
+					// to serve rather than guess. Counted, not fatal.
+					verifier.corruptions.Add(1)
 				default:
 					res.errors.Add(1)
 				}
 			case isGet[i] && rep.Kind == '$' && !rep.Nil:
 				res.hits.Add(1)
+				if verifier.on {
+					verifier.reads.Add(1)
+					if !bytes.Equal(rep.Str, workload.Value(idxs[i], valueSize)) {
+						verifier.mismatches.Add(1)
+					}
+				}
 			case !isGet[i] && ackedW != nil:
 				// The server acked this SET; journal it for post-crash
 				// verification. Same-key overwrites are identical by

@@ -49,6 +49,9 @@ func main() {
 		subComp      = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
 		l0Slowdown   = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
 		ckptDir      = flag.String("checkpoint_dir", "", "backup set BGSAVE writes into; empty disables BGSAVE")
+		scrubIvl     = flag.Duration("scrub_interval", 0, "background at-rest integrity scrub cadence (0 = disabled; SCRUB stays available)")
+		scrubRate    = flag.Int64("scrub_rate", 0, "scrub read-bandwidth budget in bytes/sec (0 = unthrottled)")
+		repairFrom   = flag.String("repair_from", "", "backup directory engines may pull verified files from to self-repair quarantined data; defaults to -checkpoint_dir")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -105,6 +108,10 @@ func main() {
 		MaxBackgroundCompactions: *maxBgComp,
 		MaxSubCompactions:        *subComp,
 		L0SlowdownTrigger:        *l0Slowdown,
+
+		ScrubInterval: *scrubIvl,
+		ScrubRate:     *scrubRate,
+		RepairFrom:    repairDir(*repairFrom, *ckptDir),
 	})
 	if err != nil {
 		logger.Fatalf("p2kvs-server: open store: %v", err)
@@ -146,4 +153,14 @@ func main() {
 		logger.Fatalf("p2kvs-server: serve: %v", err)
 	}
 	logger.Printf("p2kvs-server: clean shutdown")
+}
+
+// repairDir resolves -repair_from: explicit value wins, else the BGSAVE
+// directory doubles as the repair source (repairs draw from the newest
+// backup the server itself has taken).
+func repairDir(explicit, ckptDir string) string {
+	if explicit != "" {
+		return explicit
+	}
+	return ckptDir
 }

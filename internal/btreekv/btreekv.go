@@ -22,6 +22,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strings"
+
+	"p2kvs/internal/block"
 	"p2kvs/internal/bptree"
 	"p2kvs/internal/ikey"
 	"p2kvs/internal/kv"
@@ -53,6 +56,10 @@ type Options struct {
 	// p2KVS sharding away); reads pay theirs under the shared latch.
 	PerUpdateCost time.Duration
 	PerReadCost   time.Duration
+	// RepairSource, when non-nil, supplies known-good backup bytes for a
+	// corrupt base checkpoint (keyed by base name, e.g. "ckpt-000003.db");
+	// see corruption.go. Journal corruption is not repairable in place.
+	RepairSource kv.RepairSource
 }
 
 type dirtyVal struct {
@@ -88,6 +95,14 @@ type DB struct {
 	diskFullEvents atomic.Int64
 	autoResumes    atomic.Int64
 	spaceWatch     *spacewatch.Watchdog
+
+	// Corruption containment (corruption.go). Guarded by corrMu — its own
+	// mutex so read paths holding the shared latch can record detections.
+	corrMu           sync.Mutex
+	corrErr          error
+	corrBaseOnly     bool
+	corruptionEvents atomic.Int64
+	repairedFiles    atomic.Int64
 }
 
 var _ kv.Engine = (*DB)(nil)
@@ -95,6 +110,41 @@ var _ kv.Engine = (*DB)(nil)
 func ckptName(dir string, gen uint64) string { return fmt.Sprintf("%s/ckpt-%06d.db", dir, gen) }
 func walName(dir string, gen uint64) string  { return fmt.Sprintf("%s/journal-%06d.log", dir, gen) }
 func metaName(dir string) string             { return dir + "/META" }
+
+// encodeMeta renders META: the generation pointer plus a CRC-32C guard
+// over it. META is the store's root — a silently misread generation
+// resurrects an old image (or an empty one), which is wholesale silent
+// data loss — so it gets the same at-rest protection as data blocks.
+func encodeMeta(gen uint64) []byte {
+	body := fmt.Sprintf("gen=%d", gen)
+	return []byte(fmt.Sprintf("%s crc=%08x\n", body, block.Checksum([]byte(body))))
+}
+
+// parseMeta reads either the guarded form ("gen=N crc=XXXXXXXX") or the
+// legacy unguarded "gen=N" written before the checksum format. Any
+// mismatch or malformed content is reported as corruption: guessing at a
+// generation is never acceptable.
+func parseMeta(raw []byte) (uint64, error) {
+	s := strings.TrimRight(string(raw), "\n")
+	var gen uint64
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		body, guard := s[:i], s[i+1:]
+		var crc uint32
+		if _, err := fmt.Sscanf(guard, "crc=%08x", &crc); err != nil {
+			return 0, &kv.CorruptionError{File: "META", Detail: "malformed checksum field"}
+		}
+		if block.Checksum([]byte(body)) != crc {
+			return 0, &kv.CorruptionError{File: "META", Detail: "checksum mismatch"}
+		}
+		s = body
+	}
+	// Strict round-trip: "gen=20crc=..." (a guarded META whose space
+	// rotted into a digit) must not scan as generation 20.
+	if _, err := fmt.Sscanf(s, "gen=%d", &gen); err != nil || s != fmt.Sprintf("gen=%d", gen) {
+		return 0, &kv.CorruptionError{File: "META", Detail: "malformed generation field"}
+	}
+	return gen, nil
+}
 
 // Open opens (creating if necessary) the store at dir.
 func Open(dir string, opts Options) (*DB, error) {
@@ -118,12 +168,14 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		var buf [32]byte
+		var buf [64]byte
 		n, _ := f.ReadAt(buf[:], 0)
 		f.Close()
-		if _, err := fmt.Sscanf(string(buf[:n]), "gen=%d", &d.gen); err != nil {
+		gen, err := parseMeta(buf[:n])
+		if err != nil {
 			return nil, fmt.Errorf("btreekv: corrupt META: %w", err)
 		}
+		d.gen = gen
 	}
 	// A generation can legitimately lack a checkpoint file: a checkpoint
 	// whose merged content was empty (everything deleted) bumps the
@@ -133,12 +185,20 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sstable.Open(f)
+		r, err := sstable.OpenNamed(f, nil, 0, baseName(d.gen))
 		if err != nil {
 			f.Close()
-			return nil, err
+			if !errors.Is(err, kv.ErrCorruption) {
+				return nil, err
+			}
+			// Corrupt base, intact journal: open in base-only containment
+			// (dirty hits serve, misses fail with ErrCorruption) rather
+			// than refusing the whole shard — Scrub can repair the base
+			// from backup without a restart.
+			d.noteCorruption(err, true)
+		} else {
+			d.base = r
 		}
-		d.base = r
 	}
 
 	// Replay the journal into the dirty tree.
@@ -150,7 +210,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		recs, err := wal.ReadAll(f)
 		f.Close()
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, kv.ErrCorruption) {
+				return nil, err
+			}
+			// A complete journal record lost its bytes at rest: the
+			// recovered dirty tree is a prefix, so any key may be stale.
+			// Contain the whole shard — every read fails loudly until a
+			// restore — instead of serving a silently-rewound state.
+			d.noteCorruption(&kv.CorruptionError{
+				File: fmt.Sprintf("journal-%06d.log", d.gen), Offset: -1,
+				Detail: "btreekv: journal corrupt at rest; recovered state is a prefix",
+			}, false)
 		}
 		for _, rec := range recs {
 			key, val, tomb, err := decodeRec(rec.Payload)
@@ -183,6 +253,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if err := opts.FS.Rename(walName(dir, d.gen)+".new", walName(dir, d.gen)); err != nil {
 		return nil, err
+	}
+	if cerr, _ := d.corruption(); cerr != nil {
+		// Writes into a shard whose recovered state is unsound only widen
+		// the blast radius; degrade them (same state machine as disk-full,
+		// but lifted by repair/restore rather than the space watchdog).
+		d.bgErr = &degradedError{cause: cerr}
 	}
 	d.spaceWatch = spacewatch.New(d.diskFullDegraded, d.spaceProbe, d.autoResume, 0, 0)
 	return d, nil
@@ -243,6 +319,13 @@ func (d *DB) update(key, value []byte, tomb bool) error {
 		d.mu.Unlock()
 		return err
 	}
+	if cerr, _ := d.corruption(); cerr != nil {
+		// Corruption detected at runtime (read path can't take the write
+		// latch to install bgErr): block writes here with the same
+		// degraded semantics.
+		d.mu.Unlock()
+		return &degradedError{cause: cerr}
+	}
 	if d.opts.PerUpdateCost > 0 {
 		time.Sleep(d.opts.PerUpdateCost)
 	}
@@ -291,15 +374,28 @@ func (d *DB) Get(key []byte) ([]byte, error) {
 	if d.opts.PerReadCost > 0 {
 		time.Sleep(d.opts.PerReadCost)
 	}
+	if cerr, baseOnly := d.corruption(); cerr != nil && !baseOnly {
+		// Journal corruption: the dirty tree is a prefix, even hits may be
+		// stale. Nothing in this shard is trustworthy.
+		return nil, cerr
+	}
 	if dv, ok := d.dirty.Get(key); ok {
 		if dv.tomb {
 			return nil, kv.ErrNotFound
 		}
 		return append([]byte(nil), dv.val...), nil
 	}
+	if cerr, baseOnly := d.corruption(); cerr != nil && baseOnly {
+		// Dirty miss with a corrupt base: the base's version (or proof of
+		// absence) is unreadable — fail loudly, never guess NotFound.
+		return nil, cerr
+	}
 	if d.base != nil {
 		v, _, found, deleted, err := d.base.Get(key, ikey.MaxSeq)
 		if err != nil {
+			if errors.Is(err, kv.ErrCorruption) {
+				d.noteCorruption(err, true)
+			}
 			return nil, err
 		}
 		if found && !deleted {
@@ -324,6 +420,12 @@ func (d *DB) Checkpoint() error {
 // (checkpoints stall the store, a real WiredTiger behaviour under heavy
 // dirty growth).
 func (d *DB) checkpointLocked() error {
+	if cerr, _ := d.corruption(); cerr != nil {
+		// Reconciling would read the corrupt base (or persist a rewound
+		// dirty prefix) into the next generation, laundering bad data into
+		// a "clean" checkpoint. Refuse until repair/restore.
+		return cerr
+	}
 	if d.dirty.Len() == 0 && !d.wal.Tainted() {
 		return nil
 	}
@@ -402,7 +504,7 @@ func (d *DB) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(mf, "gen=%d", newGen)
+	mf.Write(encodeMeta(newGen))
 	if err := mf.Sync(); err != nil {
 		return err
 	}
@@ -510,6 +612,11 @@ func (d *DB) NewIterator() (kv.Iterator, error) {
 	defer d.mu.RUnlock()
 	if d.closed {
 		return nil, kv.ErrClosed
+	}
+	if cerr, _ := d.corruption(); cerr != nil {
+		// A scan's completeness depends on both layers; fail loudly
+		// rather than silently omitting the unreadable one.
+		return nil, cerr
 	}
 	var dirtyEntries []iterEntry
 	tombs := map[string]bool{}

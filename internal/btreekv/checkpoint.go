@@ -99,7 +99,7 @@ func (w *ckptWriter) WriteTo(fs vfs.FS, dir string, seq uint64) ([]kv.Checkpoint
 	files = append(files, kv.CheckpointFile{Name: jname, Restore: fmt.Sprintf("journal-%06d.log", w.gen)})
 
 	mname := fmt.Sprintf("META-ckpt%06d", seq)
-	if err := vfs.WriteFile(fs, dir+"/"+mname, []byte(fmt.Sprintf("gen=%d", w.gen))); err != nil {
+	if err := vfs.WriteFile(fs, dir+"/"+mname, encodeMeta(w.gen)); err != nil {
 		return nil, err
 	}
 	files = append(files, kv.CheckpointFile{Name: mname, Restore: "META"})

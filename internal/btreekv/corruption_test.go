@@ -1,0 +1,221 @@
+package btreekv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+// repairMap is a stub kv.RepairSource: file base name -> pristine bytes.
+type repairMap map[string][]byte
+
+func (m repairMap) Fetch(name string) ([]byte, bool) {
+	b, ok := m[name]
+	return b, ok
+}
+
+func corrOpts(fs vfs.FS) Options {
+	return Options{FS: fs, CheckpointBytes: 64 << 20} // no auto-checkpoint
+}
+
+// buildBaseAndDirty creates a store whose base checkpoint holds base-NNNN
+// keys and whose journal holds dirty-NNNN keys plus an overwrite of
+// base-0000, then closes it. Returns the fault FS, the base file path and
+// its pristine bytes, and the expected live key->value map.
+func buildBaseAndDirty(t *testing.T) (*vfs.FaultFS, string, []byte, map[string]string) {
+	t.Helper()
+	fs := vfs.NewFault(vfs.NewMem())
+	d, err := Open("db", corrOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("base-%04d", i)
+		v := fmt.Sprintf("bv-%04d", i)
+		if err := d.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("dirty-%04d", i)
+		v := fmt.Sprintf("dv-%04d", i)
+		if err := d.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := d.Put([]byte("base-0000"), []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	want["base-0000"] = "overwritten"
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := ckptName("db", 1)
+	if !fs.Exists(base) {
+		t.Fatalf("no base checkpoint at %s", base)
+	}
+	pristine, err := vfs.ReadFile(fs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, base, pristine, want
+}
+
+// TestCorruptBaseReadOnlyMinus: a flipped bit in the base checkpoint must
+// leave dirty hits serving correct answers while dirty misses and writes
+// fail loudly — never a wrong or silently-missing value.
+func TestCorruptBaseReadOnlyMinus(t *testing.T) {
+	fs, base, _, want := buildBaseAndDirty(t)
+	if err := fs.CorruptAt(base, 10); err != nil { // inside the data block
+		t.Fatal(err)
+	}
+	d, err := Open("db", corrOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Base read detects the flip.
+	if _, err := d.Get([]byte("base-0010")); !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("base Get = %v, want ErrCorruption", err)
+	}
+	// Dirty hits keep serving, including the journal's newer version of a
+	// base key.
+	for _, k := range []string{"dirty-0005", "base-0000"} {
+		got, err := d.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("dirty hit Get(%q): %v", k, err)
+		}
+		if string(got) != want[k] {
+			t.Fatalf("Get(%q) = %q, want %q", k, got, want[k])
+		}
+	}
+	// A dirty miss cannot prove absence against a corrupt base.
+	if _, err := d.Get([]byte("no-such-key")); !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("absent-key Get = %v, want ErrCorruption", err)
+	}
+	// Writes degrade: appending to an unsound shard widens the blast radius.
+	err = d.Put([]byte("new-key"), []byte("v"))
+	if !errors.Is(err, kv.ErrDegraded) || !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("Put = %v, want ErrDegraded wrapping ErrCorruption", err)
+	}
+	h := d.Health()
+	if h.CorruptionEvents == 0 || h.QuarantinedFiles != 1 {
+		t.Fatalf("Health = %+v, want CorruptionEvents>0 and QuarantinedFiles=1", h)
+	}
+	if h.State != kv.StateReadOnly {
+		t.Fatalf("State = %v, want StateReadOnly", h.State)
+	}
+}
+
+// TestScrubRepairsBase: with a backup available, a scrub pass finds the
+// flipped base without any foreground read and swaps in the verified copy;
+// reads and writes are whole again.
+func TestScrubRepairsBase(t *testing.T) {
+	fs, base, pristine, want := buildBaseAndDirty(t)
+	if err := fs.CorruptAt(base, 10); err != nil {
+		t.Fatal(err)
+	}
+	opts := corrOpts(fs)
+	opts.RepairSource = repairMap{baseName(1): pristine}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	res, err := d.Scrub(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptionsFound != 1 || res.FilesRepaired != 1 {
+		t.Fatalf("scrub = %+v, want 1 found / 1 repaired", res)
+	}
+	for k, v := range want {
+		got, err := d.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q) after repair: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("Get(%q) after repair = %q, want %q", k, got, v)
+		}
+	}
+	if err := d.Put([]byte("new-key"), []byte("v")); err != nil {
+		t.Fatalf("Put after repair: %v", err)
+	}
+	h := d.Health()
+	if h.QuarantinedFiles != 0 || h.RepairedFiles != 1 {
+		t.Fatalf("Health after repair = %+v, want 0 quarantined / 1 repaired", h)
+	}
+	// Clean second pass.
+	res, err = d.Scrub(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptionsFound != 0 || res.FilesScanned != 1 || res.BytesScanned == 0 {
+		t.Fatalf("second scrub = %+v, want one clean file scanned", res)
+	}
+}
+
+// TestCorruptJournalFailsShard: a flipped bit in a complete journal record
+// means the recovered dirty tree is a prefix — the whole shard must fail
+// loudly rather than serve a silently rewound state, and no repair source
+// can fix it (only a restore).
+func TestCorruptJournalFailsShard(t *testing.T) {
+	fs := vfs.NewFault(vfs.NewMem())
+	d, err := Open("db", corrOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("j-%04d", i)), []byte(fmt.Sprintf("jv-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Offset 18 = 2 bytes into the first record's payload (16-byte WAL
+	// header): the record stays complete, its CRC no longer matches.
+	journal := walName("db", 0)
+	if err := fs.CorruptAt(journal, 18); err != nil {
+		t.Fatal(err)
+	}
+	opts := corrOpts(fs)
+	opts.RepairSource = repairMap{} // present but useless for journals
+	d2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	for _, k := range []string{"j-0000", "j-0015", "j-0029", "absent"} {
+		if _, err := d2.Get([]byte(k)); !errors.Is(err, kv.ErrCorruption) {
+			t.Fatalf("Get(%q) = %v, want ErrCorruption", k, err)
+		}
+	}
+	if err := d2.Put([]byte("k"), []byte("v")); !errors.Is(err, kv.ErrDegraded) {
+		t.Fatalf("Put = %v, want ErrDegraded", err)
+	}
+	res, err := d2.Scrub(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesRepaired != 0 {
+		t.Fatalf("scrub repaired a corrupt journal: %+v", res)
+	}
+	h := d2.Health()
+	if h.QuarantinedFiles != 1 || h.State != kv.StateReadOnly || h.LastCorruption == nil {
+		t.Fatalf("Health = %+v, want quarantined read-only shard", h)
+	}
+}

@@ -52,12 +52,21 @@ func (d *DB) degradeLocked(cause error) {
 // Health implements kv.HealthReporter.
 func (d *DB) Health() kv.Health {
 	h := kv.Health{
-		State:          kv.StateHealthy,
-		DiskFullEvents: d.diskFullEvents.Load(),
-		AutoResumes:    d.autoResumes.Load(),
+		State:            kv.StateHealthy,
+		DiskFullEvents:   d.diskFullEvents.Load(),
+		AutoResumes:      d.autoResumes.Load(),
+		CorruptionEvents: d.corruptionEvents.Load(),
+		RepairedFiles:    d.repairedFiles.Load(),
 	}
 	if fc, ok := d.opts.FS.(vfs.FaultCounter); ok {
 		h.InjectedFaults = fc.InjectedFaults()
+	}
+	if cerr, _ := d.corruption(); cerr != nil {
+		// Containment active: the one base/journal under quarantine.
+		h.QuarantinedFiles = 1
+		h.LastCorruption = cerr
+		h.State = kv.StateReadOnly
+		h.Err = cerr
 	}
 	d.mu.RLock()
 	if d.bgErr != nil {

@@ -98,6 +98,12 @@ type Options struct {
 	EngineName string
 	// Meters, when non-nil, receives one busy meter per worker.
 	Meters *metrics.Group
+	// ScrubInterval enables a background integrity scrub of every worker
+	// engine on this cadence (0 = no background scrubbing; Store.Scrub
+	// remains available for on-demand passes). ScrubRate bounds the scrub's
+	// aggregate read bandwidth in bytes/second (0 = unthrottled).
+	ScrubInterval time.Duration
+	ScrubRate     int64
 }
 
 // DefaultOptions returns the paper's default configuration (8 workers,

@@ -35,6 +35,13 @@ type WorkerStatsJSON struct {
 	DiskFull       bool  `json:"disk_full"`
 	DiskFullEvents int64 `json:"disk_full_events"`
 	AutoResumes    int64 `json:"auto_resumes"`
+	// At-rest integrity: checksum-mismatch detections, files currently
+	// under quarantine (counts sum in the aggregate; LastCorruption is the
+	// most recent worker's report), and files restored from backup.
+	CorruptionEvents int64  `json:"corruption_events"`
+	QuarantinedFiles int64  `json:"quarantined_files"`
+	RepairedFiles    int64  `json:"repaired_files"`
+	LastCorruption   string `json:"last_corruption,omitempty"`
 	// Compaction-scheduler counters: stall (hard-block) vs slowdown (soft
 	// delay) time are reported separately; ConcurrentCompactionsHW is the
 	// high-water mark of compactions running at once (max, not sum, in the
@@ -91,6 +98,10 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 		DiskFullEvents: ws.Health.DiskFullEvents,
 		AutoResumes:    ws.Health.AutoResumes,
 
+		CorruptionEvents: ws.Health.CorruptionEvents,
+		QuarantinedFiles: ws.Health.QuarantinedFiles,
+		RepairedFiles:    ws.Health.RepairedFiles,
+
 		CompactionStallUs:       ws.Compaction.StallTime.Microseconds(),
 		CompactionSlowdownUs:    ws.Compaction.SlowdownTime.Microseconds(),
 		CompactionSlowdowns:     ws.Compaction.Slowdowns,
@@ -106,6 +117,9 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 	}
 	if ws.Health.Err != nil {
 		out.HealthErr = ws.Health.Err.Error()
+	}
+	if ws.Health.LastCorruption != nil {
+		out.LastCorruption = ws.Health.LastCorruption.Error()
 	}
 	return out
 }
@@ -137,6 +151,12 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		agg.DiskFull = agg.DiskFull || j.DiskFull
 		agg.DiskFullEvents += j.DiskFullEvents
 		agg.AutoResumes += j.AutoResumes
+		agg.CorruptionEvents += j.CorruptionEvents
+		agg.QuarantinedFiles += j.QuarantinedFiles
+		agg.RepairedFiles += j.RepairedFiles
+		if j.LastCorruption != "" {
+			agg.LastCorruption = j.LastCorruption
+		}
 		agg.CompactionStallUs += j.CompactionStallUs
 		agg.CompactionSlowdownUs += j.CompactionSlowdownUs
 		agg.CompactionSlowdowns += j.CompactionSlowdowns

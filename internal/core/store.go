@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"p2kvs/internal/kv"
+	"p2kvs/internal/scrub"
 )
 
 // Store is a p2KVS instance: the accessing layer plus N workers (Figure
@@ -29,6 +30,10 @@ type Store struct {
 	ckptCount     atomic.Int64
 	ckptBarrierNs atomic.Int64
 	lastCkptUnix  atomic.Int64
+
+	// scrubber drives periodic background integrity scrubs
+	// (Options.ScrubInterval); nil when disabled.
+	scrubber *scrub.Runner
 }
 
 var _ kv.Engine = (*Store)(nil)
@@ -73,7 +78,14 @@ func Open(opts Options) (*Store, error) {
 	for _, w := range s.workers {
 		w.start()
 	}
+	s.scrubber = scrub.NewRunner(opts.ScrubInterval, opts.ScrubRate, s.Scrub)
 	return s, nil
+}
+
+// ScrubStatus reports the background scrubber's most recent pass; the zero
+// Status when background scrubbing is disabled.
+func (s *Store) ScrubStatus() scrub.Status {
+	return s.scrubber.Status()
 }
 
 func (s *Store) pick(key []byte) *worker {
@@ -694,6 +706,41 @@ func (s *Store) Resume() error {
 	return firstErr
 }
 
+// Scrub implements kv.Scrubber by fanning out to every worker engine that
+// supports it, in parallel — shards are independent stores on independent
+// directories, and the caller's rate limiter is shared, so the aggregate
+// read rate still honors the budget. Engines without scrub support are
+// skipped (they contribute nothing to the result).
+func (s *Store) Scrub(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error) {
+	if s.closed.Load() {
+		return kv.ScrubResult{}, kv.ErrClosed
+	}
+	results := make([]kv.ScrubResult, len(s.workers))
+	errs := make([]error, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		sc, ok := w.engine.(kv.Scrubber)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sc kv.Scrubber) {
+			defer wg.Done()
+			results[i], errs[i] = sc.Scrub(ctx, lim)
+		}(i, sc)
+	}
+	wg.Wait()
+	var res kv.ScrubResult
+	var firstErr error
+	for i := range results {
+		res.Merge(results[i])
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	return res, firstErr
+}
+
 // Close implements kv.Engine: drains queues, stops workers, closes
 // instances and the transaction log. A crash of any worker engine close
 // is reported but the remaining workers still close (§4.6: a crash of any
@@ -707,6 +754,7 @@ func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.scrubber.Close() // aborts an in-flight pass; nil-safe
 	var deadline time.Time
 	if s.opts.DrainTimeout > 0 {
 		deadline = time.Now().Add(s.opts.DrainTimeout)

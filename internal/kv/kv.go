@@ -11,7 +11,9 @@
 package kv
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -41,6 +43,36 @@ var ErrOverloaded = errors.New("kv: shard overloaded")
 // Errors wrap the context cause, so errors.Is also matches
 // context.DeadlineExceeded / context.Canceled as appropriate.
 var ErrDeadlineExceeded = errors.New("kv: request deadline exceeded")
+
+// ErrCorruption is the base error of every at-rest integrity failure: a
+// block, page, journal record or slab slot whose stored checksum does not
+// match its content. Engines return it (usually wrapped in a
+// CorruptionError naming the file) instead of a wrong answer — a read that
+// cannot be proven correct fails typed, it never fabricates a value and it
+// never panics.
+var ErrCorruption = errors.New("kv: data corruption detected")
+
+// CorruptionError pinpoints one integrity failure: which file, where in
+// it, and what check failed. It matches ErrCorruption under errors.Is.
+type CorruptionError struct {
+	// File is the engine-relative path of the damaged file.
+	File string
+	// Offset is the byte offset of the damaged region within File, -1 when
+	// the failure is not offset-specific (e.g. a truncated footer).
+	Offset int64
+	// Detail describes the failed check ("block crc mismatch", ...).
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("kv: data corruption detected: %s @%d: %s", e.File, e.Offset, e.Detail)
+	}
+	return fmt.Sprintf("kv: data corruption detected: %s: %s", e.File, e.Detail)
+}
+
+// Is makes errors.Is(err, ErrCorruption) match any CorruptionError.
+func (e *CorruptionError) Is(target error) bool { return target == ErrCorruption }
 
 // HealthState is the background-error state of an engine.
 type HealthState int32
@@ -92,6 +124,20 @@ type Health struct {
 	// watchdog brought the engine back without an explicit Resume call.
 	DiskFullEvents int64
 	AutoResumes    int64
+	// CorruptionEvents counts at-rest integrity failures detected over the
+	// engine's lifetime (checksum mismatches on reads, scrubs or recovery).
+	CorruptionEvents int64
+	// QuarantinedFiles is the number of files currently quarantined:
+	// detected corrupt and fenced off so reads covering them fail with
+	// ErrCorruption while the rest of the keyspace keeps serving.
+	QuarantinedFiles int64
+	// RepairedFiles counts quarantined files restored from a verified
+	// backup copy and returned to service.
+	RepairedFiles int64
+	// LastCorruption is the most recent corruption error, nil when none
+	// has ever been detected (it is informational and does not imply the
+	// engine is still degraded — the file may have been repaired).
+	LastCorruption error
 }
 
 // HealthReporter is the optional capability of reporting background-error
@@ -122,6 +168,54 @@ type CompactionStats struct {
 // surfaces it in per-worker stats.
 type CompactionStatsReporter interface {
 	CompactionStats() CompactionStats
+}
+
+// RateLimiter throttles bulk IO (the scrub read path) to a byte budget.
+// WaitN blocks until n bytes of budget are available or ctx is done; a nil
+// RateLimiter means unthrottled. internal/scrub provides the token-bucket
+// implementation.
+type RateLimiter interface {
+	WaitN(ctx context.Context, n int) error
+}
+
+// ScrubResult summarizes one integrity scrub pass over an engine.
+type ScrubResult struct {
+	// FilesScanned / BytesScanned measure the verified surface.
+	FilesScanned int64
+	BytesScanned int64
+	// CorruptionsFound counts files that failed verification during this
+	// pass (each is quarantined); FilesRepaired counts those restored from
+	// backup during the same pass.
+	CorruptionsFound int64
+	FilesRepaired    int64
+}
+
+// Merge accumulates another result into r.
+func (r *ScrubResult) Merge(o ScrubResult) {
+	r.FilesScanned += o.FilesScanned
+	r.BytesScanned += o.BytesScanned
+	r.CorruptionsFound += o.CorruptionsFound
+	r.FilesRepaired += o.FilesRepaired
+}
+
+// Scrubber is the optional capability of proactively verifying every live
+// at-rest byte against its stored checksums. Scrub walks the engine's
+// files, reading through lim (nil = unthrottled); corrupt files are
+// quarantined (and repaired when a RepairSource covers them) exactly as if
+// a foreground read had tripped over them. Scrub returns an error only for
+// infrastructure failures (engine closed, ctx done) — finding corruption
+// is a successful scrub, reported in the result.
+type Scrubber interface {
+	Scrub(ctx context.Context, lim RateLimiter) (ScrubResult, error)
+}
+
+// RepairSource is the optional backup side-channel engines consult to
+// repair a quarantined file: Fetch returns the verified content of the
+// named file from the newest backup generation, or false when the backup
+// does not cover it. Implementations must verify the bytes against the
+// backup's own checksums before returning them.
+type RepairSource interface {
+	Fetch(name string) ([]byte, bool)
 }
 
 // Resumer is the optional capability of re-attempting recovery from

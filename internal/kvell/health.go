@@ -53,14 +53,28 @@ func (s *Store) noteNoSpace(cause error) {
 // Health implements kv.HealthReporter.
 func (s *Store) Health() kv.Health {
 	h := kv.Health{
-		State:          kv.StateHealthy,
-		DiskFullEvents: s.diskFullEvents.Load(),
-		AutoResumes:    s.autoResumes.Load(),
+		State:            kv.StateHealthy,
+		DiskFullEvents:   s.diskFullEvents.Load(),
+		AutoResumes:      s.autoResumes.Load(),
+		CorruptionEvents: s.corruptionEvents.Load(),
 	}
 	if fc, ok := s.opts.FS.(vfs.FaultCounter); ok {
 		h.InjectedFaults = fc.InjectedFaults()
 	}
+	// worker.corrupt is written only during open, before the worker
+	// goroutine starts — safe to read without the queue.
+	for _, w := range s.workers {
+		if w.corrupt != nil {
+			h.QuarantinedFiles++ // one poisoned partition ≈ one quarantined slab set
+			h.LastCorruption = w.corrupt
+			h.State = kv.StateReadOnly
+			h.Err = w.corrupt
+		}
+	}
 	s.mu.RLock()
+	if h.LastCorruption == nil {
+		h.LastCorruption = s.lastCorr
+	}
 	if s.bgErr != nil {
 		h.State = kv.StateReadOnly
 		h.Err = s.bgErr

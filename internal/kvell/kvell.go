@@ -6,10 +6,13 @@
 // on disk, so scans walk the index and issue random reads — the cost
 // profile Figures 20/21 contrast with p2KVS.
 //
-// Slot layout inside a slab: klen u16 | vlen u32 | key | value, padded to
-// the class size. klen == 0xFFFF marks a free slot (tombstone), which is
-// how recovery distinguishes live items when it rebuilds the in-memory
-// index by scanning the slabs (KVell's documented recovery strategy).
+// Slot layout inside a slab (format v2): klen u16 | vlen u32 | crc u32 |
+// key | value, padded to the class size, where crc is a CRC-32C over
+// key||value (at-rest integrity, corruption.go; pre-checksum v1 slabs
+// omit the crc field and stay readable). klen == 0xFFFF marks a free slot
+// (tombstone), which is how recovery distinguishes live items when it
+// rebuilds the in-memory index by scanning the slabs (KVell's documented
+// recovery strategy).
 package kvell
 
 import (
@@ -22,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2kvs/internal/block"
 	"p2kvs/internal/bloom"
 	"p2kvs/internal/bptree"
 	"p2kvs/internal/kv"
@@ -80,6 +84,10 @@ type Store struct {
 	diskFullEvents atomic.Int64
 	autoResumes    atomic.Int64
 	spaceWatch     *spacewatch.Watchdog
+
+	// At-rest integrity counters (corruption.go). lastCorr is mu-guarded.
+	corruptionEvents atomic.Int64
+	lastCorr         error
 }
 
 var _ kv.Engine = (*Store)(nil)
@@ -96,10 +104,14 @@ type request struct {
 	err   error
 	found bool
 	done  chan struct{}
+	// scrub reply (opScrub; limit carries the slab class)
+	scrubBytes   int64
+	scrubCorrupt int64
 }
 
 const opGet kv.OpKind = 0
 const opScan kv.OpKind = 3
+const opScrub kv.OpKind = 4
 
 type worker struct {
 	id        int
@@ -110,6 +122,18 @@ type worker struct {
 	perOpCost time.Duration
 	// degrade reports a space-exhaustion write failure to the store.
 	degrade func(error)
+	// noteCorrupt reports a detected slot corruption to the store.
+	noteCorrupt func(error)
+
+	// hdr is the slot header length: slotHdrV2 for checksummed slabs,
+	// slotHdrV1 for legacy ones (corruption.go). Fixed at open.
+	hdr int
+	// corrupt, when non-nil, poisons the worker: recovery found a slot it
+	// could not trust, so the rebuilt index may be missing durably written
+	// keys. Index misses, scans and writes fail with this error; index
+	// hits keep serving (their slots verify on read). Written only during
+	// open, before the worker goroutine starts.
+	corrupt error
 
 	index *bptree.Tree[loc]
 	slabs [len6]*slab
@@ -156,6 +180,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			perOpCost: opts.PerOpCost,
 			degrade:   s.noteNoSpace,
 		}
+		w.noteCorrupt = s.noteCorruption
 		if opts.Meters != nil {
 			w.meter = opts.Meters.Meter(fmt.Sprintf("kvell-w%d", i))
 		}
@@ -186,6 +211,9 @@ func (w *worker) slabName(class int) string {
 // index by scanning every slot (KVell's recovery path).
 func (w *worker) open() error {
 	if err := w.fs.MkdirAll(w.dir); err != nil {
+		return err
+	}
+	if err := w.detectFormat(); err != nil {
 		return err
 	}
 	for class := range slabClasses {
@@ -228,7 +256,19 @@ func (w *worker) open() error {
 					sl.free = append(sl.free, slot)
 					continue
 				}
-				key := append([]byte(nil), rec[6:6+int(klen)]...)
+				kl, _, err := w.verifySlot(rec, class, slot)
+				if err != nil {
+					// A slot the scan cannot trust may hide a durably
+					// written key: poison the worker (misses/scans/writes
+					// fail) and leave the slot in place — not indexed, not
+					// freed — so the evidence survives until a restore.
+					if w.corrupt == nil {
+						w.corrupt = err
+					}
+					w.noteCorrupt(err)
+					continue
+				}
+				key := append([]byte(nil), rec[w.hdr:w.hdr+kl]...)
 				w.index.Set(key, loc{class: class, slot: slot})
 			}
 		}
@@ -270,24 +310,36 @@ func (w *worker) handle(req *request) {
 	switch req.op {
 	case opGet:
 		req.value, req.found, req.err = w.get(req.key)
-	case kv.OpPut:
-		req.err = w.put(req.key, req.value)
-		if req.err != nil && vfs.IsNoSpace(req.err) {
-			w.degrade(req.err)
+	case kv.OpPut, kv.OpDelete:
+		if w.corrupt != nil {
+			// Read-only-minus: appending to a partition whose recovered
+			// index may be missing keys only widens the blast radius.
+			req.err = &degradedError{cause: w.corrupt}
+			return
 		}
-	case kv.OpDelete:
-		req.err = w.delete(req.key)
+		if req.op == kv.OpPut {
+			req.err = w.put(req.key, req.value)
+		} else {
+			req.err = w.delete(req.key)
+		}
 		if req.err != nil && vfs.IsNoSpace(req.err) {
 			w.degrade(req.err)
 		}
 	case opScan:
 		req.out, req.err = w.scan(req.start, req.limit)
+	case opScrub:
+		req.scrubBytes, req.scrubCorrupt = w.scrubSlab(req.limit)
 	}
 }
 
 func (w *worker) get(key []byte) ([]byte, bool, error) {
 	l, ok := w.index.Get(key)
 	if !ok {
+		if w.corrupt != nil {
+			// The rebuilt index cannot prove absence: the key may live in
+			// the corrupt slot recovery refused to trust.
+			return nil, false, w.corrupt
+		}
 		return nil, false, nil
 	}
 	if v, ok := w.cache.get(key); ok {
@@ -307,19 +359,26 @@ func (w *worker) readSlot(l loc, key []byte) ([]byte, error) {
 	if _, err := sl.f.ReadAt(buf, l.slot*sl.slotSize); err != nil {
 		return nil, err
 	}
-	klen := int(binary.LittleEndian.Uint16(buf))
-	vlen := int(binary.LittleEndian.Uint32(buf[2:]))
-	if klen == freeMark || 6+klen+vlen > len(buf) {
-		return nil, errors.New("kvell: corrupt slot")
+	if klen := binary.LittleEndian.Uint16(buf); klen == freeMark || klen == 0 {
+		err := w.corruptSlotErr(l.class, l.slot, "kvell: indexed slot marked free on disk")
+		w.noteCorrupt(err)
+		return nil, err
 	}
-	if key != nil && !bytes.Equal(buf[6:6+klen], key) {
-		return nil, errors.New("kvell: index/slot mismatch")
+	klen, vlen, err := w.verifySlot(buf, l.class, l.slot)
+	if err != nil {
+		w.noteCorrupt(err)
+		return nil, err
 	}
-	return append([]byte(nil), buf[6+klen:6+klen+vlen]...), nil
+	if key != nil && !bytes.Equal(buf[w.hdr:w.hdr+klen], key) {
+		err := w.corruptSlotErr(l.class, l.slot, "kvell: index/slot key mismatch")
+		w.noteCorrupt(err)
+		return nil, err
+	}
+	return append([]byte(nil), buf[w.hdr+klen:w.hdr+klen+vlen]...), nil
 }
 
 func (w *worker) put(key, value []byte) error {
-	need := 6 + len(key) + len(value)
+	need := w.hdr + len(key) + len(value)
 	class, err := classFor(need)
 	if err != nil {
 		return err
@@ -344,8 +403,11 @@ func (w *worker) put(key, value []byte) error {
 	buf := make([]byte, sl.slotSize)
 	binary.LittleEndian.PutUint16(buf, uint16(len(key)))
 	binary.LittleEndian.PutUint32(buf[2:], uint32(len(value)))
-	copy(buf[6:], key)
-	copy(buf[6+len(key):], value)
+	copy(buf[w.hdr:], key)
+	copy(buf[w.hdr+len(key):], value)
+	if w.hdr == slotHdrV2 {
+		binary.LittleEndian.PutUint32(buf[6:], block.Checksum(buf[w.hdr:w.hdr+len(key)+len(value)]))
+	}
 	if _, err := sl.f.WriteAt(buf, slot*sl.slotSize); err != nil {
 		return err
 	}
@@ -387,6 +449,10 @@ func (w *worker) delete(key []byte) error {
 // worker's partition. Values are fetched with random reads — the reason
 // KVell scans underperform LSM scans (workload E, Figure 20).
 func (w *worker) scan(start []byte, limit int) ([][2][]byte, error) {
+	if w.corrupt != nil {
+		// A poisoned index cannot prove scan completeness.
+		return nil, w.corrupt
+	}
 	var out [][2][]byte
 	var scanErr error
 	w.index.Ascend(start, func(k []byte, l loc) bool {

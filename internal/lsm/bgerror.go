@@ -213,7 +213,10 @@ func (d *DB) Health() kv.Health {
 	}
 	h.DiskFullEvents = d.perf.diskFullEvents.Load()
 	h.AutoResumes = d.perf.autoResumes.Load()
-	if h.State != kv.StateHealthy {
+	h.CorruptionEvents = d.perf.corruptionEvents.Load()
+	h.QuarantinedFiles = d.perf.quarCount.Load()
+	h.RepairedFiles = d.perf.repairedFiles.Load()
+	if h.State != kv.StateHealthy || h.CorruptionEvents > 0 {
 		d.mu.Lock()
 		if d.bgErr != nil {
 			h.Err = d.bgErr
@@ -221,6 +224,7 @@ func (d *DB) Health() kv.Health {
 			h.Err = d.bgCause
 		}
 		h.DiskFull = d.diskFull
+		h.LastCorruption = d.lastCorruption
 		d.mu.Unlock()
 	}
 	return h

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"fmt"
 	"sync"
 
 	"p2kvs/internal/cache"
@@ -36,7 +37,9 @@ func (c *tableCache) get(num uint64) (*sstable.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := sstable.OpenWithCache(f, c.blocks, num)
+	// The base name in corruption errors is what maps a checksum mismatch
+	// back to the file number to quarantine (see corruption.go).
+	r, err := sstable.OpenNamed(f, c.blocks, num, fmt.Sprintf("%06d.sst", num))
 	if err != nil {
 		f.Close()
 		return nil, err

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -70,6 +71,18 @@ func (d *DB) claimManualJob(level int, begin, end []byte) (*compactionJob, error
 			return nil, nil
 		}
 		out := level + 1
+		// Fail fast when the requested range touches a quarantined file on
+		// either side of the merge: waiting on d.cond would hang (the
+		// quarantine only lifts via repair) and compacting around the file
+		// could invert version order if it is later repaired.
+		if len(d.quar) > 0 {
+			ilo, ihi := keyRange(inputs)
+			for _, f := range append(append([]*manifest.FileMeta(nil), inputs...), v.Levels[out]...) {
+				if qerr, ok := d.quar[f.Num]; ok && f.Overlaps(ilo, ihi) {
+					return nil, qerr
+				}
+			}
+		}
 		lo, hi := keyRange(inputs)
 		var job *compactionJob
 		if d.opts.Style == Fragmented && level < manifest.NumLevels-2 {
@@ -271,7 +284,7 @@ func (d *DB) mergeFiles(inputs []*manifest.FileMeta, outLevel int, dropTombs boo
 			closeAll(children)
 			return nil, ferr
 		}
-		r, rerr := sstable.OpenWithCache(f, d.blocks, fm.Num)
+		r, rerr := sstable.OpenNamed(f, d.blocks, fm.Num, fmt.Sprintf("%06d.sst", fm.Num))
 		if rerr != nil {
 			f.Close()
 			closeAll(children)

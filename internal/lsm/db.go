@@ -72,6 +72,16 @@ type DB struct {
 	ckptPins     int
 	ckptDeferred []string
 
+	// Corruption quarantine (corruption.go): file number -> the corruption
+	// error that condemned it. Reads covering a quarantined file's range
+	// fail with kv.ErrCorruption; compactions skip it; repair lifts the
+	// entry. repairing guards against concurrent repair attempts on one
+	// file; repairWG tracks async repair goroutines for Close.
+	quar           map[uint64]error
+	repairing      map[uint64]bool
+	lastCorruption error
+	repairWG       sync.WaitGroup
+
 	writerMu sync.Mutex // serializes writes when !PipelinedWrite
 
 	tcache *tableCache
@@ -123,17 +133,20 @@ func OpenWith(dir string, opts Options, oo OpenOptions) (*DB, error) {
 		blocks = cache.New(opts.BlockCacheSize)
 	}
 	d := &DB{
-		opts:     opts,
-		dir:      dir,
-		vs:       vs,
-		blocks:   blocks,
-		tcache:   newTableCache(opts.FS, dir, blocks),
-		flushC:   make(chan struct{}, 1),
-		compactC: make(chan struct{}, 1),
-		stopC:    make(chan struct{}),
+		opts:      opts,
+		dir:       dir,
+		vs:        vs,
+		blocks:    blocks,
+		tcache:    newTableCache(opts.FS, dir, blocks),
+		quar:      make(map[uint64]error),
+		repairing: make(map[uint64]bool),
+		flushC:    make(chan struct{}, 1),
+		compactC:  make(chan struct{}, 1),
+		stopC:     make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.seq.Store(vs.LastSeq)
+	d.loadQuarantine()
 
 	if err := d.replayWALs(oo); err != nil {
 		vs.Close()
@@ -656,8 +669,15 @@ func (d *DB) getFromTables(rs readState, key []byte) ([]byte, error) {
 		if !fm.Overlaps(key, key) {
 			return nil
 		}
+		// A quarantined file may hold the newest version of this key;
+		// serving from the surviving files could resurrect stale data, so
+		// the read fails loudly instead (DESIGN.md §12).
+		if qerr := d.quarErr(fm.Num); qerr != nil {
+			return qerr
+		}
 		r, err := d.tcache.get(fm.Num)
 		if err != nil {
+			d.noteCorruption(err)
 			return err
 		}
 		if !r.MayContain(key) {
@@ -667,6 +687,7 @@ func (d *DB) getFromTables(rs readState, key []byte) ([]byte, error) {
 		d.perf.tableProbes.Add(1)
 		v, seq, found, deleted, err := r.Get(key, rs.seq)
 		if err != nil {
+			d.noteCorruption(err)
 			return err
 		}
 		if found && (!bestFound || seq > bestSeq) {
@@ -934,6 +955,9 @@ func (d *DB) Close() error {
 	// Running compactions must drain before the manifest closes: they
 	// write version edits through d.vs.
 	d.compWG.Wait()
+	// In-flight repair attempts use the table cache and FS; drain them
+	// before tearing either down.
+	d.repairWG.Wait()
 
 	d.mu.Lock()
 	defer d.mu.Unlock()

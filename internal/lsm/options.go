@@ -13,6 +13,7 @@ package lsm
 import (
 	"time"
 
+	"p2kvs/internal/kv"
 	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
 )
@@ -124,6 +125,13 @@ type Options struct {
 	// amortizes it: the first key pays full cost, subsequent keys 35%,
 	// RocksDB's documented multiget CPU saving. Zero for production use.
 	ReadPerOpCost time.Duration
+
+	// RepairSource, when non-nil, supplies known-good backup bytes for
+	// quarantined SSTs (keyed by base name, e.g. "000007.sst"). The
+	// accessing layer builds one from the newest checkpoint generation;
+	// without it corruption is contained but never repaired in place —
+	// bad files are parked in <dir>/quarantine/ (see corruption.go).
+	RepairSource kv.RepairSource
 
 	// BgMaxRetries is the total number of attempts a failed background
 	// flush or compaction gets before the engine degrades to read-only

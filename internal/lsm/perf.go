@@ -75,6 +75,12 @@ type perfCounters struct {
 	diskFullEvents atomic.Int64
 	autoResumes    atomic.Int64
 
+	// At-rest integrity (corruption.go): checksum mismatches detected,
+	// files restored from backup, and a lock-free mirror of len(d.quar).
+	corruptionEvents atomic.Int64
+	repairedFiles    atomic.Int64
+	quarCount        atomic.Int64
+
 	// Checkpoint activity (checkpoint.go).
 	ckptCount       atomic.Int64
 	ckptFilesLinked atomic.Int64

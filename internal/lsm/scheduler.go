@@ -158,7 +158,7 @@ func (d *DB) buildJobLocked(v *manifest.Version, level int) *compactionJob {
 			lo: lo, hi: hi, wholeLevel: true, fragmented: true,
 			dropTombs: d.noDataBelow(v, out, lo, hi) && len(v.Levels[out]) == 0,
 		}
-		if d.conflictsLocked(job) {
+		if d.jobQuarantinedLocked(job) || d.conflictsLocked(job) {
 			return nil
 		}
 		return job
@@ -207,7 +207,7 @@ func (d *DB) finishLeveledJobLocked(v *manifest.Version, level int, inputs []*ma
 		lo: flo, hi: fhi,
 		dropTombs: d.noDataBelow(v, out, lo, hi),
 	}
-	if d.conflictsLocked(job) {
+	if d.jobQuarantinedLocked(job) || d.conflictsLocked(job) {
 		return nil
 	}
 	return job
@@ -241,6 +241,16 @@ func (d *DB) runCompaction(job *compactionJob) {
 		}
 		err := d.execJob(job)
 		if err == nil {
+			if attempt > 0 {
+				d.clearBgFailure("compaction")
+			}
+			return
+		}
+		if d.noteCorruption(err) {
+			// A corrupt input cannot be merged by retrying: the file is
+			// quarantined (repair may yet restore it) and this job
+			// abandoned. The engine does not degrade — only reads covering
+			// the bad file's range fail, and the scheduler skips it.
 			if attempt > 0 {
 				d.clearBgFailure("compaction")
 			}

@@ -1,0 +1,177 @@
+// Package scrub provides the proactive at-rest integrity verification
+// subsystem: a bytes/second token-bucket rate limiter that bounds the
+// device bandwidth background verification may consume, and a Runner that
+// walks every worker's engine on a cadence. Detection and quarantine live
+// in the engines (kv.Scrubber); this package only paces and schedules them
+// — the same separation production scrubbers use so verification IO never
+// competes unboundedly with foreground reads.
+package scrub
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"p2kvs/internal/kv"
+)
+
+// Limiter is a bytes/sec token bucket implementing kv.RateLimiter. The
+// bucket holds at most one second of budget, so a scrub that slept through
+// an idle stretch cannot burst arbitrarily far beyond the configured rate.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64   // tokens (bytes) per second
+	tokens float64   // current balance, <= rate
+	last   time.Time // last refill
+}
+
+// NewLimiter returns a limiter granting rate bytes per second; rate <= 0
+// returns nil, the unthrottled limiter every consumer accepts.
+func NewLimiter(rate int64) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	return &Limiter{rate: float64(rate), tokens: float64(rate), last: time.Now()}
+}
+
+// WaitN implements kv.RateLimiter: it blocks until n bytes of budget are
+// available or ctx is done. A nil *Limiter never blocks. Requests larger
+// than one second of budget are paid in full by waiting multiple refill
+// windows — they do not deadlock.
+func (l *Limiter) WaitN(ctx context.Context, n int) error {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	need := float64(n)
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.rate {
+			l.tokens = l.rate
+		}
+		l.last = now
+		if l.tokens >= need || l.tokens >= l.rate {
+			// Either the budget covers the request, or the bucket is full
+			// and can never cover it in one window: charge it whole (the
+			// balance goes negative, delaying the next request) so large
+			// files pay their true cost without stalling forever.
+			l.tokens -= need
+			l.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((need - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if wait > time.Second {
+			wait = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Status is the last-scrub report a Runner (or a manual scrub) publishes.
+type Status struct {
+	// Result accumulates the most recent completed pass.
+	Result kv.ScrubResult
+	// StartedUnix / FinishedUnix frame the most recent pass (0 = never).
+	StartedUnix  int64
+	FinishedUnix int64
+	// Err is the infrastructure error that aborted the last pass, nil on
+	// clean completion (finding corruption is a clean completion).
+	Err error
+	// Passes counts completed scrub passes over the runner's lifetime.
+	Passes int64
+}
+
+// Runner drives periodic scrubs of a store in the background. The scrub
+// function it is given fans out across workers (each worker verifies its
+// own instance — the paper's per-instance parallelism applied to
+// verification); the runner adds cadence, rate limiting and last-status
+// tracking.
+type Runner struct {
+	interval time.Duration
+	lim      *Limiter
+	scrub    func(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error)
+
+	mu     sync.Mutex
+	status Status
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRunner starts a background scrub loop running scrub every interval,
+// reading through a NewLimiter(rate) token bucket. interval <= 0 returns a
+// nil Runner (no background scrubbing); the nil Runner's methods are safe.
+func NewRunner(interval time.Duration, rate int64, scrub func(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error)) *Runner {
+	if interval <= 0 {
+		return nil
+	}
+	r := &Runner{
+		interval: interval,
+		lim:      NewLimiter(rate),
+		scrub:    scrub,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			select {
+			case <-r.stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		start := time.Now()
+		res, err := r.scrub(ctx, r.lim)
+		cancel()
+		r.mu.Lock()
+		r.status.Result = res
+		r.status.StartedUnix = start.Unix()
+		r.status.FinishedUnix = time.Now().Unix()
+		r.status.Err = err
+		if err == nil {
+			r.status.Passes++
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Status reports the most recent pass. Safe on a nil Runner.
+func (r *Runner) Status() Status {
+	if r == nil {
+		return Status{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Close stops the loop and waits for an in-flight pass to abort. Safe on a
+// nil Runner and safe to call twice.
+func (r *Runner) Close() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

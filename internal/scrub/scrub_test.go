@@ -1,0 +1,161 @@
+package scrub
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2kvs/internal/kv"
+)
+
+func TestLimiterNilNeverBlocks(t *testing.T) {
+	var l *Limiter
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // even a dead context: nil limiter returns immediately
+	if err := l.WaitN(ctx, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if lim := NewLimiter(0); lim != nil {
+		t.Fatal("NewLimiter(0) must return the nil (unthrottled) limiter")
+	}
+	if lim := NewLimiter(-5); lim != nil {
+		t.Fatal("NewLimiter(-5) must return the nil (unthrottled) limiter")
+	}
+}
+
+func TestLimiterPacesToRate(t *testing.T) {
+	// 64 KiB/s budget, 16 KiB charges: the initial full bucket covers the
+	// first 64 KiB; the next 32 KiB must wait roughly half a second.
+	lim := NewLimiter(64 << 10)
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		if err := lim.WaitN(context.Background(), 16<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("6x16KiB at 64KiB/s finished in %v, want >= ~500ms of pacing", elapsed)
+	}
+}
+
+func TestLimiterOversizeRequestDoesNotDeadlock(t *testing.T) {
+	// A request larger than one second of budget is charged whole once the
+	// bucket is full, going negative instead of waiting forever.
+	lim := NewLimiter(1 << 10)
+	done := make(chan error, 1)
+	go func() { done <- lim.WaitN(context.Background(), 10<<10) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversize WaitN deadlocked")
+	}
+}
+
+func TestLimiterCtxCancel(t *testing.T) {
+	lim := NewLimiter(1024)
+	lim.WaitN(context.Background(), 1024) // drain the bucket
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- lim.WaitN(ctx, 1024) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled WaitN never returned")
+	}
+}
+
+func TestRunnerNilSafe(t *testing.T) {
+	r := NewRunner(0, 0, nil)
+	if r != nil {
+		t.Fatal("interval <= 0 must return the nil runner")
+	}
+	if st := r.Status(); st != (Status{}) {
+		t.Fatalf("nil Status = %+v, want zero", st)
+	}
+	r.Close() // must not panic
+}
+
+func TestRunnerPassesAndStatus(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(10*time.Millisecond, 0, func(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error) {
+		calls.Add(1)
+		return kv.ScrubResult{FilesScanned: 3, BytesScanned: 4096}, nil
+	})
+	defer r.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Status().Passes < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("runner completed %d passes, want >= 2", r.Status().Passes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := r.Status()
+	if st.Result.FilesScanned != 3 || st.Result.BytesScanned != 4096 {
+		t.Fatalf("Status.Result = %+v", st.Result)
+	}
+	if st.FinishedUnix == 0 || st.Err != nil {
+		t.Fatalf("Status = %+v, want finished cleanly", st)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("scrub fn called %d times", calls.Load())
+	}
+}
+
+func TestRunnerErrorDoesNotCountAsPass(t *testing.T) {
+	bad := errors.New("device fell over")
+	var calls atomic.Int64
+	r := NewRunner(5*time.Millisecond, 0, func(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error) {
+		calls.Add(1)
+		return kv.ScrubResult{}, bad
+	})
+	defer r.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("scrub fn never ran twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := r.Status()
+	if st.Passes != 0 {
+		t.Fatalf("Passes = %d after persistent failure, want 0", st.Passes)
+	}
+	if !errors.Is(st.Err, bad) {
+		t.Fatalf("Status.Err = %v, want the scrub error", st.Err)
+	}
+}
+
+func TestRunnerCloseAbortsInFlightPass(t *testing.T) {
+	started := make(chan struct{})
+	r := NewRunner(time.Millisecond, 0, func(ctx context.Context, lim kv.RateLimiter) (kv.ScrubResult, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // simulate a pass that only ends when cancelled
+		return kv.ScrubResult{}, ctx.Err()
+	})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pass never started")
+	}
+	done := make(chan struct{})
+	go func() { r.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not abort the in-flight pass")
+	}
+	r.Close() // second Close is a no-op
+}

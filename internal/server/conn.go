@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"time"
@@ -161,6 +162,7 @@ func (c *conn) cmdCtx() (context.Context, context.CancelFunc) {
 
 // writeStoreErr maps store errors onto RESP error classes: admission
 // control → -LOADSHED (retry after backoff), deadline expiry → -TIMEOUT,
+// at-rest corruption → -CORRUPTION (restore from backup / run SCRUB),
 // degraded shard → -READONLY (with a distinct "disk full" detail when the
 // cause is space exhaustion — that variant self-heals once space frees),
 // closed store → -SHUTDOWN.
@@ -174,6 +176,12 @@ func (c *conn) writeStoreErr(err error) {
 	// reply as every later one.
 	case vfs.IsNoSpace(err):
 		c.wr.WriteError("READONLY disk full: " + err.Error())
+	// Also before ErrOverloaded/ErrDegraded: a corruption-degraded shard's
+	// error matches those classes too, but "this data is damaged" is the
+	// diagnosis the client needs — retrying will not help.
+	case errors.Is(err, kv.ErrCorruption):
+		c.srv.stats.corruptionReplies.Add(1)
+		c.wr.WriteError("CORRUPTION " + err.Error())
 	case errors.Is(err, kv.ErrOverloaded):
 		c.srv.stats.loadshed.Add(1)
 		c.wr.WriteError("LOADSHED " + err.Error())
@@ -272,6 +280,8 @@ func (c *conn) execOne(cmd [][]byte) {
 		c.wr.WriteBulkString(c.srv.infoText())
 	case "BGSAVE":
 		c.execBgsave()
+	case "SCRUB":
+		c.execScrub()
 	case "LASTSAVE":
 		c.wr.WriteInt(c.srv.store.LastCheckpointUnix())
 	case "COMMAND":
@@ -311,6 +321,24 @@ func (c *conn) execBgsave() {
 		return
 	}
 	c.wr.WriteSimple("Background saving started")
+}
+
+// execScrub runs one synchronous, unthrottled integrity pass over every
+// worker engine and reports what it covered — the on-demand counterpart of
+// the background scrubber (-scrub_interval). Corruption found is
+// quarantined/repaired as a side effect, exactly as if a foreground read
+// had hit it; the command itself fails only on infrastructure errors.
+func (c *conn) execScrub() {
+	ctx, cancel := c.cmdCtx()
+	res, err := c.srv.store.Scrub(ctx, nil)
+	cancel()
+	if err != nil {
+		c.writeStoreErr(err)
+		return
+	}
+	c.wr.WriteBulkString(fmt.Sprintf(
+		"scrub_files_scanned:%d\r\nscrub_bytes_scanned:%d\r\nscrub_corruptions_found:%d\r\nscrub_files_repaired:%d\r\n",
+		res.FilesScanned, res.BytesScanned, res.CorruptionsFound, res.FilesRepaired))
 }
 
 func (c *conn) argErr(name string) {

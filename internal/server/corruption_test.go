@@ -1,0 +1,169 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"p2kvs/internal/core"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/lsm"
+	"p2kvs/internal/server"
+	"p2kvs/internal/vfs"
+)
+
+// TestCorruptionOverTheWire is the end-to-end integrity story as a client
+// sees it: damage one SST byte under a live server and require (1) GET of
+// a damaged key answers -CORRUPTION, never a wrong value, (2) SCRUB
+// detects the flip and says so in its reply, and (3) INFO's # Robustness
+// section reports the corruption and quarantine counters.
+func TestCorruptionOverTheWire(t *testing.T) {
+	fault := vfs.NewFault(vfs.NewMem())
+	store, err := core.Open(coreOptsLSM(fault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store, CommandTimeout: 5 * time.Second})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	nc, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	do := func(args ...string) server.Reply {
+		t.Helper()
+		bs := make([][]byte, len(args))
+		for i, a := range args {
+			bs[i] = []byte(a)
+		}
+		wr.WriteCommand(bs...)
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rd.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	for i := 0; i < 80; i++ {
+		if rep := do("SET", fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%04d-xxxxxxxxxxxxxxxxxxxxxxxx", i)); string(rep.Str) != "OK" {
+			t.Fatalf("SET: %v", rep)
+		}
+	}
+	// Persist the memtable so the keys live in an SST the flip can reach.
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean scrub first: full coverage, nothing found.
+	rep := do("SCRUB")
+	if rep.Kind == '-' {
+		t.Fatalf("clean SCRUB failed: %v", rep)
+	}
+	if !strings.Contains(string(rep.Str), "scrub_corruptions_found:0") {
+		t.Fatalf("clean SCRUB reply: %q", rep.Str)
+	}
+
+	names, err := fault.List("w00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sst string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".sst") {
+			sst = "w00/" + n
+		}
+	}
+	if sst == "" {
+		t.Fatalf("no SST after flush; files: %v", names)
+	}
+	if err := fault.CorruptAt(sst, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// SCRUB over the wire is the first to see the damage — no foreground
+	// read has touched it. It must detect, report and quarantine the file
+	// (no RepairSource is configured, so no repair happens).
+	rep = do("SCRUB")
+	if rep.Kind == '-' {
+		t.Fatalf("SCRUB after flip: %v", rep)
+	}
+	if !strings.Contains(string(rep.Str), "scrub_corruptions_found:") ||
+		strings.Contains(string(rep.Str), "scrub_corruptions_found:0") {
+		t.Fatalf("SCRUB did not report the flip: %q", rep.Str)
+	}
+
+	// With the file quarantined, its keys answer -CORRUPTION — scanning
+	// every key also proves no read returns a silently wrong value or a
+	// silent not-found.
+	corrupt := 0
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		rep := do("GET", k)
+		switch {
+		case rep.Kind == '-':
+			if !strings.HasPrefix(string(rep.Str), "CORRUPTION") {
+				t.Fatalf("GET %s error class %q, want CORRUPTION", k, rep.Str)
+			}
+			corrupt++
+		case rep.Nil:
+			t.Fatalf("GET %s silently lost the key", k)
+		default:
+			if want := fmt.Sprintf("value-%04d-xxxxxxxxxxxxxxxxxxxxxxxx", i); string(rep.Str) != want {
+				t.Fatalf("GET %s = %q, want %q — silently wrong value", k, rep.Str, want)
+			}
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("no GET answered -CORRUPTION after quarantine")
+	}
+
+	// INFO carries the robustness counters for monitoring.
+	info := string(do("INFO").Str)
+	for _, want := range []string{"store_corruption_events:", "store_quarantined_files:", "store_last_corruption:", "corruption_replies:"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+	if strings.Contains(info, "store_corruption_events:0\r\n") {
+		t.Fatalf("INFO reports zero corruption events after damage:\n%s", info)
+	}
+	if strings.Contains(info, "store_quarantined_files:0\r\n") {
+		t.Fatalf("INFO reports zero quarantined files after damage:\n%s", info)
+	}
+	if strings.Contains(info, "corruption_replies:0\r\n") {
+		t.Fatalf("INFO reports zero -CORRUPTION replies after serving them:\n%s", info)
+	}
+}
+
+// coreOptsLSM builds a single-worker core store over real LSM engines on
+// fs — small memtable so Flush materializes an SST for the flip to hit.
+func coreOptsLSM(fs vfs.FS) core.Options {
+	copts := core.DefaultOptions(func(id int, _ func(uint64) bool) (kv.Engine, error) {
+		o := lsm.RocksDBOptions(fs)
+		o.MemTableSize = 64 << 10
+		return lsm.Open(fmt.Sprintf("w%02d", id), o)
+	})
+	copts.Workers = 1
+	copts.TxnFS = fs
+	copts.TxnDir = "txn"
+	return copts
+}

@@ -71,6 +71,20 @@ func (s *Server) infoText() string {
 	fmt.Fprintf(&b, "store_disk_full:%d\r\n", boolInt(agg.DiskFull))
 	fmt.Fprintf(&b, "store_disk_full_events:%d\r\n", agg.DiskFullEvents)
 	fmt.Fprintf(&b, "store_auto_resumes:%d\r\n", agg.AutoResumes)
+	fmt.Fprintf(&b, "store_corruption_events:%d\r\n", agg.CorruptionEvents)
+	fmt.Fprintf(&b, "store_quarantined_files:%d\r\n", agg.QuarantinedFiles)
+	fmt.Fprintf(&b, "store_repaired_files:%d\r\n", agg.RepairedFiles)
+	if agg.LastCorruption != "" {
+		fmt.Fprintf(&b, "store_last_corruption:%s\r\n", strings.ReplaceAll(agg.LastCorruption, "\r\n", " "))
+	}
+	ss := s.store.ScrubStatus()
+	fmt.Fprintf(&b, "scrub_passes:%d\r\n", ss.Passes)
+	fmt.Fprintf(&b, "scrub_last_files_scanned:%d\r\n", ss.Result.FilesScanned)
+	fmt.Fprintf(&b, "scrub_last_bytes_scanned:%d\r\n", ss.Result.BytesScanned)
+	fmt.Fprintf(&b, "scrub_last_corruptions_found:%d\r\n", ss.Result.CorruptionsFound)
+	fmt.Fprintf(&b, "scrub_last_files_repaired:%d\r\n", ss.Result.FilesRepaired)
+	fmt.Fprintf(&b, "scrub_last_finished_unix:%d\r\n", ss.FinishedUnix)
+	fmt.Fprintf(&b, "corruption_replies:%d\r\n", s.stats.corruptionReplies.Load())
 	fmt.Fprintf(&b, "conn_panics_recovered:%d\r\n", s.stats.panics.Load())
 	fmt.Fprintf(&b, "conn_idle_closed:%d\r\n", s.stats.idleClosed.Load())
 

@@ -69,7 +69,7 @@ func (c Config) withDefaults() Config {
 
 // latency-tracked command classes. Commands outside the set land in
 // "other".
-var latCommands = []string{"get", "set", "del", "mget", "mset", "scan", "info", "ping", "other"}
+var latCommands = []string{"get", "set", "del", "mget", "mset", "scan", "info", "ping", "scrub", "other"}
 
 // serverStats is the server-side counter block surfaced by INFO and
 // /metrics.
@@ -86,6 +86,8 @@ type serverStats struct {
 	protoErrors   atomic.Int64 // protocol errors (connection then closed)
 	panics        atomic.Int64 // per-connection panics recovered (conn closed, server kept serving)
 	idleClosed    atomic.Int64 // connections closed by ConnIdleTimeout
+
+	corruptionReplies atomic.Int64 // -CORRUPTION replies (at-rest damage surfaced to a client)
 
 	lat map[string]*histogram.H // per-command latency, fixed key set
 }

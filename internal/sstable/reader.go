@@ -12,56 +12,98 @@ import (
 	"p2kvs/internal/bloom"
 	"p2kvs/internal/cache"
 	"p2kvs/internal/ikey"
+	"p2kvs/internal/kv"
 	"p2kvs/internal/vfs"
 )
 
 // ErrCorrupt reports a malformed table.
 var ErrCorrupt = errors.New("sstable: corrupt")
 
+// corruptf builds a corruption error for one failed check. When the reader
+// has a name, the error is a kv.CorruptionError (matching both
+// kv.ErrCorruption and, via the %w chain below, nothing else); anonymous
+// readers fall back to the package sentinel so old call sites keep
+// matching ErrCorrupt.
+func corruptf(name string, off int64, format string, args ...any) error {
+	detail := fmt.Sprintf(format, args...)
+	if name != "" {
+		return &kv.CorruptionError{File: name, Offset: off, Detail: "sstable: " + detail}
+	}
+	return fmt.Errorf("%w: %s", ErrCorrupt, detail)
+}
+
 // Reader serves lookups and scans from one table. The index and filter
 // blocks are pinned in memory (they are what RocksDB keeps in its table
 // cache); data blocks are read on demand, charging the simulated device
-// one random read per block.
+// one random read per block. V2 tables verify every block's CRC-32C on
+// load; v1 (legacy, pre-checksum) tables are served unverified.
 type Reader struct {
 	f       vfs.File
+	name    string // for corruption reports; may be empty
 	size    int64
 	index   []byte
 	filter  []byte
 	entries int
+	sealed  bool         // format v2: blocks carry CRC trailers
 	cache   *cache.Cache // optional shared block cache
 	cacheID uint64
 }
 
 // Open reads the footer, index and filter of a table file.
-func Open(f vfs.File) (*Reader, error) { return OpenWithCache(f, nil, 0) }
+func Open(f vfs.File) (*Reader, error) { return OpenNamed(f, nil, 0, "") }
 
 // OpenWithCache opens the table with a shared block cache; cacheID must
 // be unique per file within the cache's lifetime (the engine uses the
 // file number).
 func OpenWithCache(f vfs.File, c *cache.Cache, cacheID uint64) (*Reader, error) {
+	return OpenNamed(f, c, cacheID, "")
+}
+
+// OpenNamed opens the table recording name as the file's identity in
+// corruption reports: checksum failures surface as kv.CorruptionError
+// naming it. An empty name keeps the anonymous ErrCorrupt errors.
+func OpenNamed(f vfs.File, c *cache.Cache, cacheID uint64, name string) (*Reader, error) {
 	size, err := f.Size()
 	if err != nil {
 		return nil, err
 	}
 	if size < footerLen {
-		return nil, ErrCorrupt
+		return nil, corruptf(name, -1, "file too small for a footer (%d bytes)", size)
 	}
-	var footer [footerLen]byte
-	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+	var magicBuf [8]byte
+	if _, err := f.ReadAt(magicBuf[:], size-8); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint64(footer[40:]) != tableMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	r := &Reader{f: f, name: name, size: size, cache: c, cacheID: cacheID}
+	var footer [footerLenV2]byte
+	switch binary.LittleEndian.Uint64(magicBuf[:]) {
+	case tableMagicV2:
+		if size < footerLenV2 {
+			return nil, corruptf(name, -1, "file too small for a v2 footer (%d bytes)", size)
+		}
+		if _, err := f.ReadAt(footer[:], size-footerLenV2); err != nil {
+			return nil, err
+		}
+		if got, want := block.Checksum(footer[:40]), binary.LittleEndian.Uint32(footer[40:]); got != want {
+			return nil, corruptf(name, size-footerLenV2, "footer crc mismatch (stored %08x, content %08x)", want, got)
+		}
+		r.sealed = true
+	case tableMagic:
+		if _, err := f.ReadAt(footer[:footerLen], size-footerLen); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, corruptf(name, size-8, "bad magic")
 	}
 	filterOff := int64(binary.LittleEndian.Uint64(footer[0:]))
 	filterLen := int64(binary.LittleEndian.Uint64(footer[8:]))
 	indexOff := int64(binary.LittleEndian.Uint64(footer[16:]))
 	indexLen := int64(binary.LittleEndian.Uint64(footer[24:]))
-	entries := int(binary.LittleEndian.Uint64(footer[32:]))
-	if filterOff+filterLen > size || indexOff+indexLen > size {
-		return nil, fmt.Errorf("%w: bad block handles", ErrCorrupt)
+	r.entries = int(binary.LittleEndian.Uint64(footer[32:]))
+	if filterOff < 0 || filterLen < 0 || indexOff < 0 || indexLen < 0 ||
+		filterOff+filterLen > size || indexOff+indexLen > size {
+		return nil, corruptf(name, -1, "bad block handles")
 	}
-	r := &Reader{f: f, size: size, entries: entries, cache: c, cacheID: cacheID}
 	r.filter = make([]byte, filterLen)
 	if _, err := f.ReadAt(r.filter, filterOff); err != nil {
 		return nil, err
@@ -69,6 +111,14 @@ func OpenWithCache(f vfs.File, c *cache.Cache, cacheID uint64) (*Reader, error) 
 	r.index = make([]byte, indexLen)
 	if _, err := f.ReadAt(r.index, indexOff); err != nil {
 		return nil, err
+	}
+	if r.sealed {
+		if r.filter, err = block.Unseal(r.filter); err != nil {
+			return nil, corruptf(name, filterOff, "filter block crc mismatch")
+		}
+		if r.index, err = block.Unseal(r.index); err != nil {
+			return nil, corruptf(name, indexOff, "index block crc mismatch")
+		}
 	}
 	return r, nil
 }
@@ -78,6 +128,9 @@ func (r *Reader) Entries() int { return r.entries }
 
 // Size reports the table file size.
 func (r *Reader) Size() int64 { return r.size }
+
+// Name reports the identity OpenNamed recorded, "" for anonymous readers.
+func (r *Reader) Name() string { return r.name }
 
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
@@ -91,7 +144,7 @@ func (r *Reader) readBlock(handle []byte) ([]byte, error) {
 	off, n1 := binary.Uvarint(handle)
 	length, n2 := binary.Uvarint(handle[n1:])
 	if n1 <= 0 || n2 <= 0 || int64(off)+int64(length) > r.size {
-		return nil, ErrCorrupt
+		return nil, corruptf(r.name, -1, "bad block handle")
 	}
 	// Optional third field: raw (uncompressed) length; 0 or absent means
 	// the block is stored uncompressed.
@@ -99,7 +152,7 @@ func (r *Reader) readBlock(handle []byte) ([]byte, error) {
 	if rest := handle[n1+n2:]; len(rest) > 0 {
 		v, n3 := binary.Uvarint(rest)
 		if n3 <= 0 {
-			return nil, ErrCorrupt
+			return nil, corruptf(r.name, -1, "bad block handle")
 		}
 		rawLen = v
 	}
@@ -110,21 +163,82 @@ func (r *Reader) readBlock(handle []byte) ([]byte, error) {
 	if _, err := r.f.ReadAt(blk, int64(off)); err != nil {
 		return nil, err
 	}
+	if r.sealed {
+		var err error
+		if blk, err = block.Unseal(blk); err != nil {
+			return nil, corruptf(r.name, int64(off), "data block crc mismatch (%d bytes)", length)
+		}
+	}
 	if rawLen > 0 {
 		raw := make([]byte, 0, rawLen)
 		zr := flate.NewReader(bytes.NewReader(blk))
 		buf := bytes.NewBuffer(raw)
 		if _, err := io.Copy(buf, zr); err != nil {
-			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+			return nil, corruptf(r.name, int64(off), "inflate: %v", err)
 		}
 		zr.Close()
 		blk = buf.Bytes()
 		if uint64(len(blk)) != rawLen {
-			return nil, fmt.Errorf("%w: inflated %d bytes, want %d", ErrCorrupt, len(blk), rawLen)
+			return nil, corruptf(r.name, int64(off), "inflated %d bytes, want %d", len(blk), rawLen)
 		}
 	}
 	r.cache.Put(r.cacheID, off, blk)
 	return blk, nil
+}
+
+// Verify reads every block of the table back through its checksums: the
+// footer (verified at Open), the pinned filter and index, and each data
+// block named by the index — bypassing the block cache, so the bytes come
+// from the device. It returns the number of bytes read and the first
+// corruption found. V1 tables verify structurally only (handles parse,
+// compressed blocks inflate): they carry no checksums to check.
+func (r *Reader) Verify() (int64, error) {
+	idx, err := block.NewIter(r.index)
+	if err != nil {
+		return 0, corruptf(r.name, -1, "index block: %v", err)
+	}
+	read := int64(len(r.filter) + len(r.index))
+	for idx.SeekToFirst(); idx.Valid(); idx.Next() {
+		handle := idx.Value()
+		off, n1 := binary.Uvarint(handle)
+		length, n2 := binary.Uvarint(handle[n1:])
+		if n1 <= 0 || n2 <= 0 || int64(off)+int64(length) > r.size {
+			return read, corruptf(r.name, -1, "bad block handle")
+		}
+		rawLen := uint64(0)
+		if rest := handle[n1+n2:]; len(rest) > 0 {
+			v, n3 := binary.Uvarint(rest)
+			if n3 <= 0 {
+				return read, corruptf(r.name, -1, "bad block handle")
+			}
+			rawLen = v
+		}
+		blk := make([]byte, length)
+		if _, err := r.f.ReadAt(blk, int64(off)); err != nil {
+			return read, err
+		}
+		read += int64(length)
+		if r.sealed {
+			if blk, err = block.Unseal(blk); err != nil {
+				return read, corruptf(r.name, int64(off), "data block crc mismatch (%d bytes)", length)
+			}
+		}
+		if rawLen > 0 {
+			zr := flate.NewReader(bytes.NewReader(blk))
+			n, err := io.Copy(io.Discard, zr)
+			zr.Close()
+			if err != nil {
+				return read, corruptf(r.name, int64(off), "inflate: %v", err)
+			}
+			if uint64(n) != rawLen {
+				return read, corruptf(r.name, int64(off), "inflated %d bytes, want %d", n, rawLen)
+			}
+		}
+	}
+	if idx.Err() != nil {
+		return read, corruptf(r.name, -1, "index block: %v", idx.Err())
+	}
+	return read, nil
 }
 
 // Get returns the newest version of ukey visible at snapshot seq,

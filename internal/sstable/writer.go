@@ -3,12 +3,20 @@
 // prefix-compressed data blocks followed by a bloom-filter block, an index
 // block (one separator entry per data block) and a fixed footer.
 //
-// Layout:
+// Format v2 (what the writer emits) seals every stored block — data,
+// filter and index — with a CRC-32C trailer over its stored
+// (post-compression) bytes, and checksums the footer itself:
 //
-//	[data block]*  [filter block]  [index block]  [footer (48B)]
+//	[sealed data block]*  [sealed filter]  [sealed index]  [footer (56B)]
 //
-// Footer: filterOff u64 | filterLen u64 | indexOff u64 | indexLen u64 |
-// entries u64 | magic u64.
+// Footer v2: filterOff u64 | filterLen u64 | indexOff u64 | indexLen u64 |
+// entries u64 | crc32c u32 (over the first 40 bytes) | pad u32 | magic u64.
+//
+// Format v1 (no checksums, 48-byte footer: the same five u64 fields then
+// the v1 magic) is still readable: both formats end in their 8-byte magic,
+// so Open sniffs the tail to pick the parse. Readers of v2 tables verify
+// every block on load and surface mismatches as kv.CorruptionError —
+// a flipped bit at rest is detected, never served.
 package sstable
 
 import (
@@ -26,8 +34,10 @@ import (
 
 const (
 	targetBlockSize = 4 << 10
-	footerLen       = 48
-	tableMagic      = 0x70324b5653535400 // "p2KVSSST\0"-ish
+	footerLen       = 48 // format v1 (legacy, unchecksummed)
+	footerLenV2     = 56
+	tableMagic      = 0x70324b5653535400 // "p2KVSSST\0"-ish, format v1
+	tableMagicV2    = 0x70324b5653535432 // trailing '2', format v2
 )
 
 // Meta summarizes a finished table for the version set.
@@ -98,11 +108,15 @@ func (w *Writer) flushDataBlock() {
 			blk = comp
 		}
 	}
+	// The checksum seals the stored bytes (after compression), so the
+	// reader verifies integrity before spending CPU on inflation.
+	blk = block.Seal(blk)
 	off := w.off
 	if err := w.writeRaw(blk); err != nil {
 		return
 	}
 	// Index entry: last key of the block -> (offset, storedSize, rawSize).
+	// storedSize includes the checksum trailer.
 	var handle [3 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(handle[:], uint64(off))
 	n += binary.PutUvarint(handle[n:], uint64(len(blk)))
@@ -157,24 +171,25 @@ func (w *Writer) Finish() (Meta, error) {
 	w.meta.Largest = append([]byte(nil), w.lastKey...)
 
 	filterOff := w.off
-	filterBlk := w.filter.Build(w.ukeys)
+	filterBlk := block.Seal(w.filter.Build(w.ukeys))
 	if err := w.writeRaw(filterBlk); err != nil {
 		return Meta{}, err
 	}
 
 	indexOff := w.off
-	indexBlk := w.index.Finish()
+	indexBlk := block.Seal(w.index.Finish())
 	if err := w.writeRaw(indexBlk); err != nil {
 		return Meta{}, err
 	}
 
-	var footer [footerLen]byte
+	var footer [footerLenV2]byte
 	binary.LittleEndian.PutUint64(footer[0:], uint64(filterOff))
 	binary.LittleEndian.PutUint64(footer[8:], uint64(len(filterBlk)))
 	binary.LittleEndian.PutUint64(footer[16:], uint64(indexOff))
 	binary.LittleEndian.PutUint64(footer[24:], uint64(len(indexBlk)))
 	binary.LittleEndian.PutUint64(footer[32:], uint64(w.meta.Entries))
-	binary.LittleEndian.PutUint64(footer[40:], tableMagic)
+	binary.LittleEndian.PutUint32(footer[40:], block.Checksum(footer[:40]))
+	binary.LittleEndian.PutUint64(footer[48:], tableMagicV2)
 	if err := w.writeRaw(footer[:]); err != nil {
 		return Meta{}, err
 	}

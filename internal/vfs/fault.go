@@ -126,9 +126,11 @@ type Rule struct {
 	// buffer (half, rounded down) before failing — a torn write. Without
 	// it a firing write rule fails without persisting anything.
 	TornWrite bool
-	// BitFlip, on a read operation, flips one bit of the returned data
-	// and reports success — silent corruption. A rule with BitFlip set
-	// never returns an error.
+	// BitFlip flips one bit and reports success — silent corruption. On a
+	// read operation the flip lands in the returned buffer (the stored
+	// bytes stay intact); on a write operation the flip lands in the bytes
+	// persisted (corruption at rest: every later read of that range sees
+	// the damage). A rule with BitFlip set never returns an error.
 	BitFlip bool
 	// Delay adds latency before the operation proceeds. A rule with only
 	// Delay set (no Err semantics, no BitFlip) slows the op down but lets
@@ -178,6 +180,38 @@ func (f *FaultFS) ClearRules() {
 
 // InjectedFaults implements FaultCounter.
 func (f *FaultFS) InjectedFaults() int64 { return f.injected.Load() }
+
+// CorruptAt deterministically corrupts data at rest: it XORs the lowest
+// bit of the byte at the absolute offset off within the named file's
+// current content, in place, reporting success to nobody — the next read
+// covering that byte sees the damage. Unlike a BitFlip rule there is no
+// randomness and no dependence on IO timing, so a test can hit a specific
+// block of a specific file reproducibly. The underlying FS must support
+// writable opens (MemFS does; OSFS's Open is read-only).
+func (f *FaultFS) CorruptAt(name string, off int64) error {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	size, err := file.Size()
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= size {
+		return fmt.Errorf("vfs: CorruptAt(%s, %d): offset outside file of %d bytes", name, off, size)
+	}
+	var b [1]byte
+	if _, err := file.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	if _, err := file.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	f.injected.Add(1)
+	return nil
+}
 
 // decision is the aggregate outcome of rule evaluation for one operation.
 type decision struct {
@@ -316,25 +350,46 @@ type faultFile struct {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	if d := f.fs.check(OpWrite, f.path); d.err != nil {
+	d := f.fs.check(OpWrite, f.path)
+	if d.err != nil {
 		if d.torn && len(p) > 0 {
 			n, _ := f.inner.Write(p[:len(p)/2])
 			return n, d.err
 		}
 		return 0, d.err
 	}
+	if d.bitFlip && len(p) > 0 {
+		// Corrupt the bytes as persisted: the caller's buffer stays
+		// intact, the success report stays intact, the disk lies.
+		return f.inner.Write(f.fs.flipCopy(p))
+	}
 	return f.inner.Write(p)
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	if d := f.fs.check(OpWrite, f.path); d.err != nil {
+	d := f.fs.check(OpWrite, f.path)
+	if d.err != nil {
 		if d.torn && len(p) > 0 {
 			n, _ := f.inner.WriteAt(p[:len(p)/2], off)
 			return n, d.err
 		}
 		return 0, d.err
 	}
+	if d.bitFlip && len(p) > 0 {
+		return f.inner.WriteAt(f.fs.flipCopy(p), off)
+	}
 	return f.inner.WriteAt(p, off)
+}
+
+// flipCopy returns a copy of p with one random bit flipped.
+func (f *FaultFS) flipCopy(p []byte) []byte {
+	c := append([]byte(nil), p...)
+	f.mu.Lock()
+	i := f.rng.Intn(len(c))
+	bit := uint(f.rng.Intn(8))
+	f.mu.Unlock()
+	c[i] ^= 1 << bit
+	return c
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {

@@ -183,3 +183,85 @@ func TestFaultFSReadAtEOFStillInjects(t *testing.T) {
 		t.Fatalf("clean short read = (%d, %v)", n, err)
 	}
 }
+
+func TestFaultFSWriteBitFlipPersists(t *testing.T) {
+	// A BitFlip on the write path damages the bytes as they land on the
+	// inner file: the write reports success, and the corruption is durable
+	// — every later read sees it. This is the at-rest-rot model the scrub
+	// torture tests drive.
+	fs := NewFault(NewMem())
+	f, _ := fs.Create("data")
+	content := bytes.Repeat([]byte{0x55}, 64)
+	fs.Inject(Rule{Op: OpWrite, CountN: 1, OneShot: true, BitFlip: true})
+	if _, err := f.Write(content); err != nil {
+		t.Fatalf("bit-flip writes must report success: %v", err)
+	}
+	diff := func() int {
+		buf := make([]byte, 64)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		d := 0
+		for i := range buf {
+			if buf[i] != content[i] {
+				d++
+			}
+		}
+		return d
+	}
+	if d := diff(); d != 1 {
+		t.Fatalf("%d bytes differ after write bit flip, want exactly 1", d)
+	}
+	// The damage is at rest, not transient: a re-read sees the same flip.
+	if d := diff(); d != 1 {
+		t.Fatalf("%d bytes differ on re-read, want the persisted flip", d)
+	}
+	if fs.InjectedFaults() != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", fs.InjectedFaults())
+	}
+}
+
+func TestFaultFSCorruptAt(t *testing.T) {
+	fs := NewFault(NewMem())
+	f, _ := fs.Create("data")
+	content := []byte("abcdefgh")
+	f.Write(content)
+	f.Sync()
+	f.Close()
+
+	if err := fs.CorruptAt("data", 3); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("data")
+	buf := make([]byte, len(content))
+	r.ReadAt(buf, 0)
+	r.Close()
+	if buf[3] != content[3]^0x01 {
+		t.Fatalf("byte 3 = %#x, want %#x", buf[3], content[3]^0x01)
+	}
+	for i, b := range buf {
+		if i != 3 && b != content[i] {
+			t.Fatalf("byte %d collaterally damaged", i)
+		}
+	}
+	// Deterministic: a second flip at the same offset restores the byte.
+	if err := fs.CorruptAt("data", 3); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = fs.Open("data")
+	r.ReadAt(buf, 0)
+	r.Close()
+	if !bytes.Equal(buf, content) {
+		t.Fatal("double flip did not restore the original content")
+	}
+	// Out-of-range offsets and missing files are loud errors, not no-ops.
+	if err := fs.CorruptAt("data", int64(len(content))); err == nil {
+		t.Fatal("offset past EOF must error")
+	}
+	if err := fs.CorruptAt("data", -1); err == nil {
+		t.Fatal("negative offset must error")
+	}
+	if err := fs.CorruptAt("no-such-file", 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,12 +1,16 @@
 package wal
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"p2kvs/internal/kv"
 	"p2kvs/internal/vfs"
 )
 
@@ -156,7 +160,11 @@ func TestTornTailIgnored(t *testing.T) {
 	}
 }
 
-func TestCorruptTailIgnored(t *testing.T) {
+// TestCorruptRecordReported: a bit flip inside a COMPLETE record is at-rest
+// corruption of committed data, not a crash artifact — replay must return
+// the valid prefix plus a kv.CorruptionError, never truncate silently
+// (silent truncation of acknowledged records is silent data loss).
+func TestCorruptRecordReported(t *testing.T) {
 	fs := vfs.NewMem()
 	f, _ := fs.Create("wal")
 	w := NewWriter(f, Options{})
@@ -176,11 +184,11 @@ func TestCorruptTailIgnored(t *testing.T) {
 
 	rf2, _ := fs.Open("wal")
 	recs, err := ReadAll(rf2)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("err = %v, want kv.ErrCorruption", err)
 	}
 	if len(recs) != 1 || string(recs[0].Payload) != "first" {
-		t.Fatalf("recs = %+v, want only the first record", recs)
+		t.Fatalf("recs = %+v, want the valid prefix (first record)", recs)
 	}
 }
 
@@ -313,4 +321,142 @@ func TestSoftwareCostModel(t *testing.T) {
 		t.Fatalf("zero-cost append slept %v", el)
 	}
 	w2.Close()
+}
+
+// --- format v2 at-rest integrity ---------------------------------------
+
+// readRaw snapshots a written log file.
+func readRaw(t *testing.T, fs vfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, _ := f.Size()
+	raw := make([]byte, sz)
+	f.ReadAt(raw, 0)
+	return raw
+}
+
+func writeRaw(t *testing.T, fs vfs.FS, name string, raw []byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(raw)
+	f.Close()
+}
+
+func buildLog(t *testing.T, fs vfs.FS, name string, n int) []byte {
+	t.Helper()
+	f, _ := fs.Create(name)
+	w := NewWriter(f, Options{SyncOnCommit: true})
+	for i := 0; i < n; i++ {
+		if err := w.Append(uint64(i+1), []byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	return readRaw(t, fs, name)
+}
+
+// TestV2LengthFieldRotReported: rot in a record's length field must be
+// reported, never mistaken for a crash-torn tail — that mistake silently
+// drops the record and every one after it.
+func TestV2LengthFieldRotReported(t *testing.T) {
+	fs := vfs.NewMem()
+	raw := buildLog(t, fs, "wal", 3)
+	// Record 0's length field: magic(8) + hcrc(4)+pcrc(4) = offset 16.
+	// Set a high bit so the claimed payload runs far past EOF.
+	raw[len(magicV2)+8+2] ^= 0x80
+	writeRaw(t, fs, "wal2", raw)
+	rf, _ := fs.Open("wal2")
+	recs, err := ReadAll(rf)
+	if !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("err = %v, want kv.ErrCorruption", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("damaged first record yielded %d records", len(recs))
+	}
+}
+
+// TestV2GSNRotReported: the GSN drives replay filtering (transaction
+// rollback), so rot there must not pass unnoticed either.
+func TestV2GSNRotReported(t *testing.T) {
+	fs := vfs.NewMem()
+	raw := buildLog(t, fs, "wal", 2)
+	raw[len(magicV2)+12] ^= 0x01 // record 0's gsn, lowest byte
+	writeRaw(t, fs, "wal2", raw)
+	rf, _ := fs.Open("wal2")
+	if _, err := ReadAll(rf); !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("err = %v, want kv.ErrCorruption", err)
+	}
+}
+
+// TestV2MagicRotReported: damage to the preamble itself must not demote
+// the file to the v1 parse (which would misread every header).
+func TestV2MagicRotReported(t *testing.T) {
+	fs := vfs.NewMem()
+	raw := buildLog(t, fs, "wal", 2)
+	raw[3] ^= 0x04
+	writeRaw(t, fs, "wal2", raw)
+	rf, _ := fs.Open("wal2")
+	if _, err := ReadAll(rf); !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("err = %v, want kv.ErrCorruption", err)
+	}
+}
+
+// TestV2TornPayloadStillTruncates: a verified header whose payload runs
+// past EOF is the genuine crash artifact; replay must keep the valid
+// prefix and stay silent about the tail.
+func TestV2TornPayloadStillTruncates(t *testing.T) {
+	fs := vfs.NewMem()
+	raw := buildLog(t, fs, "wal", 3)
+	writeRaw(t, fs, "wal2", raw[:len(raw)-5]) // tear into the last payload
+	rf, _ := fs.Open("wal2")
+	recs, err := ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want the 2 intact ones", len(recs))
+	}
+}
+
+// TestV1LengthFieldRotCaughtByHeuristic: legacy logs lack the header
+// checksum, but the torn-tail cross-check still catches the common case —
+// a rotted length with the payload fully present.
+func TestV1LengthFieldRotCaughtByHeuristic(t *testing.T) {
+	fs := vfs.NewMem()
+	// Hand-build a v1 log: no preamble, 16-byte headers.
+	var raw []byte
+	for i := 0; i < 2; i++ {
+		payload := []byte(fmt.Sprintf("legacy-%04d", i))
+		var hdr [headerLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(payload))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(i+1))
+		raw = append(raw, hdr[:]...)
+		raw = append(raw, payload...)
+	}
+	writeRaw(t, fs, "v1", raw)
+	rf, _ := fs.Open("v1")
+	recs, err := ReadAll(rf)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("clean v1 replay = %d recs, %v", len(recs), err)
+	}
+
+	mut := append([]byte(nil), raw...)
+	mut[4+2] ^= 0x80 // record 0's length field: claims past EOF
+	writeRaw(t, fs, "v1rot", mut)
+	rf2, _ := fs.Open("v1rot")
+	recs, err = ReadAll(rf2)
+	if !errors.Is(err, kv.ErrCorruption) {
+		t.Fatalf("v1 length rot: err = %v, want kv.ErrCorruption", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("v1 length rot yielded %d records", len(recs))
+	}
 }

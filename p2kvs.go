@@ -200,6 +200,20 @@ type Options struct {
 	// in simulated time, multiplied by DeviceScale. Only meaningful
 	// together with SimulateDevice; see DESIGN.md "Time and cost model".
 	SimulateHostCosts bool
+	// ScrubInterval enables a background at-rest integrity scrub on this
+	// cadence: every worker engine re-reads its files and verifies their
+	// block checksums, quarantining (and, with RepairFrom, repairing) what
+	// fails. Zero disables the background loop; Store.Scrub stays available
+	// for on-demand passes either way.
+	ScrubInterval time.Duration
+	// ScrubRate bounds the scrub's aggregate read bandwidth in bytes per
+	// second so verification never starves foreground IO (0 = unthrottled).
+	ScrubRate int64
+	// RepairFrom names a backup directory (as written by Backup, on the
+	// host filesystem) engines may pull verified file content from to
+	// repair a quarantined file in place. Empty disables self-repair;
+	// corruption is then contained until an operator restores.
+	RepairFrom string
 }
 
 // Open creates or reopens a p2KVS store.
@@ -267,6 +281,8 @@ func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
 	if opts.MergedScan {
 		copts.Scan = core.ScanMerged
 	}
+	copts.ScrubInterval = opts.ScrubInterval
+	copts.ScrubRate = opts.ScrubRate
 	return core.Open(copts)
 }
 
@@ -299,6 +315,7 @@ func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
 			lo.MaxBackgroundCompactions = opts.MaxBackgroundCompactions
 			lo.MaxSubCompactions = opts.MaxSubCompactions
 			lo.L0SlowdownTrigger = opts.L0SlowdownTrigger
+			lo.RepairSource = repairSourceFor(opts, id)
 			if opts.SimulateHostCosts && opts.SimulateDevice != "" {
 				s := scale(opts)
 				lo.WALPerRecordCost = time.Duration(1000 * s)
@@ -314,6 +331,7 @@ func engineFactory(fs vfs.FS, opts Options) (core.EngineFactory, error) {
 				SyncWAL:         opts.SyncWAL,
 				WALSync:         opts.WALSync,
 				WALSyncInterval: opts.WALSyncInterval,
+				RepairSource:    repairSourceFor(opts, id),
 			})
 		}, nil
 	case EngineKVell:

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke for the network serving layer: boot p2kvs-server
-# in-memory, drive it with netbench's pipelined load, check that the
-# pipelined SET/GET runs reached the engines through the batch entry
-# points, then SIGTERM the server and require a clean graceful drain.
+# in-memory, drive it with netbench's pipelined load (paranoid -verify
+# mode: every GET hit checked against the workload pattern), check that
+# the pipelined SET/GET runs reached the engines through the batch entry
+# points, run a SCRUB integrity pass over the wire, then SIGTERM the
+# server and require a clean graceful drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,8 +32,16 @@ for i in $(seq 1 50); do
     sleep 0.1
 done
 
-OUT=$("$BIN/netbench" -addr "$ADDR" -benchmarks set,get -conns 4 -pipeline 16 -num 8000 -bgsave)
+OUT=$("$BIN/netbench" -addr "$ADDR" -benchmarks set,get -conns 4 -pipeline 16 -num 8000 -bgsave -verify)
 echo "$OUT"
+
+# Paranoid mode must have actually verified hits and seen zero silent
+# mismatches (netbench exits non-zero on a mismatch, but require the
+# tally line so a silently disabled verifier can't pass).
+echo "$OUT" | grep -q "silent mismatches" || {
+    echo "serve-smoke: netbench -verify did not report its corruption tally" >&2
+    exit 1
+}
 
 # BGSAVE must have been accepted and committed: the checkpoint counters
 # from INFO prove a backup image landed in the checkpoint directory.
@@ -81,6 +91,34 @@ for counter in store_compactions store_subcompactions store_concurrent_compactio
     fi
 done
 echo "serve-smoke: compaction counters surfaced: $(echo "$OUT" | grep -o 'store_[a-z_]*compaction[a-z_]*=[0-9]*' | tr '\n' ' ')"
+
+# SCRUB over the wire: a raw RESP exchange through bash's /dev/tcp. The
+# reply is a bulk-string report; a healthy store must answer with the
+# scan counters and zero corruptions found.
+scrub_reply() {
+    local host=${ADDR%:*} port=${ADDR#*:} hdr
+    exec 3<>"/dev/tcp/$host/$port"
+    printf '*1\r\n$5\r\nSCRUB\r\n' >&3
+    IFS= read -r hdr <&3
+    hdr=${hdr%$'\r'}
+    case "$hdr" in
+    '$'*) dd bs=1 count=$(( ${hdr#\$} + 2 )) <&3 2>/dev/null ;;
+    *)    printf '%s\n' "$hdr" ;;
+    esac
+    exec 3<&- 3>&-
+}
+SCRUB_OUT=$(scrub_reply)
+echo "serve-smoke: SCRUB reply: $(echo "$SCRUB_OUT" | tr -d '\r' | tr '\n' ' ')"
+for counter in scrub_files_scanned scrub_bytes_scanned scrub_corruptions_found; do
+    echo "$SCRUB_OUT" | grep -q "${counter}:" || {
+        echo "serve-smoke: SCRUB reply missing $counter" >&2
+        exit 1
+    }
+done
+echo "$SCRUB_OUT" | grep -q "scrub_corruptions_found:0" || {
+    echo "serve-smoke: SCRUB found corruption on a healthy store" >&2
+    exit 1
+}
 
 kill -TERM "$SRV_PID"
 for i in $(seq 1 100); do
