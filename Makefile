@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress repl-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzBatchPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/lsm
 	$(GO) test -fuzz=FuzzRESPParse -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -fuzz=FuzzReplStream -fuzztime=$(FUZZTIME) ./internal/repl
 
 # Short overload + torture pass: the fault-injection torture run (one
 # seed, reduced ops under -short) plus the accessing layer's admission /
@@ -69,6 +70,12 @@ scrub-stress:
 # (async modes) over the wire. CYCLES=n overrides the commit-mode count.
 crash-stress:
 	./scripts/crash-stress.sh
+
+# Replication stress: race-enabled protocol/backlog/sync tests, then the
+# crashkv -replica torture (SIGKILL primary/replica mid-stream, verify
+# acked-write durability, partial resync and full-sync fallback).
+repl-stress:
+	./scripts/repl-stress.sh
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

@@ -13,10 +13,15 @@
 //
 // The cycle repeats -cycles times; any violation exits non-zero.
 //
+// With -replica the harness instead runs a primary/replica pair and
+// rotates the SIGKILL victim (replica, primary, both) while the replica
+// tails the primary's GSN stream; see replica.go for the contract.
+//
 // Example:
 //
 //	go build -o bin/p2kvs-server ./cmd/p2kvs-server
 //	go run ./cmd/crashkv -server bin/p2kvs-server -cycles 25 -mode commit
+//	go run ./cmd/crashkv -server bin/p2kvs-server -cycles 9 -replica
 package main
 
 import (
@@ -144,6 +149,10 @@ func main() {
 		fatalf("acked log: %v", err)
 	}
 	defer h.acked.Close()
+	if *replicaMode {
+		runReplica(h)
+		return
+	}
 	if h.serverLogs, err = os.Create(*dir + "/server.log"); err != nil {
 		fatalf("server log: %v", err)
 	}

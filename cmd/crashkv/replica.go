@@ -1,0 +1,514 @@
+package main
+
+// Replication torture (-replica): a primary/replica pair of real
+// p2kvs-server processes under the same SIGKILL regime as the
+// single-node harness. Load (pipelined SETs plus cross-partition MSETs
+// and BGSAVEs) runs against the primary while the replica tails the GSN
+// stream; each cycle a victim — replica, primary, or both — is killed
+// mid-stream and restarted, and the harness verifies over the wire that
+//
+//   - the primary still honors the durability contract (same checks as
+//     the single-node mode: no acked write lost under -mode commit);
+//   - the replica reconnects, resyncs and converges: the two SCAN/MGET
+//     dumps are byte-identical once replica_lag_gsn reaches 0;
+//   - a replica killed while the primary survives resumes with a
+//     partial resync (its fresh-process INFO counters show
+//     replica_partial_syncs >= 1 and replica_full_syncs == 0);
+//   - after the cycles, a replica held down until the primary's backlog
+//     provably trimmed past every record it had seen falls back to a
+//     full sync and still converges to an identical dump.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"p2kvs/internal/server"
+)
+
+var (
+	replicaMode = flag.Bool("replica", false, "replication torture: primary+replica pair, kill either mid-stream, verify convergence and sync kinds")
+	replBacklog = flag.Int64("repl_backlog_bytes", 4<<20, "primary replication backlog retention for -replica mode")
+)
+
+// node is one server process of the pair, restartable on a fixed port.
+type node struct {
+	name string
+	addr string
+	dir  string
+	args []string
+	logs *os.File
+	cmd  *exec.Cmd
+}
+
+func newNode(name, addr, dir string, extra ...string) *node {
+	logs, err := os.Create(dir + ".log")
+	if err != nil {
+		fatalf("%s log: %v", name, err)
+	}
+	args := []string{
+		"-addr", addr,
+		"-dir", dir,
+		"-engine", *engine,
+		"-workers", fmt.Sprint(*workers),
+		"-repl_backlog", fmt.Sprint(*replBacklog),
+		"-repl_dir", dir + "-repl",
+		"-conn_idle_timeout", "30s",
+	}
+	switch *mode {
+	case "commit":
+		args = append(args, "-wal_sync", "commit")
+	case "interval":
+		args = append(args, "-wal_sync", "25ms")
+	case "never":
+		args = append(args, "-wal_sync", "never")
+	}
+	args = append(args, extra...)
+	return &node{name: name, addr: addr, dir: dir, args: args, logs: logs}
+}
+
+func (n *node) start() {
+	cmd := exec.Command(*serverBin, n.args...)
+	cmd.Stdout = n.logs
+	cmd.Stderr = n.logs
+	if err := cmd.Start(); err != nil {
+		fatalf("start %s: %v", n.name, err)
+	}
+	n.cmd = cmd
+}
+
+func (n *node) kill() {
+	if n.cmd == nil {
+		return
+	}
+	n.cmd.Process.Kill()
+	n.cmd.Wait()
+	n.cmd = nil
+}
+
+func (n *node) awaitReady() {
+	if err := awaitPing(n.addr, 30*time.Second); err != nil {
+		fatalf("%s never became ready: %v", n.name, err)
+	}
+}
+
+func awaitPing(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		nc, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			rd, wr := server.NewReader(nc), server.NewWriter(nc)
+			wr.WriteCommand([]byte("PING"))
+			if wr.Flush() == nil {
+				if rep, err := rd.ReadReply(); err == nil && !rep.IsError() {
+					nc.Close()
+					return nil
+				}
+			}
+			nc.Close()
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout after %v", timeout)
+}
+
+// infoMap fetches INFO and parses the k:v lines.
+func infoMap(addr string) (map[string]string, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	wr.WriteCommand([]byte("INFO"))
+	if err := wr.Flush(); err != nil {
+		return nil, err
+	}
+	rep, err := rd.ReadReply()
+	if err != nil {
+		return nil, err
+	}
+	if rep.IsError() {
+		return nil, fmt.Errorf("INFO: %s", rep.Str)
+	}
+	m := make(map[string]string)
+	for _, line := range strings.Split(string(rep.Str), "\r\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && !strings.HasPrefix(k, "#") {
+			m[k] = v
+		}
+	}
+	return m, nil
+}
+
+func infoInt(m map[string]string, key string) int64 {
+	n, _ := strconv.ParseInt(m[key], 10, 64)
+	return n
+}
+
+// awaitSync waits until the replica's link is up and it has fully
+// drained the primary's stream.
+func awaitSync(replicaAddr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last map[string]string
+	for time.Now().Before(deadline) {
+		m, err := infoMap(replicaAddr)
+		if err == nil && m["role"] == "replica" &&
+			m["master_link_status"] == "up" && m["replica_lag_gsn"] == "0" {
+			return nil
+		}
+		last = m
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("replica did not converge within %v (status=%s lag=%s err=%q)",
+		timeout, last["master_link_status"], last["replica_lag_gsn"], last["master_link_last_error"])
+}
+
+// dumpKeys walks the whole keyspace with SCAN, returning the ordered
+// key list.
+func dumpKeys(rd *server.Reader, wr *server.Writer) ([][]byte, error) {
+	var keys [][]byte
+	cursor := []byte("0")
+	for {
+		wr.WriteCommand([]byte("SCAN"), cursor, []byte("COUNT"), []byte("1000"))
+		if err := wr.Flush(); err != nil {
+			return nil, err
+		}
+		rep, err := rd.ReadReply()
+		if err != nil {
+			return nil, err
+		}
+		if rep.IsError() || len(rep.Elems) != 2 {
+			return nil, fmt.Errorf("SCAN: %s", rep.String())
+		}
+		for _, e := range rep.Elems[1].Elems {
+			keys = append(keys, e.Str)
+		}
+		cursor = rep.Elems[0].Str
+		if string(cursor) == "0" {
+			return keys, nil
+		}
+	}
+}
+
+// compareDumps requires the two servers to hold byte-identical ordered
+// datasets: same SCAN key sequence, same MGET values. Returns the key
+// count.
+func compareDumps(primaryAddr, replicaAddr string) (int, error) {
+	pc, err := net.DialTimeout("tcp", primaryAddr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer pc.Close()
+	rc, err := net.DialTimeout("tcp", replicaAddr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	prd, pwr := server.NewReader(pc), server.NewWriter(pc)
+	rrd, rwr := server.NewReader(rc), server.NewWriter(rc)
+
+	pk, err := dumpKeys(prd, pwr)
+	if err != nil {
+		return 0, fmt.Errorf("primary scan: %v", err)
+	}
+	rk, err := dumpKeys(rrd, rwr)
+	if err != nil {
+		return 0, fmt.Errorf("replica scan: %v", err)
+	}
+	if len(pk) != len(rk) {
+		have := make(map[string]bool, len(rk))
+		for _, k := range rk {
+			have[string(k)] = true
+		}
+		var missing []string
+		for _, k := range pk {
+			if !have[string(k)] && len(missing) < 8 {
+				missing = append(missing, string(k))
+			}
+		}
+		return 0, fmt.Errorf("DIVERGED: primary holds %d keys, replica %d (e.g. missing %v)", len(pk), len(rk), missing)
+	}
+	for i := range pk {
+		if !bytes.Equal(pk[i], rk[i]) {
+			return 0, fmt.Errorf("DIVERGED: key %d is %q on primary, %q on replica", i, pk[i], rk[i])
+		}
+	}
+	const chunk = 500
+	for off := 0; off < len(pk); off += chunk {
+		end := off + chunk
+		if end > len(pk) {
+			end = len(pk)
+		}
+		cmd := make([][]byte, 0, end-off+1)
+		cmd = append(cmd, []byte("MGET"))
+		cmd = append(cmd, pk[off:end]...)
+		pwr.WriteCommand(cmd...)
+		rwr.WriteCommand(cmd...)
+		if err := pwr.Flush(); err != nil {
+			return 0, err
+		}
+		if err := rwr.Flush(); err != nil {
+			return 0, err
+		}
+		prep, err := prd.ReadReply()
+		if err != nil {
+			return 0, err
+		}
+		rrep, err := rrd.ReadReply()
+		if err != nil {
+			return 0, err
+		}
+		if prep.IsError() || rrep.IsError() {
+			return 0, fmt.Errorf("MGET: primary %s, replica %s", prep.String(), rrep.String())
+		}
+		for i := range prep.Elems {
+			pv, rv := prep.Elems[i], rrep.Elems[i]
+			if pv.Nil != rv.Nil || !bytes.Equal(pv.Str, rv.Str) {
+				return 0, fmt.Errorf("DIVERGED: %q is %q on primary, %q on replica",
+					pk[off+i], pv.String(), rv.String())
+			}
+		}
+	}
+	return len(pk), nil
+}
+
+// msetConn drives cross-partition MSETs against the primary so the
+// multi-shard transaction path (begin/legs/commit plus the checkpoint
+// cursor-lowering it forces) stays hot while kills land. Values carry a
+// self-describing pattern; divergence is caught by compareDumps.
+func msetConn(addr string, stop chan struct{}, counter *int64) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	rng := rand.New(rand.NewSource(*seed + 7919))
+	seqNo := int64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		seqNo++
+		cmd := [][]byte{[]byte("MSET")}
+		for j := 0; j < 8; j++ {
+			k := fmt.Sprintf("mx-%03d", rng.Intn(64))
+			cmd = append(cmd, []byte(k), []byte(fmt.Sprintf("m%08d|%s", seqNo, k)))
+		}
+		wr.WriteCommand(cmd...)
+		if wr.Flush() != nil {
+			return
+		}
+		if rep, err := rd.ReadReply(); err != nil {
+			return
+		} else if !rep.IsError() {
+			*counter++
+		}
+	}
+}
+
+// overflowBacklog writes large values to the primary until every record
+// that was in its backlog at the start has been trimmed away — at that
+// point a cursor from before the overflow is provably outside the
+// retention window and only a full sync can serve it.
+func overflowBacklog(addr string) error {
+	m, err := infoMap(addr)
+	if err != nil {
+		return err
+	}
+	target := infoInt(m, "repl_backlog_trimmed") + infoInt(m, "repl_backlog_records") + 1
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	rd, wr := server.NewReader(nc), server.NewWriter(nc)
+	val := bytes.Repeat([]byte("y"), 4096)
+	for i := 0; ; i++ {
+		for j := 0; j < 64; j++ {
+			k := fmt.Sprintf("ov-%05d", (i*64+j)%4096)
+			wr.WriteCommand([]byte("SET"), []byte(k), val)
+		}
+		if err := wr.Flush(); err != nil {
+			return err
+		}
+		for j := 0; j < 64; j++ {
+			if _, err := rd.ReadReply(); err != nil {
+				return err
+			}
+		}
+		m, err := infoMap(addr)
+		if err != nil {
+			return err
+		}
+		if infoInt(m, "repl_backlog_trimmed") >= target {
+			return nil
+		}
+		if i > 4096 {
+			return fmt.Errorf("backlog never trimmed past %d records", target)
+		}
+	}
+}
+
+// runReplica is the -replica entry point. h carries the per-key acked
+// state and journal; h.addr is pointed at the primary so the standard
+// verify/load paths apply unchanged.
+func runReplica(h *harness) {
+	pickAddr := func() string {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("pick port: %v", err)
+		}
+		defer lis.Close()
+		return lis.Addr().String()
+	}
+	pAddr, rAddr := pickAddr(), pickAddr()
+	h.addr = pAddr
+	primary := newNode("primary", pAddr, *dir+"/primary", "-checkpoint_dir", *dir+"/backup")
+	replica := newNode("replica", rAddr, *dir+"/replica", "-replicaof", pAddr)
+	defer primary.kill()
+	defer replica.kill()
+
+	fmt.Printf("crashkv: replica mode=%s engine=%s cycles=%d backlog=%d seed=%d dir=%s primary=%s replica=%s\n",
+		*mode, *engine, *cycles, *replBacklog, *seed, *dir, pAddr, rAddr)
+
+	primary.start()
+	primary.awaitReady()
+	replica.start()
+	replica.awaitReady()
+
+	var msets int64
+	partialResyncs, fullResyncs := 0, 0
+	for cycle := 0; cycle < *cycles; cycle++ {
+		if err := h.verify(); err != nil {
+			fatalf("cycle %d: PRIMARY VERIFICATION FAILED: %v", cycle, err)
+		}
+		if err := awaitSync(rAddr, 60*time.Second); err != nil {
+			fatalf("cycle %d: %v", cycle, err)
+		}
+		n, err := compareDumps(pAddr, rAddr)
+		if err != nil {
+			fatalf("cycle %d: %v", cycle, err)
+		}
+		if *verbose {
+			fmt.Printf("crashkv: cycle %d: converged, %d keys identical\n", cycle, n)
+		}
+
+		// Load against the primary, then kill the cycle's victim
+		// mid-stream. Victims rotate so every cut point is exercised.
+		stop := make(chan struct{})
+		done := make(chan struct{}, *conns+2)
+		for c := 0; c < *conns; c++ {
+			go func(c int) {
+				defer func() { done <- struct{}{} }()
+				h.loadConn(c, stop)
+			}(c)
+		}
+		go func() {
+			defer func() { done <- struct{}{} }()
+			h.bgsaveConn(stop)
+		}()
+		go func() {
+			defer func() { done <- struct{}{} }()
+			msetConn(pAddr, stop, &msets)
+		}()
+		live := 150*time.Millisecond + time.Duration(h.rng.Int63n(int64(450*time.Millisecond)))
+		time.Sleep(live)
+		victim := cycle % 3
+		if victim == 0 || victim == 2 {
+			replica.kill()
+		}
+		if victim == 1 || victim == 2 {
+			primary.kill()
+		}
+		h.kills++
+		close(stop)
+		for i := 0; i < *conns+2; i++ {
+			<-done
+		}
+
+		if primary.cmd == nil {
+			primary.start()
+			primary.awaitReady()
+		}
+		if replica.cmd == nil {
+			replica.start()
+			replica.awaitReady()
+		}
+		// A replica killed under a live primary must come back with a
+		// partial resync: its cursors are inside the backlog the
+		// surviving primary kept. The counters are process-local, so on
+		// the freshly restarted replica they isolate this reconnect.
+		if victim == 0 {
+			if err := awaitSync(rAddr, 60*time.Second); err != nil {
+				fatalf("cycle %d: after replica kill: %v", cycle, err)
+			}
+			m, err := infoMap(rAddr)
+			if err != nil {
+				fatalf("cycle %d: %v", cycle, err)
+			}
+			p, f := infoInt(m, "replica_partial_syncs"), infoInt(m, "replica_full_syncs")
+			partialResyncs += int(p)
+			fullResyncs += int(f)
+			if p == 0 {
+				fatalf("cycle %d: replica restarted under a live primary but did not partial-resync (partial=%d full=%d)", cycle, p, f)
+			}
+		}
+	}
+
+	// Final convergence after the last kill cycle.
+	if err := h.verify(); err != nil {
+		fatalf("final: PRIMARY VERIFICATION FAILED: %v", err)
+	}
+	if err := awaitSync(rAddr, 60*time.Second); err != nil {
+		fatalf("final: %v", err)
+	}
+	if _, err := compareDumps(pAddr, rAddr); err != nil {
+		fatalf("final: %v", err)
+	}
+
+	// Out-of-window: hold the replica down until the primary's backlog
+	// has trimmed past everything the replica ever saw, then prove the
+	// reconnect falls back to a full sync and still converges.
+	replica.kill()
+	if err := overflowBacklog(pAddr); err != nil {
+		fatalf("overflow: %v", err)
+	}
+	replica.start()
+	replica.awaitReady()
+	if err := awaitSync(rAddr, 120*time.Second); err != nil {
+		fatalf("out-of-window: %v", err)
+	}
+	m, err := infoMap(rAddr)
+	if err != nil {
+		fatalf("out-of-window: %v", err)
+	}
+	if infoInt(m, "replica_full_syncs") < 1 {
+		fatalf("out-of-window: replica reconnected without a full sync (partial=%d full=%d)",
+			infoInt(m, "replica_partial_syncs"), infoInt(m, "replica_full_syncs"))
+	}
+	keys, err := compareDumps(pAddr, rAddr)
+	if err != nil {
+		fatalf("out-of-window: %v", err)
+	}
+
+	// Graceful shutdown of both.
+	for _, n := range []*node{replica, primary} {
+		n.cmd.Process.Signal(os.Interrupt)
+		if err := n.cmd.Wait(); err != nil {
+			fatalf("%s: graceful shutdown failed: %v", n.name, err)
+		}
+		n.cmd = nil
+	}
+	fmt.Printf("crashkv: PASS (replica) — %d kills, %d acked sets, %d msets, %d partial resyncs, full-sync fallback verified, %d keys identical\n",
+		h.kills, h.setsAcked.Load(), msets, partialResyncs, keys)
+}

@@ -62,8 +62,25 @@ func main() {
 		bgsave     = flag.Bool("bgsave", false, "issue BGSAVE after the phases and wait for the save to commit")
 		ackedLog   = flag.String("acked_log", "", "journal every acked SET (key and value) to this file for later crash-recovery verification")
 		verify     = flag.Bool("verify", false, "paranoid reads: check every GET hit against the workload pattern; -CORRUPTION replies are counted, a silently wrong value is fatal")
+
+		clusterMode  = flag.Bool("cluster", false, "in-process cluster scaling benchmark: boots -cluster_nodes primaries (+replicas), compares aggregate batched GET throughput against one node, measures replica staleness, and emits a BENCH json line")
+		clusterNodes = flag.Int("cluster_nodes", 3, "primaries in the -cluster tier (2-4 is the intended range)")
+		clusterRepl  = flag.Int("cluster_replicas", 1, "read replicas per primary in the -cluster tier")
+		clusterWkrs  = flag.Int("cluster_workers", 2, "store workers per node in the -cluster tier")
+		clusterBatch = flag.Int("cluster_batch", 128, "keys per MGET/MSET wire batch in the -cluster tier (capped at 1024)")
+		clusterSecs  = flag.Duration("cluster_secs", 2*time.Second, "measurement window per -cluster phase")
+		clusterDev   = flag.String("cluster_device", "sata", "simulated device under each -cluster node: nvme, sata, hdd, or none (none = unthrottled MemFS; scaling then needs spare host cores)")
+		clusterScale = flag.Float64("cluster_device_scale", 5, "time scale for -cluster_device service times (1 = real device speed; the default slows IO so sub-100us timer quantization stays small next to device service time)")
 	)
 	flag.Parse()
+	if *clusterMode {
+		n := *keys
+		if n <= 0 {
+			n = *num
+		}
+		runClusterBench(*clusterNodes, *clusterRepl, *clusterWkrs, n, *valueSize, *clusterBatch, *conns, *clusterSecs, *clusterDev, *clusterScale)
+		return
+	}
 	verifier.on = *verify
 	if *ackedLog != "" {
 		w, err := ackedlog.Create(*ackedLog)

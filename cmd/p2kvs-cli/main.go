@@ -8,6 +8,14 @@
 //	> range a z
 //	> stats
 //	> quit
+//
+// With -cluster it instead talks to a multi-node serving tier through
+// the consistent-hash cluster client. Nodes are comma-separated; a
+// primary's read replicas follow it after slashes:
+//
+//	p2kvs-cli -cluster host1:6380/replica1:6390,host2:6380 -replica_reads
+//	> put greeting hello
+//	> mget greeting other
 package main
 
 import (
@@ -19,15 +27,23 @@ import (
 	"strings"
 
 	"p2kvs"
+	"p2kvs/internal/cluster"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "data directory (default: in-memory)")
-		workers = flag.Int("workers", 4, "worker count")
-		engine  = flag.String("engine", "rocksdb", "engine kind")
+		dir          = flag.String("dir", "", "data directory (default: in-memory)")
+		workers      = flag.Int("workers", 4, "worker count")
+		engine       = flag.String("engine", "rocksdb", "engine kind")
+		clusterSpec  = flag.String("cluster", "", "cluster mode: comma-separated nodes, each primary[/replica...] (host:port)")
+		replicaReads = flag.Bool("replica_reads", false, "with -cluster, fan reads out across each node's replicas (eventually consistent)")
 	)
 	flag.Parse()
+
+	if *clusterSpec != "" {
+		runCluster(*clusterSpec, *replicaReads)
+		return
+	}
 
 	store, err := p2kvs.Open(p2kvs.Options{
 		Dir:      orDefault(*dir, "cli-db"),
@@ -141,4 +157,143 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// parseClusterSpec turns "p1:6380/r1:6390/r2:6391,p2:6380" into the
+// cluster client's node list.
+func parseClusterSpec(spec string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		hosts := strings.Split(part, "/")
+		n := cluster.Node{Addr: hosts[0]}
+		for _, r := range hosts[1:] {
+			if r = strings.TrimSpace(r); r != "" {
+				n.Replicas = append(n.Replicas, r)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no nodes in cluster spec %q", spec)
+	}
+	return nodes, nil
+}
+
+func runCluster(spec string, replicaReads bool) {
+	nodes, err := parseClusterSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2kvs-cli:", err)
+		os.Exit(1)
+	}
+	cl, err := cluster.New(nodes, cluster.Options{ReadFromReplicas: replicaReads})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2kvs-cli:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("p2kvs cluster shell (%d nodes) — commands: put k v | get k | del k | mget k... | mset k v [k v]... | nodes | quit\n", len(nodes))
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := executeCluster(cl, line); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func executeCluster(cl *cluster.Client, line string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	fail := func(format string, a ...interface{}) {
+		fmt.Printf("error: "+format+"\n", a...)
+	}
+	switch cmd {
+	case "put", "set":
+		if len(args) != 2 {
+			fail("usage: put <key> <value>")
+			return
+		}
+		if err := cl.Set([]byte(args[0]), []byte(args[1])); err != nil {
+			fail("%v", err)
+		}
+	case "get":
+		if len(args) != 1 {
+			fail("usage: get <key>")
+			return
+		}
+		v, err := cl.Get([]byte(args[0]))
+		switch {
+		case err != nil:
+			fail("%v", err)
+		case v == nil:
+			fmt.Println("(not found)")
+		default:
+			fmt.Println(string(v))
+		}
+	case "del", "delete":
+		if len(args) != 1 {
+			fail("usage: del <key>")
+			return
+		}
+		if err := cl.Del([]byte(args[0])); err != nil {
+			fail("%v", err)
+		}
+	case "mget":
+		if len(args) == 0 {
+			fail("usage: mget <key>...")
+			return
+		}
+		keys := make([][]byte, len(args))
+		for i, a := range args {
+			keys[i] = []byte(a)
+		}
+		vals, err := cl.MGet(keys)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		for i, v := range vals {
+			if v == nil {
+				fmt.Printf("%s = (not found)\n", args[i])
+			} else {
+				fmt.Printf("%s = %s\n", args[i], v)
+			}
+		}
+	case "mset":
+		if len(args) == 0 || len(args)%2 != 0 {
+			fail("usage: mset <key> <value> [<key> <value>]...")
+			return
+		}
+		keys := make([][]byte, 0, len(args)/2)
+		vals := make([][]byte, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			keys = append(keys, []byte(args[i]))
+			vals = append(vals, []byte(args[i+1]))
+		}
+		if err := cl.MSet(keys, vals); err != nil {
+			fail("%v", err)
+		}
+	case "nodes":
+		for i, n := range cl.Nodes() {
+			if len(n.Replicas) > 0 {
+				fmt.Printf("node %d: %s (replicas: %s)\n", i, n.Addr, strings.Join(n.Replicas, ", "))
+			} else {
+				fmt.Printf("node %d: %s\n", i, n.Addr)
+			}
+		}
+	case "quit", "exit":
+		return true
+	default:
+		fail("unknown command %q", cmd)
+	}
+	return false
 }

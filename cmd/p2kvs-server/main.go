@@ -24,6 +24,7 @@ import (
 
 	"p2kvs"
 	"p2kvs/internal/server"
+	"p2kvs/internal/vfs"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func main() {
 		scrubIvl     = flag.Duration("scrub_interval", 0, "background at-rest integrity scrub cadence (0 = disabled; SCRUB stays available)")
 		scrubRate    = flag.Int64("scrub_rate", 0, "scrub read-bandwidth budget in bytes/sec (0 = unthrottled)")
 		repairFrom   = flag.String("repair_from", "", "backup directory engines may pull verified files from to self-repair quarantined data; defaults to -checkpoint_dir")
+		replicaOf    = flag.String("replicaof", "", "start as a read-only replica of a primary at host:port (also settable at runtime via REPLICAOF)")
+		replBacklog  = flag.Int64("repl_backlog", 0, "replication backlog retention in bytes; any non-zero value enables replication (-1 = default 16 MiB; 0 disables unless -replicaof or -repl_dir is set)")
+		replDir      = flag.String("repl_dir", "", "replication working directory for full-sync images and replica cursor state (default <dir>-repl when replication is enabled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -90,7 +94,18 @@ func main() {
 		syncPolicy, syncInterval = p2kvs.SyncInterval, d
 	}
 
-	store, err := p2kvs.Open(p2kvs.Options{
+	// -replicaof or -repl_dir implies replication; default the backlog and
+	// working directory from the data directory when left unset.
+	backlog := *replBacklog
+	if backlog == 0 && (*replicaOf != "" || *replDir != "") {
+		backlog = -1 // default retention
+	}
+	rdir := *replDir
+	if rdir == "" && backlog != 0 {
+		rdir = *dir + "-repl"
+	}
+
+	storeOpts := p2kvs.Options{
 		Dir:      *dir,
 		Workers:  *workers,
 		Engine:   p2kvs.EngineKind(*engine),
@@ -112,12 +127,15 @@ func main() {
 		ScrubInterval: *scrubIvl,
 		ScrubRate:     *scrubRate,
 		RepairFrom:    repairDir(*repairFrom, *ckptDir),
-	})
+
+		ReplBacklogBytes: backlog,
+	}
+	store, err := p2kvs.Open(storeOpts)
 	if err != nil {
 		logger.Fatalf("p2kvs-server: open store: %v", err)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:            *addr,
 		Store:           store,
 		CommandTimeout:  *cmdTimeout,
@@ -128,7 +146,22 @@ func main() {
 		DebugAddr:       *debugAddr,
 		CheckpointDir:   *ckptDir,
 		Logf:            logger.Printf,
-	})
+	}
+	if backlog != 0 {
+		cfg.ReplDir = rdir
+		cfg.ReplicaOf = *replicaOf
+		// A full sync replaces the data directory wholesale: wipe it, then
+		// restore the received image into a fresh store with the same
+		// shape. The staged image lives on the host filesystem (ReplFS nil
+		// = OS), so p2kvs.Restore's manifest verification runs against it.
+		cfg.RestoreStore = func(_ vfs.FS, srcDir string) (*p2kvs.Store, error) {
+			if err := os.RemoveAll(*dir); err != nil {
+				return nil, err
+			}
+			return p2kvs.Restore(srcDir, storeOpts)
+		}
+	}
+	srv := server.New(cfg)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()

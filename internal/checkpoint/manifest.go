@@ -85,7 +85,12 @@ type Manifest struct {
 	WorkerGSN   []uint64
 	TakenUnixNs int64
 	BarrierNs   int64
-	Files       []File
+	// ReplID is the replication lineage ID of the store that took the
+	// checkpoint, empty when replication was disabled. A replica restored
+	// from this image partial-syncs from WorkerGSN only against a primary
+	// still carrying this ID.
+	ReplID string
+	Files  []File
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -101,6 +106,9 @@ func (m *Manifest) Encode() []byte {
 	fmt.Fprintf(&b, "gsn %d\n", m.GSN)
 	fmt.Fprintf(&b, "taken_unix_ns %d\n", m.TakenUnixNs)
 	fmt.Fprintf(&b, "barrier_ns %d\n", m.BarrierNs)
+	if m.ReplID != "" {
+		fmt.Fprintf(&b, "replid %s\n", m.ReplID)
+	}
 	for i, g := range m.WorkerGSN {
 		fmt.Fprintf(&b, "worker %d gsn %d\n", i, g)
 	}
@@ -213,6 +221,11 @@ func Parse(data []byte) (*Manifest, error) {
 				return fail("bad barrier_ns")
 			}
 			m.BarrierNs = v
+		case "replid":
+			if len(fields) != 2 {
+				return fail("replid wants 1 field")
+			}
+			m.ReplID = fields[1]
 		case "worker":
 			if len(fields) != 4 || fields[2] != "gsn" {
 				return fail("worker line wants: worker <i> gsn <g>")

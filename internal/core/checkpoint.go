@@ -22,7 +22,10 @@ import (
 // transaction only partially inside the captured WAL prefixes is missing
 // its commit in the captured TXNLOG prefix and is rolled back by the
 // recover filter when the image is restored — exactly the crash-recovery
-// path of §4.5.
+// path of §4.5. Because restore rolls those legs back, the manifest's
+// per-worker stream cursors are lowered beneath them (checkpointCut), so
+// a replica bootstrapping from the image recovers them from the
+// replication stream rather than losing them to the rollback.
 
 // ErrCheckpointUnsupported reports an engine without kv.Checkpointer.
 var ErrCheckpointUnsupported = errors.New("core: engine does not support checkpoints")
@@ -114,8 +117,9 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 		writers[i] = cw
 	}
 	txnSize := int64(-1)
+	var txnFloors []uint64
 	if prepErr == nil && s.txn != nil {
-		txnSize = s.txn.size()
+		txnSize, txnFloors = s.txn.checkpointCut(len(s.workers))
 	}
 	close(release)
 	for _, r := range barriers {
@@ -134,6 +138,19 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	}
 	s.ckptBarrierNs.Store(barrierNs)
 
+	// A transaction whose commit record missed the captured TXNLOG prefix
+	// is rolled back when the image restores, yet its applied legs sit in
+	// the WAL prefixes and below the raw watermarks. Lower each stream
+	// cursor beneath such legs so a replica bootstrapping from this image
+	// receives them (and everything after — re-application of plain op
+	// batches is idempotent) from the stream instead of silently losing
+	// them.
+	for i, floor := range txnFloors {
+		if floor != 0 && floor-1 < workerGSN[i] {
+			workerGSN[i] = floor - 1
+		}
+	}
+
 	// --- Writes resumed: emit the image, then commit the manifest. ---
 	m := &checkpoint.Manifest{
 		Seq:         seq,
@@ -144,6 +161,9 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 		WorkerGSN:   workerGSN,
 		TakenUnixNs: start.UnixNano(),
 		BarrierNs:   barrierNs,
+	}
+	if s.opts.ReplLog != nil {
+		m.ReplID = s.opts.ReplLog.ID()
 	}
 	for i, cw := range writers {
 		sub := fmt.Sprintf("worker-%d", i)

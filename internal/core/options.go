@@ -6,6 +6,7 @@ import (
 	"p2kvs/internal/keyspace"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/metrics"
+	"p2kvs/internal/repl"
 	"p2kvs/internal/vfs"
 )
 
@@ -104,6 +105,13 @@ type Options struct {
 	// aggregate read bandwidth in bytes/second (0 = unthrottled).
 	ScrubInterval time.Duration
 	ScrubRate     int64
+	// ReplLog, when non-nil, enables replication: every applied write
+	// batch is recorded in this backlog under a GSN assigned at apply
+	// time, each worker's lastGSN watermark becomes its stream cursor
+	// (recorded by checkpoints, consumed by replicas), and
+	// Store.ApplyRepl accepts replicated records from a primary. The log
+	// must be sized for the same worker count.
+	ReplLog *repl.Log
 }
 
 // DefaultOptions returns the paper's default configuration (8 workers,

@@ -36,6 +36,13 @@ type request struct {
 	gsn   uint64
 	// noMerge excludes this request from OBM (transaction legs, §4.5).
 	noMerge bool
+	// streamGSN, when non-zero, marks a replicated record being applied on
+	// a replica: the worker ships it to its own backlog under this
+	// primary-assigned GSN instead of allocating a fresh one. Always
+	// noMerge. It is never passed to the engine's WriteGSN — engine-level
+	// GSN tagging stays reserved for transaction legs, whose records the
+	// recover filter checks against the committed-transaction map.
+	streamGSN uint64
 
 	// Read-type payload.
 	key []byte

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/repl"
+)
+
+// Replica-side entry point of GSN log-shipping replication: the server's
+// replica manager decodes stream frames and applies each record here,
+// through the normal worker write path. Applying through the engine (not
+// around it) is what keeps every downstream subsystem valid on a replica:
+// the engine journals the write, so crash recovery works; lastGSN
+// ratchets to the primary's GSN, so checkpoints taken on the replica
+// record real cursors; and scrub sees ordinary engine files.
+
+// ApplyRepl applies one replicated record — worker's write batch under
+// the GSN the primary's worker assigned — and waits for the engine to
+// acknowledge it. It bypasses admission control the same way checkpoint
+// barriers do (replicated writes are never load-shed or rejected; a full
+// queue simply backpressures the stream), and it never tags the engine's
+// WAL record with the GSN — stream GSNs live in the replication layer,
+// engine-level GSN tagging stays reserved for transaction legs.
+//
+// The store's global GSN counter ratchets up to the record's GSN first,
+// so local allocations (transaction legs, checkpoint watermarks, a later
+// promotion to primary) always continue the sequence.
+func (s *Store) ApplyRepl(worker int, gsn uint64, ops []kv.BatchOp) error {
+	if worker < 0 || worker >= len(s.workers) {
+		return fmt.Errorf("core: ApplyRepl: worker %d out of range [0,%d)", worker, len(s.workers))
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	for {
+		cur := s.gsn.Load()
+		if gsn <= cur || s.gsn.CompareAndSwap(cur, gsn) {
+			break
+		}
+	}
+	w := s.workers[worker]
+	wops := make([]wop, len(ops))
+	for i, op := range ops {
+		wops[i] = wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value}
+	}
+	r := &request{
+		typ:       reqWrite,
+		batch:     batchRef{ops: wops},
+		streamGSN: gsn,
+		noMerge:   true,
+		done:      make(chan struct{}),
+	}
+	if err := w.q.pushWait(nil, r); err != nil {
+		return err
+	}
+	<-r.done
+	return r.err
+}
+
+// ReplLog exposes the store's replication backlog (nil when replication
+// is disabled). The server's PSYNC handler streams from it.
+func (s *Store) ReplLog() *repl.Log { return s.opts.ReplLog }
+
+// GSN reports the store's current Global Sequence Number watermark.
+func (s *Store) GSN() uint64 { return s.gsn.Load() }
+
+// ReplLastGSN reports each worker's replication stream watermark — the
+// per-worker cursors a replica of this store would resume from. Nil when
+// replication is disabled.
+func (s *Store) ReplLastGSN() []uint64 {
+	if s.opts.ReplLog == nil {
+		return nil
+	}
+	out := make([]uint64, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.lastGSN.Load()
+	}
+	return out
+}

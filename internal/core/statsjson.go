@@ -60,6 +60,10 @@ type WorkerStatsJSON struct {
 	CheckpointFilesCopied int64 `json:"checkpoint_files_copied"`
 	CheckpointFilesReused int64 `json:"checkpoint_files_reused"`
 	CheckpointBytesCopied int64 `json:"checkpoint_bytes_copied"`
+	// Replication stream watermark: the GSN of this worker's most
+	// recently applied write batch (its replica cursor). Zero when
+	// replication is disabled; the aggregate takes the max.
+	ReplLastGSN uint64 `json:"repl_last_gsn"`
 }
 
 // StatsSnapshot is the JSON view of the whole store: an aggregate over all
@@ -75,6 +79,16 @@ type StatsSnapshot struct {
 	Checkpoints         int64 `json:"store_checkpoints"`
 	CheckpointBarrierNs int64 `json:"checkpoint_barrier_ns"`
 	LastCheckpointUnix  int64 `json:"last_checkpoint_unix"`
+	// Replication backlog state (all zero/empty when Options.ReplLog is
+	// nil): the store's GSN watermark, the backlog's retained size and
+	// lifetime append/trim counters, and the number of attached replica
+	// pins currently deferring tail truncation.
+	ReplGSN            uint64 `json:"repl_gsn"`
+	ReplBacklogBytes   int64  `json:"repl_backlog_bytes"`
+	ReplBacklogRecords int64  `json:"repl_backlog_records"`
+	ReplAppended       int64  `json:"repl_appended"`
+	ReplTrimmed        int64  `json:"repl_trimmed"`
+	ReplPins           int    `json:"repl_pins"`
 }
 
 func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
@@ -173,6 +187,9 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		if j.QueueHighWater > agg.QueueHighWater {
 			agg.QueueHighWater = j.QueueHighWater
 		}
+		if j.ReplLastGSN > agg.ReplLastGSN {
+			agg.ReplLastGSN = j.ReplLastGSN
+		}
 		if ws.Health.State > worst {
 			worst = ws.Health.State
 			agg.Health = worst.String()
@@ -185,6 +202,15 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 	snap.Checkpoints = s.ckptCount.Load()
 	snap.CheckpointBarrierNs = s.ckptBarrierNs.Load()
 	snap.LastCheckpointUnix = s.lastCkptUnix.Load()
+	if l := s.opts.ReplLog; l != nil {
+		rs := l.Stats()
+		snap.ReplGSN = s.gsn.Load()
+		snap.ReplBacklogBytes = rs.Bytes
+		snap.ReplBacklogRecords = rs.Records
+		snap.ReplAppended = rs.Appended
+		snap.ReplTrimmed = rs.Trimmed
+		snap.ReplPins = rs.Pins
+	}
 	return snap
 }
 

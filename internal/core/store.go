@@ -51,6 +51,9 @@ func Open(opts Options) (*Store, error) {
 	if opts.Partitioner.N() != opts.Workers {
 		return nil, errors.New("core: partitioner size must match worker count")
 	}
+	if opts.ReplLog != nil && opts.ReplLog.Workers() != opts.Workers {
+		return nil, errors.New("core: replication log size must match worker count")
+	}
 	s := &Store{opts: opts}
 
 	var filter func(gsn uint64) bool
@@ -73,6 +76,8 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		w := newWorker(i, engine, opts)
+		w.gsnSrc = &s.gsn
+		w.txn = s.txn
 		s.workers = append(s.workers, w)
 	}
 	for _, w := range s.workers {
@@ -508,6 +513,7 @@ func (s *Store) writePrepared(ctx context.Context, subs map[*worker]*batchRef) (
 	if err := waitCtx(ctx, &wg); err != nil {
 		// Deadline fired mid-transaction: leave it uncommitted, recovery
 		// rolls every applied leg back.
+		s.txn.abandon(gsn)
 		return nil, err
 	}
 	mu.Lock()
@@ -516,6 +522,7 @@ func (s *Store) writePrepared(ctx context.Context, subs map[*worker]*batchRef) (
 		if err != nil {
 			// Leave the transaction uncommitted: recovery rolls it back
 			// on every instance.
+			s.txn.abandon(gsn)
 			return nil, err
 		}
 	}

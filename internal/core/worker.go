@@ -10,6 +10,7 @@ import (
 
 	"p2kvs/internal/kv"
 	"p2kvs/internal/metrics"
+	"p2kvs/internal/repl"
 )
 
 // gsnWriter is the optional engine capability of tagging a batch's WAL
@@ -53,7 +54,19 @@ type worker struct {
 	// lastGSN is the highest GSN this worker has durably applied — the
 	// per-worker transaction watermark a checkpoint barrier records.
 	// Written only by the worker goroutine, read by the coordinator.
+	// With replication enabled it is the stream cursor: every applied
+	// write batch ratchets it (not just transaction legs).
 	lastGSN atomic.Uint64
+
+	// repl, when non-nil, receives every applied write batch (the
+	// replication backlog); gsnSrc is the store's global GSN counter,
+	// from which shipped records draw their apply-time GSN. txn is the
+	// store's transaction log (nil without TxnFS) — ship reports
+	// transaction legs to it so checkpoints can keep stream cursors
+	// below uncommitted transactions.
+	repl   *repl.Log
+	gsnSrc *atomic.Uint64
+	txn    *txnLog
 
 	// Overload / lifecycle stats. rejected counts admission-control
 	// rejections (ErrOverloaded), expired counts requests whose context
@@ -74,6 +87,7 @@ func newWorker(id int, engine kv.Engine, opts Options) *worker {
 		obm:    opts.OBM,
 		max:    opts.MaxBatch,
 		pin:    opts.PinWorkers,
+		repl:   opts.ReplLog,
 	}
 	if hr, ok := engine.(kv.HealthReporter); ok {
 		w.hr = hr
@@ -198,8 +212,16 @@ func (w *worker) executeWrites(reqs []*request) {
 		} else {
 			err = bw.Write(&b)
 		}
-		if err == nil && uniformGSN && gsn > w.lastGSN.Load() {
-			w.lastGSN.Store(gsn)
+		if err == nil {
+			if w.repl != nil {
+				var txnGSN uint64
+				if uniformGSN {
+					txnGSN = gsn
+				}
+				w.ship(reqs[0].streamGSN, txnGSN, b.Ops())
+			} else if uniformGSN && gsn > w.lastGSN.Load() {
+				w.lastGSN.Store(gsn)
+			}
 		}
 		for _, r := range reqs {
 			r.complete(err)
@@ -220,8 +242,50 @@ func (w *worker) executeWrites(reqs []*request) {
 				break
 			}
 		}
+		if err == nil && w.repl != nil {
+			w.ship(r.streamGSN, r.gsn, batchOps(r.batch.ops))
+		}
 		r.complete(err)
 	}
+}
+
+// ship records one applied write batch in the replication backlog. The
+// GSN is assigned here, at apply time, from the store's global counter —
+// the worker applies serially, so per-worker stream GSNs are strictly
+// increasing, the monotonicity partial sync depends on. A replicated
+// record being applied on a replica (streamGSN != 0) keeps the GSN the
+// primary's worker assigned, preserving the cursor sequence down the
+// chain. The backlog ratchets lastGSN, so checkpoints taken on a
+// replicating store record stream cursors as their watermarks. txnGSN,
+// when non-zero, names the cross-instance transaction this batch is a
+// leg of; the leg's stream GSN is reported to the transaction log so a
+// checkpoint cut before the commit record keeps its cursors below it.
+func (w *worker) ship(streamGSN, txnGSN uint64, ops []kv.BatchOp) {
+	g := streamGSN
+	if g == 0 {
+		g = w.gsnSrc.Add(1)
+	}
+	if txnGSN != 0 && w.txn != nil {
+		w.txn.noteLeg(txnGSN, w.id, g)
+	}
+	if g > w.lastGSN.Load() {
+		w.lastGSN.Store(g)
+	}
+	w.repl.Append(w.id, g, ops)
+}
+
+// batchOps converts the queue's private write ops to the shared BatchOp
+// form the replication log records.
+func batchOps(ops []wop) []kv.BatchOp {
+	out := make([]kv.BatchOp, len(ops))
+	for i, op := range ops {
+		if op.del {
+			out[i] = kv.BatchOp{Kind: kv.OpDelete, Key: op.key}
+		} else {
+			out[i] = kv.BatchOp{Kind: kv.OpPut, Key: op.key, Value: op.value}
+		}
+	}
+	return out
 }
 
 func appendOps(b *kv.Batch, r *request) {
@@ -381,6 +445,10 @@ type WorkerStats struct {
 	// Checkpoint is the engine's online-backup activity report;
 	// zero-valued for engines without checkpoint support.
 	Checkpoint kv.CheckpointStats
+	// ReplLastGSN is this worker's replication stream watermark — the GSN
+	// of its most recently applied-and-shipped write batch. Zero when
+	// replication is disabled (Options.ReplLog nil).
+	ReplLastGSN uint64
 }
 
 func (w *worker) stats() WorkerStats {
@@ -405,6 +473,9 @@ func (w *worker) stats() WorkerStats {
 	}
 	if kr, ok := w.engine.(kv.CheckpointStatsReporter); ok {
 		st.Checkpoint = kr.CheckpointStats()
+	}
+	if w.repl != nil {
+		st.ReplLastGSN = w.lastGSN.Load()
 	}
 	return st
 }

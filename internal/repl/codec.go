@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"p2kvs/internal/kv"
+)
+
+// Op payload encoding — the body of a data frame. Self-describing and
+// length-prefixed so a decoder can reject any truncation or corruption
+// the frame CRC somehow missed:
+//
+//	nops  uvarint
+//	per op:
+//	  kind  byte            (kv.OpPut | kv.OpDelete)
+//	  klen  uvarint, key    bytes
+//	  vlen  uvarint, value  bytes   (puts only)
+//
+// Encoded payloads are owned by the record: EncodeOps copies key/value
+// bytes out of the caller's buffers (the RESP reader and OBM batches
+// recycle theirs).
+
+// ErrBadPayload reports a data-frame payload that does not decode to a
+// well-formed op list.
+var ErrBadPayload = errors.New("repl: malformed op payload")
+
+// maxOpsPerRecord bounds decode-side allocation against hostile nops
+// prefixes. The accessing layer's MaxBatch is ≤ 1024; anything larger is
+// corruption, not load.
+const maxOpsPerRecord = 1 << 16
+
+// EncodeOps serializes a batch's ops into an owned payload.
+func EncodeOps(ops []kv.BatchOp) []byte {
+	n := binary.MaxVarintLen64
+	for _, op := range ops {
+		n += 1 + 2*binary.MaxVarintLen64 + len(op.Key) + len(op.Value)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+		buf = append(buf, op.Key...)
+		if op.Kind == kv.OpPut {
+			buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+			buf = append(buf, op.Value...)
+		}
+	}
+	return buf
+}
+
+// DecodeOps parses a payload back into ops. The returned ops alias the
+// payload buffer; callers that outlive it must copy.
+func DecodeOps(payload []byte) ([]kv.BatchOp, error) {
+	nops, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad op count", ErrBadPayload)
+	}
+	payload = payload[n:]
+	if nops > maxOpsPerRecord {
+		return nil, fmt.Errorf("%w: op count %d exceeds limit", ErrBadPayload, nops)
+	}
+	ops := make([]kv.BatchOp, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		if len(payload) < 1 {
+			return nil, fmt.Errorf("%w: truncated op kind", ErrBadPayload)
+		}
+		kind := kv.OpKind(payload[0])
+		payload = payload[1:]
+		if kind != kv.OpPut && kind != kv.OpDelete {
+			return nil, fmt.Errorf("%w: unknown op kind %d", ErrBadPayload, kind)
+		}
+		key, rest, err := takeBytes(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: key: %v", ErrBadPayload, err)
+		}
+		payload = rest
+		op := kv.BatchOp{Kind: kind, Key: key}
+		if kind == kv.OpPut {
+			val, rest, err := takeBytes(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: value: %v", ErrBadPayload, err)
+			}
+			payload = rest
+			op.Value = val
+		}
+		ops = append(ops, op)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(payload))
+	}
+	return ops, nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, errors.New("bad length prefix")
+	}
+	b = b[n:]
+	if uint64(len(b)) < l {
+		return nil, nil, errors.New("truncated bytes")
+	}
+	return b[:l], b[l:], nil
+}

@@ -1,0 +1,79 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"p2kvs/internal/kv"
+)
+
+// FuzzReplStream throws arbitrary bytes at the replication stream reader
+// and the payload decoders. Invariants: no panic, no unbounded
+// allocation, and any frame that does decode re-encodes byte-identically
+// (so a corrupted stream can never smuggle a frame the writer could not
+// have produced). Errors must be the typed rejections: ErrFrameCorrupt,
+// ErrBadPayload, or an EOF class.
+func FuzzReplStream(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, Frame{Kind: FrameData, Worker: 2, GSN: 99, Payload: EncodeOps([]kv.BatchOp{
+		{Kind: kv.OpPut, Key: []byte("k"), Value: []byte("v")},
+		{Kind: kv.OpDelete, Key: []byte("d")},
+	})})
+	_ = WriteFrame(&seed, Frame{Kind: FrameHeartbeat, Payload: EncodeCursors([]uint64{3, 1 << 40})})
+	_ = WriteFrame(&seed, Frame{Kind: FrameAck, Payload: EncodeCursors([]uint64{3})})
+	_ = WriteFrame(&seed, Frame{Kind: FrameFile, Payload: EncodeFile("inst-00/x", []byte("body"))})
+	_ = WriteFrame(&seed, Frame{Kind: FrameManifest, Payload: []byte("manifest")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(seed.Bytes()[:frameHeaderLen-1]) // torn header
+	dup := append(append([]byte{}, seed.Bytes()...), seed.Bytes()...)
+	f.Add(dup) // duplicate/stale frames are a stream-layer concern; reader must still parse
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, ErrFrameCorrupt) {
+					t.Fatalf("untyped stream rejection: %v", err)
+				}
+				break
+			}
+			// Round-trip: a frame that passed both CRCs re-encodes to the
+			// exact bytes the writer would emit.
+			var re bytes.Buffer
+			if err := WriteFrame(&re, fr); err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			switch fr.Kind {
+			case FrameData:
+				if ops, err := DecodeOps(fr.Payload); err == nil {
+					re := EncodeOps(ops)
+					if !bytes.Equal(re, fr.Payload) {
+						t.Fatalf("op payload not canonical: %x != %x", re, fr.Payload)
+					}
+				} else if !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("untyped payload rejection: %v", err)
+				}
+			case FrameHeartbeat, FrameAck:
+				if cs, err := DecodeCursors(fr.Payload); err == nil {
+					if !bytes.Equal(EncodeCursors(cs), fr.Payload) {
+						t.Fatal("cursor payload not canonical")
+					}
+				} else if !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("untyped cursor rejection: %v", err)
+				}
+			case FrameFile:
+				if name, content, err := DecodeFile(fr.Payload); err == nil {
+					if !bytes.Equal(EncodeFile(name, content), fr.Payload) {
+						t.Fatal("file payload not canonical")
+					}
+				} else if !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("untyped file rejection: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -202,13 +202,16 @@ func (c *conn) writeStoreErr(err error) {
 // instead of one per command. All commands in the run share one fate —
 // the batch either commits or every SET reports the same error.
 func (c *conn) execSetRun(run [][][]byte) {
+	if c.rejectIfReplica(len(run)) {
+		return
+	}
 	start := time.Now()
 	var b kv.Batch
 	for _, cmd := range run {
 		b.Put(cmd[1], cmd[2])
 	}
 	ctx, cancel := c.cmdCtx()
-	err := c.srv.store.WriteCtx(ctx, &b)
+	err := c.srv.store().WriteCtx(ctx, &b)
 	cancel()
 	c.srv.stats.latFor("set").Record(time.Since(start))
 	if err == nil {
@@ -232,7 +235,7 @@ func (c *conn) execGetRun(run [][][]byte) {
 		keys[i] = cmd[1]
 	}
 	ctx, cancel := c.cmdCtx()
-	vals, err := c.srv.store.MultiGetCtx(ctx, keys)
+	vals, err := c.srv.store().MultiGetCtx(ctx, keys)
 	cancel()
 	c.srv.stats.latFor("get").Record(time.Since(start))
 	if err != nil {
@@ -282,8 +285,12 @@ func (c *conn) execOne(cmd [][]byte) {
 		c.execBgsave()
 	case "SCRUB":
 		c.execScrub()
+	case "PSYNC":
+		c.execPsync(cmd)
+	case "REPLICAOF", "SLAVEOF":
+		c.execReplicaOf(cmd)
 	case "LASTSAVE":
-		c.wr.WriteInt(c.srv.store.LastCheckpointUnix())
+		c.wr.WriteInt(c.srv.store().LastCheckpointUnix())
 	case "COMMAND":
 		// redis-cli handshake: an empty reply keeps it happy.
 		c.wr.WriteArrayHeader(0)
@@ -330,7 +337,7 @@ func (c *conn) execBgsave() {
 // had hit it; the command itself fails only on infrastructure errors.
 func (c *conn) execScrub() {
 	ctx, cancel := c.cmdCtx()
-	res, err := c.srv.store.Scrub(ctx, nil)
+	res, err := c.srv.store().Scrub(ctx, nil)
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)
@@ -339,6 +346,23 @@ func (c *conn) execScrub() {
 	c.wr.WriteBulkString(fmt.Sprintf(
 		"scrub_files_scanned:%d\r\nscrub_bytes_scanned:%d\r\nscrub_corruptions_found:%d\r\nscrub_files_repaired:%d\r\n",
 		res.FilesScanned, res.BytesScanned, res.CorruptionsFound, res.FilesRepaired))
+}
+
+// rejectIfReplica enforces replica read-only mode: while the server
+// follows a primary, every client write is refused before it reaches
+// the store — replicated applies take the Store.ApplyRepl path instead,
+// which this guard never sees. Checked ahead of admission control so a
+// misdirected writer gets the authoritative "-READONLY replica" rather
+// than a retryable -LOADSHED. Returns true (after writing n identical
+// error replies, one per command in a coalesced run) if rejected.
+func (c *conn) rejectIfReplica(n int) bool {
+	if !c.srv.repl.isReplica() {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c.wr.WriteError("READONLY replica: writes must go to the primary")
+	}
+	return true
 }
 
 func (c *conn) argErr(name string) {
@@ -352,8 +376,11 @@ func (c *conn) execSet(cmd [][]byte) {
 		c.argErr("set")
 		return
 	}
+	if c.rejectIfReplica(1) {
+		return
+	}
 	ctx, cancel := c.cmdCtx()
-	err := c.srv.store.PutCtx(ctx, cmd[1], cmd[2])
+	err := c.srv.store().PutCtx(ctx, cmd[1], cmd[2])
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)
@@ -368,7 +395,7 @@ func (c *conn) execGet(cmd [][]byte) {
 		return
 	}
 	ctx, cancel := c.cmdCtx()
-	v, err := c.srv.store.GetCtx(ctx, cmd[1])
+	v, err := c.srv.store().GetCtx(ctx, cmd[1])
 	cancel()
 	switch {
 	case err == nil:
@@ -388,12 +415,15 @@ func (c *conn) execDel(cmd [][]byte) {
 		c.argErr("del")
 		return
 	}
+	if c.rejectIfReplica(1) {
+		return
+	}
 	var b kv.Batch
 	for _, k := range cmd[1:] {
 		b.Delete(k)
 	}
 	ctx, cancel := c.cmdCtx()
-	err := c.srv.store.WriteCtx(ctx, &b)
+	err := c.srv.store().WriteCtx(ctx, &b)
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)
@@ -408,7 +438,7 @@ func (c *conn) execMGet(cmd [][]byte) {
 		return
 	}
 	ctx, cancel := c.cmdCtx()
-	vals, err := c.srv.store.MultiGetCtx(ctx, cmd[1:])
+	vals, err := c.srv.store().MultiGetCtx(ctx, cmd[1:])
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)
@@ -426,12 +456,15 @@ func (c *conn) execMSet(cmd [][]byte) {
 		c.argErr("mset")
 		return
 	}
+	if c.rejectIfReplica(1) {
+		return
+	}
 	var b kv.Batch
 	for i := 1; i+1 < len(cmd); i += 2 {
 		b.Put(cmd[i], cmd[i+1])
 	}
 	ctx, cancel := c.cmdCtx()
-	err := c.srv.store.WriteCtx(ctx, &b)
+	err := c.srv.store().WriteCtx(ctx, &b)
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)
@@ -470,7 +503,7 @@ func (c *conn) execScan(cmd [][]byte) {
 		start = cmd[1]
 	}
 	ctx, cancel := c.cmdCtx()
-	pairs, err := c.srv.store.ScanCtx(ctx, start, count)
+	pairs, err := c.srv.store().ScanCtx(ctx, start, count)
 	cancel()
 	if err != nil {
 		c.writeStoreErr(err)

@@ -62,7 +62,7 @@ func (s *Server) metricsSnapshot() metricsPayload {
 			ProtocolErrors: s.stats.protoErrors.Load(),
 		},
 		Commands: cmds,
-		Store:    s.store.StatsSnapshot(),
+		Store:    s.store().StatsSnapshot(),
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 // Store.StatsSnapshot — the same numbers /metrics serves as JSON.
 func (s *Server) infoText() string {
 	var b strings.Builder
-	snap := s.store.StatsSnapshot()
+	st := s.store()
+	snap := st.StatsSnapshot()
 
 	fmt.Fprintf(&b, "# Server\r\n")
 	fmt.Fprintf(&b, "uptime_seconds:%d\r\n", int64(time.Since(s.start).Seconds()))
@@ -77,7 +78,7 @@ func (s *Server) infoText() string {
 	if agg.LastCorruption != "" {
 		fmt.Fprintf(&b, "store_last_corruption:%s\r\n", strings.ReplaceAll(agg.LastCorruption, "\r\n", " "))
 	}
-	ss := s.store.ScrubStatus()
+	ss := st.ScrubStatus()
 	fmt.Fprintf(&b, "scrub_passes:%d\r\n", ss.Passes)
 	fmt.Fprintf(&b, "scrub_last_files_scanned:%d\r\n", ss.Result.FilesScanned)
 	fmt.Fprintf(&b, "scrub_last_bytes_scanned:%d\r\n", ss.Result.BytesScanned)
@@ -100,6 +101,8 @@ func (s *Server) infoText() string {
 	if err := s.lastSaveError(); err != nil {
 		fmt.Fprintf(&b, "store_last_checkpoint_error:%s\r\n", strings.ReplaceAll(err.Error(), "\r\n", " "))
 	}
+
+	s.repl.infoSection(&b, st)
 	return b.String()
 }
 

@@ -50,8 +50,33 @@ type Config struct {
 	// CheckpointFS is the filesystem holding CheckpointDir; nil means the
 	// host filesystem. Tests point it at an in-memory FS.
 	CheckpointFS vfs.FS
+	// ReplDir is the replication working directory: the primary stages
+	// full-sync checkpoint images in ReplDir/sync, and a replica keeps
+	// its received images and its cursor state file (REPLSTATE) there.
+	// Empty disables full-sync serving and the replica role.
+	ReplDir string
+	// ReplFS is the filesystem holding ReplDir; nil means the host
+	// filesystem. Tests point it at an in-memory FS.
+	ReplFS vfs.FS
+	// RestoreStore rebuilds the serving store from a received full-sync
+	// image (a verified checkpoint set at dir on fs). The server closes
+	// the old store before calling it, so a host-filesystem callback may
+	// rebuild the data directory in place. Required for the replica role
+	// (REPLICAOF / -replicaof).
+	RestoreStore func(fs vfs.FS, dir string) (*core.Store, error)
+	// ReplicaOf, when non-empty ("host:port"), starts the server as a
+	// replica of that primary (equivalent to an immediate REPLICAOF).
+	ReplicaOf string
 	// Logf receives server logs; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// replFS resolves the replication filesystem (host by default).
+func (c Config) replFS() vfs.FS {
+	if c.ReplFS != nil {
+		return c.ReplFS
+	}
+	return vfs.NewOS()
 }
 
 func (c Config) withDefaults() Config {
@@ -110,9 +135,14 @@ func (st *serverStats) latFor(name string) *histogram.H {
 
 // Server is the RESP front-end.
 type Server struct {
-	cfg   Config
-	store *core.Store
-	stats *serverStats
+	cfg Config
+	// storeP is the serving store. It is a swappable pointer because a
+	// replica's full sync replaces the whole store: the manager closes
+	// the old one, restores the received image, and swaps the new store
+	// in. Handlers load it once per command via store().
+	storeP atomic.Pointer[core.Store]
+	stats  *serverStats
+	repl   *replState
 
 	lis   net.Listener
 	debug *debugListener
@@ -124,6 +154,7 @@ type Server struct {
 	connWG sync.WaitGroup
 
 	draining   atomic.Bool
+	drainCh    chan struct{} // closed when Shutdown begins
 	shutdownCh chan struct{} // closed when a client issues SHUTDOWN
 	sigOnce    sync.Once
 	downOnce   sync.Once
@@ -154,7 +185,7 @@ func (s *Server) bgsave() bool {
 	go func() {
 		defer s.saveWG.Done()
 		defer s.saving.Store(false)
-		_, err := s.store.Checkpoint(fs, s.cfg.CheckpointDir)
+		_, err := s.store().Checkpoint(fs, s.cfg.CheckpointDir)
 		s.saveErrMu.Lock()
 		s.lastSaveErr = err
 		s.saveErrMu.Unlock()
@@ -176,16 +207,25 @@ func (s *Server) lastSaveError() error {
 // New builds a Server; call Serve or ListenAndServe to run it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
-		store:      cfg.Store,
 		stats:      newServerStats(),
 		conns:      make(map[*conn]struct{}),
 		sem:        make(chan struct{}, cfg.MaxConns),
+		drainCh:    make(chan struct{}),
 		shutdownCh: make(chan struct{}),
 		start:      time.Now(),
 	}
+	s.storeP.Store(cfg.Store)
+	s.repl = newReplState(s)
+	return s
 }
+
+// store returns the current serving store. Handlers call it once per
+// command and use the returned pointer throughout, so a concurrent
+// full-sync swap can at worst fail their in-flight command with
+// ErrClosed — never dereference nil.
+func (s *Server) store() *core.Store { return s.storeP.Load() }
 
 // Addr reports the bound listen address (useful with ":0").
 func (s *Server) Addr() net.Addr {
@@ -241,6 +281,12 @@ func (s *Server) Serve(lis net.Listener) error {
 			return err
 		}
 		s.debug = d
+	}
+	if s.cfg.ReplicaOf != "" {
+		if err := s.repl.startReplica(s.cfg.ReplicaOf); err != nil {
+			lis.Close()
+			return err
+		}
 	}
 	s.cfg.Logf("p2kvs-server: serving on %s", lis.Addr())
 	for {
@@ -303,6 +349,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	close(s.drainCh)
+	// Stop the replica manager first: it applies into the store that is
+	// about to close, and its stream connection must not race the drain.
+	s.repl.stopReplica()
 	if s.lis != nil {
 		s.lis.Close()
 	}
@@ -337,7 +387,7 @@ func (s *Server) shutdown(ctx context.Context) error {
 	// store closes underneath it.
 	s.saveWG.Wait()
 	s.cfg.Logf("p2kvs-server: drained, closing store")
-	if err := s.store.Close(); err != nil && drainErr == nil {
+	if err := s.store().Close(); err != nil && drainErr == nil {
 		drainErr = err
 	}
 	return drainErr

@@ -32,6 +32,7 @@ import (
 	"p2kvs/internal/kv"
 	"p2kvs/internal/kvell"
 	"p2kvs/internal/lsm"
+	"p2kvs/internal/repl"
 	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
 )
@@ -214,6 +215,13 @@ type Options struct {
 	// repair a quarantined file in place. Empty disables self-repair;
 	// corruption is then contained until an operator restores.
 	RepairFrom string
+	// ReplBacklogBytes, when non-zero, enables GSN log-shipping
+	// replication: every applied write batch is retained (with its
+	// apply-time Global Sequence Number) in an in-memory backlog that
+	// replicas tail over the network server's PSYNC protocol. Positive
+	// values set the retention budget in bytes; negative selects the
+	// default 16 MiB. Zero (the default) disables replication.
+	ReplBacklogBytes int64
 }
 
 // Open creates or reopens a p2KVS store.
@@ -283,6 +291,9 @@ func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
 	}
 	copts.ScrubInterval = opts.ScrubInterval
 	copts.ScrubRate = opts.ScrubRate
+	if opts.ReplBacklogBytes != 0 {
+		copts.ReplLog = repl.NewLog(opts.Workers, opts.ReplBacklogBytes)
+	}
 	return core.Open(copts)
 }
 
