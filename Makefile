@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress repl-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress repl-stress cache-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ crash-stress:
 # acked-write durability, partial resync and full-sync fallback).
 repl-stress:
 	./scripts/repl-stress.sh
+
+# Hot-key read-cache stress: the cache's own unit battery, the store-level
+# coherence/bypass/invalidation tests, and the shadow-model torture with
+# the cache enabled (any stale read fails) — all under the race detector —
+# then the before/after zipfian benchmark, which must show a real speedup.
+cache-stress:
+	$(GO) test -race -timeout 5m ./internal/hotcache
+	$(GO) test -race -short -timeout 5m -run 'HotCache|MultiGetAdmit|ShardDistribution|OversizedPut' ./internal/core ./internal/cache ./internal/torture
+	$(GO) run ./cmd/dbbench -hotcache_bench -num 20000 -threads 4 -p2 -workers 4 -devscale 0.2
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

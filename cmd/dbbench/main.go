@@ -53,6 +53,8 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint_every", 0, "take an online checkpoint every N completed ops (0 = off)")
 		ckptDir    = flag.String("checkpoint_dir", "dbbench-backup", "backup set -checkpoint_every writes into")
 		verify     = flag.Bool("verify", false, "paranoid reads: check every read value against the workload pattern; corruption errors are counted, a silently wrong value is fatal")
+		hotCache   = flag.Int64("hot_cache", 0, "hot-key read cache budget in bytes; hits bypass queue admission (-1 = default 32 MiB; 0 disables)")
+		hcBench    = flag.Bool("hotcache_bench", false, "run the hot-cache before/after benchmark instead of -benchmarks: zipfian YCSB-C and YCSB-B phases against cache-off and cache-on stores, emitted as a BENCH json line")
 	)
 	flag.Parse()
 	verifier.on = *verify
@@ -74,6 +76,14 @@ func main() {
 	if *p2 {
 		w = *workers
 	}
+	if *hcBench {
+		runHotCacheBench(hotCacheBenchConfig{
+			engine: *engine, workers: w, num: *num, valueSize: *valueSize,
+			threads: *threads, device: *dev, devScale: *devScale,
+			cacheBytes: *hotCache,
+		})
+		return
+	}
 	store, err := p2kvs.Open(p2kvs.Options{
 		Dir:            orDefault(*dir, "dbbench-db"),
 		Workers:        w,
@@ -88,6 +98,8 @@ func main() {
 		MaxBackgroundCompactions: *maxBgComp,
 		MaxSubCompactions:        *subComp,
 		L0SlowdownTrigger:        *l0Slowdown,
+
+		HotCacheBytes: *hotCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbbench:", err)

@@ -383,4 +383,10 @@ func reportServerCounters(addr string) {
 		fields["store_last_checkpoint_unix"], fields["store_checkpoint_files_linked"],
 		fields["store_checkpoint_files_copied"], fields["store_checkpoint_files_reused"],
 		fields["store_checkpoint_bytes_copied"])
+	if fields["cache_enabled"] != 0 {
+		fmt.Printf("server: cache_hits=%d cache_neg_hits=%d cache_misses=%d cache_fills=%d cache_evictions=%d cache_invalidations=%d cache_bytes=%d cache_entries=%d\n",
+			fields["cache_hits"], fields["cache_neg_hits"], fields["cache_misses"],
+			fields["cache_fills"], fields["cache_evictions"], fields["cache_invalidations"],
+			fields["cache_bytes"], fields["cache_entries"])
+	}
 }

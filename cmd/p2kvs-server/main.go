@@ -53,6 +53,7 @@ func main() {
 		scrubIvl     = flag.Duration("scrub_interval", 0, "background at-rest integrity scrub cadence (0 = disabled; SCRUB stays available)")
 		scrubRate    = flag.Int64("scrub_rate", 0, "scrub read-bandwidth budget in bytes/sec (0 = unthrottled)")
 		repairFrom   = flag.String("repair_from", "", "backup directory engines may pull verified files from to self-repair quarantined data; defaults to -checkpoint_dir")
+		hotCache     = flag.Int64("hot_cache", 0, "hot-key read cache budget in bytes; hits bypass queue admission (-1 = default 32 MiB; 0 disables)")
 		replicaOf    = flag.String("replicaof", "", "start as a read-only replica of a primary at host:port (also settable at runtime via REPLICAOF)")
 		replBacklog  = flag.Int64("repl_backlog", 0, "replication backlog retention in bytes; any non-zero value enables replication (-1 = default 16 MiB; 0 disables unless -replicaof or -repl_dir is set)")
 		replDir      = flag.String("repl_dir", "", "replication working directory for full-sync images and replica cursor state (default <dir>-repl when replication is enabled)")
@@ -128,6 +129,7 @@ func main() {
 		ScrubRate:     *scrubRate,
 		RepairFrom:    repairDir(*repairFrom, *ckptDir),
 
+		HotCacheBytes:    *hotCache,
 		ReplBacklogBytes: backlog,
 	}
 	store, err := p2kvs.Open(storeOpts)

@@ -50,7 +50,13 @@ func New(budget int64) *Cache {
 
 func (c *Cache) shard(k key) *shard {
 	h := k.id*0x9E3779B97F4A7C15 ^ k.off*0xC2B2AE3D27D4EB4F
-	return &c.shards[(h>>59)%numShards]
+	// Fold the full hash width before masking: the low bits of the
+	// multiplicative mix are weak on structured inputs (small file ids,
+	// page-aligned offsets), and any fixed 5-bit window skews — xor-fold
+	// so every input bit reaches the shard index.
+	h ^= h >> 32
+	h ^= h >> 16
+	return &c.shards[h&(numShards-1)]
 }
 
 // Get returns the cached block and whether it was present.
@@ -82,6 +88,18 @@ func (c *Cache) Put(id, off uint64, val []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.budget <= 0 {
+		return
+	}
+	if int64(len(val))+48 > s.budget {
+		// The entry could never fit: inserting it would evict the whole
+		// shard and then be trimmed away itself. Drop it up front — and
+		// drop any smaller cached version, which the write supersedes.
+		if el, ok := s.m[k]; ok {
+			e := el.Value.(*entry)
+			s.lru.Remove(el)
+			delete(s.m, k)
+			s.used -= int64(len(e.val)) + 48
+		}
 		return
 	}
 	if el, ok := s.m[k]; ok {

@@ -92,6 +92,65 @@ func TestStatsCount(t *testing.T) {
 	}
 }
 
+func TestShardDistribution(t *testing.T) {
+	// Regression: shard selection used only the top 5 bits of the mixed
+	// hash ((h>>59)%16), so structured (id, offset) populations — small
+	// file ids, page-aligned offsets — piled into a few shards. With the
+	// full-width fold every shard must take a fair share.
+	c := New(64 << 20)
+	const n = 1 << 14
+	counts := make(map[*shard]int, numShards)
+	for id := uint64(1); id <= 16; id++ {
+		for i := 0; i < n/16; i++ {
+			k := key{id: id, off: uint64(i) * 4096}
+			c.Put(k.id, k.off, []byte("v"))
+			counts[c.shard(k)]++
+		}
+	}
+	if len(counts) != numShards {
+		t.Fatalf("only %d of %d shards used", len(counts), numShards)
+	}
+	avg := n / numShards
+	for i := range c.shards {
+		got := counts[&c.shards[i]]
+		if got < avg/2 || got > avg*2 {
+			t.Errorf("shard %d got %d keys, want within [%d,%d]", i, got, avg/2, avg*2)
+		}
+	}
+}
+
+func TestOversizedPutSkipped(t *testing.T) {
+	// Regression: a value larger than the shard budget was inserted and
+	// then self-evicted by the trim loop — after evicting every other
+	// resident entry. It must be dropped up front instead.
+	c := New(numShards * 1024) // 1 KiB per shard
+	for i := 0; i < 64; i++ {
+		c.Put(1, uint64(i)*4096, make([]byte, 64))
+	}
+	_, _, before := c.Stats()
+	if before == 0 {
+		t.Fatal("setup: nothing cached")
+	}
+	for i := 0; i < 16; i++ {
+		c.Put(2, uint64(i)*4096, make([]byte, 4096)) // > any shard budget
+	}
+	_, _, after := c.Stats()
+	if after != before {
+		t.Fatalf("oversized puts churned the cache: %d -> %d bytes", before, after)
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok := c.Get(2, uint64(i)*4096); ok {
+			t.Fatal("oversized value resident")
+		}
+	}
+	// Updating an existing small entry to an oversized value drops it.
+	c.Put(1, 0, make([]byte, 64))
+	c.Put(1, 0, make([]byte, 4096))
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("oversized update left the entry resident")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	c := New(1 << 20)
 	var wg sync.WaitGroup

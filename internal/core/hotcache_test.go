@@ -1,0 +1,361 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2kvs/internal/kv"
+	"p2kvs/internal/vfs"
+)
+
+// TestHotCacheHitsBypassQueues proves the tentpole property: a cached
+// GET is served without queue admission or a worker round-trip. With the
+// hot shard wedged and its queue full under AdmitReject, an uncached
+// read bounces with ErrOverloaded — but reads of warmed keys keep
+// succeeding, and the engine's read counter never moves.
+func TestHotCacheHitsBypassQueues(t *testing.T) {
+	gate := make(chan struct{})
+	s, engines := openStubStore(t, 1, map[int]chan struct{}{0: gate}, func(o *Options) {
+		o.QueueDepth = 4
+		o.Admission = AdmitReject
+		o.HotCacheBytes = 1 << 20
+		o.DrainTimeout = 2 * time.Second
+	})
+	defer func() {
+		s.Close()
+	}()
+
+	// Seed the engine directly (stub writes are gated, reads are not) and
+	// warm the cache through the normal read path.
+	engines[0].mu.Lock()
+	engines[0].data[string(shardKey(0, 1))] = "hot-value"
+	engines[0].mu.Unlock()
+	if v, err := s.Get(shardKey(0, 1)); err != nil || string(v) != "hot-value" {
+		t.Fatalf("warmup get = %q, %v", v, err)
+	}
+	if _, err := s.Get(shardKey(0, 2)); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("warmup absent get err = %v", err)
+	}
+	getsBefore := engines[0].gets.Load()
+
+	// Wedge the worker and fill the queue so admission rejects.
+	var acks sync.WaitGroup
+	acks.Add(1)
+	if err := s.PutAsync(shardKey(0, 50), []byte("v"), func(error) { acks.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	waitWedged(t, engines[0], 1)
+	for i := 0; i < 16; i++ {
+		acks.Add(1)
+		if err := s.PutAsync(shardKey(0, 100+i), []byte("v"), func(error) { acks.Done() }); err != nil {
+			acks.Done()
+		}
+	}
+	if _, err := s.Get(shardKey(0, 3)); !errors.Is(err, kv.ErrOverloaded) {
+		t.Fatalf("uncached get on saturated shard err = %v, want ErrOverloaded", err)
+	}
+
+	// Cached positive and negative reads are served anyway — through
+	// every read interface.
+	for i := 0; i < 10; i++ {
+		if v, err := s.Get(shardKey(0, 1)); err != nil || string(v) != "hot-value" {
+			t.Fatalf("cached get = %q, %v", v, err)
+		}
+		if _, err := s.Get(shardKey(0, 2)); !errors.Is(err, kv.ErrNotFound) {
+			t.Fatalf("cached negative get err = %v", err)
+		}
+	}
+	var asyncV []byte
+	var asyncErr error
+	if err := s.GetAsync(shardKey(0, 1), func(v []byte, err error) { asyncV, asyncErr = v, err }); err != nil {
+		t.Fatal(err)
+	}
+	if asyncErr != nil || string(asyncV) != "hot-value" {
+		t.Fatalf("cached async get = %q, %v", asyncV, asyncErr)
+	}
+	if out, err := s.MultiGet([][]byte{shardKey(0, 1), shardKey(0, 2)}); err != nil {
+		t.Fatalf("cached multiget: %v", err)
+	} else if string(out[0]) != "hot-value" || out[1] != nil {
+		t.Fatalf("cached multiget = %q, %q", out[0], out[1])
+	}
+	if got := engines[0].gets.Load(); got != getsBefore {
+		t.Fatalf("engine reads moved %d -> %d; cached reads touched the worker", getsBefore, got)
+	}
+
+	snap := s.StatsSnapshot()
+	if !snap.CacheEnabled || snap.CacheHits == 0 || snap.CacheNegHits == 0 {
+		t.Fatalf("cache counters: %+v", snap)
+	}
+
+	close(gate)
+	acks.Wait()
+}
+
+// TestHotCacheWriteInvalidates proves read-your-writes through the
+// cache: a cached value (or cached not-found) stops being served the
+// moment a write that supersedes it is acknowledged.
+func TestHotCacheWriteInvalidates(t *testing.T) {
+	s, _ := openStubStore(t, 2, nil, func(o *Options) {
+		o.HotCacheBytes = 1 << 20
+		o.TxnFS = vfs.NewMem() // cross-partition batches need the GSN log
+		o.TxnDir = "txn"
+	})
+	defer s.Close()
+
+	k := shardKey(0, 1)
+	// Negative entry first: Get(absent) caches NotFound...
+	if _, err := s.Get(k); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("initial get err = %v", err)
+	}
+	if _, err := s.Get(k); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("cached negative get err = %v", err)
+	}
+	// ...and a later Put flips it: the stale NotFound must never be
+	// served again.
+	if err := s.Put(k, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get(k); err != nil || string(v) != "v1" {
+		t.Fatalf("get after put = %q, %v (stale negative entry?)", v, err)
+	}
+	// Overwrite invalidates the cached positive entry.
+	if err := s.Put(k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get(k); err != nil || string(v) != "v2" {
+		t.Fatalf("get after overwrite = %q, %v", v, err)
+	}
+	// Delete flips the positive entry negative.
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("get after delete err = %v (stale positive entry?)", err)
+	}
+	// Cross-partition batch writes invalidate on every touched shard.
+	k2 := shardKey(1, 1)
+	if _, err := s.Get(k2); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("warm k2 negative")
+	}
+	var b kv.Batch
+	b.Put(k, []byte("b1"))
+	b.Put(k2, []byte("b2"))
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get(k); err != nil || string(v) != "b1" {
+		t.Fatalf("get k after batch = %q, %v", v, err)
+	}
+	if v, err := s.Get(k2); err != nil || string(v) != "b2" {
+		t.Fatalf("get k2 after batch = %q, %v", v, err)
+	}
+
+	snap := s.StatsSnapshot()
+	if snap.CacheInvalidations == 0 || snap.Aggregate.CacheInvalidations == 0 {
+		t.Fatalf("invalidations not counted: %+v", snap)
+	}
+}
+
+// TestMultiGetAdmitShortCircuit is the regression test for the MGET
+// admission-amplification bug: when the first read leg is rejected, the
+// remaining legs must not be pushed at the saturated queue too.
+func TestMultiGetAdmitShortCircuit(t *testing.T) {
+	gate := make(chan struct{})
+	s, engines := openStubStore(t, 2, map[int]chan struct{}{0: gate}, func(o *Options) {
+		o.QueueDepth = 4
+		o.Admission = AdmitReject
+		o.DrainTimeout = 2 * time.Second
+	})
+	defer func() {
+		s.Close()
+	}()
+
+	// Wedge shard 0 and fill its queue to capacity.
+	var acks sync.WaitGroup
+	acks.Add(1)
+	if err := s.PutAsync(shardKey(0, 50), []byte("v"), func(error) { acks.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	waitWedged(t, engines[0], 1)
+	for i := 0; ; i++ {
+		acks.Add(1)
+		if err := s.PutAsync(shardKey(0, 100+i), []byte("v"), func(error) { acks.Done() }); err != nil {
+			acks.Done()
+			break // queue full
+		}
+	}
+
+	rejectedBefore := s.Stats()[0].Rejected
+	keys := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = shardKey(0, i)
+	}
+	if _, err := s.MultiGetCtx(nil, keys); !errors.Is(err, kv.ErrOverloaded) {
+		t.Fatalf("multiget on saturated shard err = %v, want ErrOverloaded", err)
+	}
+	delta := s.Stats()[0].Rejected - rejectedBefore
+	if delta != 1 {
+		t.Fatalf("multiget admission rejections = %d, want 1 (remaining legs must short-circuit)", delta)
+	}
+
+	close(gate)
+	acks.Wait()
+}
+
+// TestHotCacheCoherence is the concurrency acceptance test (race-clean):
+// one writer per key advances a version counter through puts and
+// deletes while readers hammer the cached read paths. No read may ever
+// observe a version older than the highest acknowledged before the read
+// was issued — a stale cache entry (positive or negative) fails loudly.
+func TestHotCacheCoherence(t *testing.T) {
+	const workers = 3
+	const keysN = 6
+	s, _ := openStubStore(t, workers, nil, func(o *Options) {
+		o.HotCacheBytes = 1 << 20
+	})
+	defer s.Close()
+
+	type keyState struct {
+		issued atomic.Int64 // highest version a write has started with
+		acked  atomic.Int64 // highest version acknowledged to the writer
+	}
+	states := make([]*keyState, keysN)
+	keys := make([][]byte, keysN)
+	for i := range states {
+		states[i] = &keyState{}
+		keys[i] = shardKey(i%workers, i)
+	}
+	// Version v deletes the key when v%5 == 4, else writes "v<v>".
+	isDel := func(v int64) bool { return v%5 == 4 }
+	parseVer := func(val []byte) int64 {
+		if !bytes.HasPrefix(val, []byte("v")) {
+			t.Errorf("unparseable cached value %q", val)
+			return -1
+		}
+		v, err := strconv.ParseInt(string(val[1:]), 10, 64)
+		if err != nil {
+			t.Errorf("unparseable version in %q: %v", val, err)
+			return -1
+		}
+		return v
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for i := range keys {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			st := states[i]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := st.issued.Add(1)
+				var err error
+				if isDel(v) {
+					err = s.Delete(keys[i])
+				} else {
+					err = s.Put(keys[i], []byte(fmt.Sprintf("v%d", v)))
+				}
+				if err != nil {
+					t.Errorf("writer key %d ver %d: %v", i, v, err)
+					return
+				}
+				st.acked.Store(v) // single writer per key: plain ratchet
+				// Throttle: unbounded writers would saturate the queues
+				// and starve the readers this test is actually about.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}(i)
+	}
+
+	// check validates one observation of key i against the windows
+	// snapshotted around the read.
+	check := func(i int, val []byte, found bool, lo, hi int64, path string) {
+		if found {
+			v := parseVer(val)
+			if v < 0 {
+				return
+			}
+			if v < lo || v > hi {
+				t.Errorf("%s key %d: STALE READ: version %d outside [%d,%d]", path, i, v, lo, hi)
+			}
+			if isDel(v) {
+				t.Errorf("%s key %d: found value carries delete version %d", path, i, v)
+			}
+			return
+		}
+		// Not found: legal only if the key might still be unwritten
+		// (lo == 0) or some delete version lies in the window.
+		if lo == 0 {
+			return
+		}
+		okNF := false
+		for v := lo; v <= hi; v++ {
+			if isDel(v) {
+				okNF = true
+				break
+			}
+		}
+		if !okNF {
+			t.Errorf("%s key %d: STALE NOT-FOUND: no delete version in [%d,%d]", path, i, lo, hi)
+		}
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for n := 0; n < 1500; n++ {
+				i := (g + n) % keysN
+				lo := states[i].acked.Load()
+				v, err := s.Get(keys[i])
+				hi := states[i].issued.Load()
+				switch {
+				case err == nil:
+					check(i, v, true, lo, hi, "get")
+				case errors.Is(err, kv.ErrNotFound):
+					check(i, nil, false, lo, hi, "get")
+				default:
+					t.Errorf("get key %d: %v", i, err)
+				}
+				if n%10 == 0 {
+					los := make([]int64, keysN)
+					for j := range keys {
+						los[j] = states[j].acked.Load()
+					}
+					out, err := s.MultiGet(keys)
+					if err != nil {
+						t.Errorf("multiget: %v", err)
+						continue
+					}
+					for j := range keys {
+						hi := states[j].issued.Load()
+						check(j, out[j], out[j] != nil, los[j], hi, "multiget")
+					}
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	snap := s.StatsSnapshot()
+	if snap.CacheHits+snap.CacheNegHits == 0 {
+		t.Fatal("coherence run never hit the cache — the test proved nothing")
+	}
+	if snap.CacheInvalidations == 0 {
+		t.Fatal("coherence run never invalidated")
+	}
+}

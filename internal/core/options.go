@@ -105,6 +105,13 @@ type Options struct {
 	// aggregate read bandwidth in bytes/second (0 = unthrottled).
 	ScrubInterval time.Duration
 	ScrubRate     int64
+	// HotCacheBytes, when non-zero, enables the hot-key read cache above
+	// the worker queues: GET results (including not-found) are cached and
+	// served without queue admission or a worker round-trip, invalidated
+	// by per-key GSN-ordered watermark bumps on every applied write.
+	// Positive values set the byte budget; negative selects the default
+	// 32 MiB. Zero (the default) disables the cache.
+	HotCacheBytes int64
 	// ReplLog, when non-nil, enables replication: every applied write
 	// batch is recorded in this backlog under a GSN assigned at apply
 	// time, each worker's lastGSN watermark becomes its stream cursor
@@ -126,9 +133,16 @@ func DefaultOptions(factory EngineFactory) Options {
 	}
 }
 
+// DefaultHotCacheBytes is the hot-key cache budget selected by a
+// negative Options.HotCacheBytes.
+const DefaultHotCacheBytes = 32 << 20
+
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 8
+	}
+	if o.HotCacheBytes < 0 {
+		o.HotCacheBytes = DefaultHotCacheBytes
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 32

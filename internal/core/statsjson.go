@@ -64,6 +64,9 @@ type WorkerStatsJSON struct {
 	// recently applied write batch (its replica cursor). Zero when
 	// replication is disabled; the aggregate takes the max.
 	ReplLastGSN uint64 `json:"repl_last_gsn"`
+	// Hot-cache invalidation watermark bumps performed by this worker on
+	// applied writes (counters sum in the aggregate).
+	CacheInvalidations int64 `json:"cache_invalidations"`
 }
 
 // StatsSnapshot is the JSON view of the whole store: an aggregate over all
@@ -89,6 +92,20 @@ type StatsSnapshot struct {
 	ReplAppended       int64  `json:"repl_appended"`
 	ReplTrimmed        int64  `json:"repl_trimmed"`
 	ReplPins           int    `json:"repl_pins"`
+	// Hot-key read cache state (all zero when Options.HotCacheBytes is
+	// zero): hits served without touching a worker (positive and cached
+	// not-found separately), misses that fell through to the queues,
+	// successful fills, clock evictions, writer watermark bumps, and the
+	// resident footprint.
+	CacheEnabled       bool  `json:"cache_enabled"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheNegHits       int64 `json:"cache_neg_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheFills         int64 `json:"cache_fills"`
+	CacheEvictions     int64 `json:"cache_evictions"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+	CacheBytes         int64 `json:"cache_bytes"`
+	CacheEntries       int64 `json:"cache_entries"`
 }
 
 func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
@@ -128,6 +145,8 @@ func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
 		CheckpointFilesCopied: ws.Checkpoint.FilesCopied,
 		CheckpointFilesReused: ws.Checkpoint.FilesReused,
 		CheckpointBytesCopied: ws.Checkpoint.BytesCopied,
+
+		CacheInvalidations: ws.CacheInvalidations,
 	}
 	if ws.Health.Err != nil {
 		out.HealthErr = ws.Health.Err.Error()
@@ -181,6 +200,7 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		agg.CheckpointFilesCopied += j.CheckpointFilesCopied
 		agg.CheckpointFilesReused += j.CheckpointFilesReused
 		agg.CheckpointBytesCopied += j.CheckpointBytesCopied
+		agg.CacheInvalidations += j.CacheInvalidations
 		if j.ConcurrentCompactionsHW > agg.ConcurrentCompactionsHW {
 			agg.ConcurrentCompactionsHW = j.ConcurrentCompactionsHW
 		}
@@ -210,6 +230,18 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		snap.ReplAppended = rs.Appended
 		snap.ReplTrimmed = rs.Trimmed
 		snap.ReplPins = rs.Pins
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		snap.CacheEnabled = true
+		snap.CacheHits = cs.Hits
+		snap.CacheNegHits = cs.NegHits
+		snap.CacheMisses = cs.Misses
+		snap.CacheFills = cs.Fills
+		snap.CacheEvictions = cs.Evictions
+		snap.CacheInvalidations = cs.Invalidations
+		snap.CacheBytes = cs.Bytes
+		snap.CacheEntries = cs.Entries
 	}
 	return snap
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2kvs/internal/hotcache"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/scrub"
 )
@@ -34,6 +35,14 @@ type Store struct {
 	// scrubber drives periodic background integrity scrubs
 	// (Options.ScrubInterval); nil when disabled.
 	scrubber *scrub.Runner
+
+	// cache is the hot-key read cache above the worker queues
+	// (Options.HotCacheBytes); nil when disabled. Hits bypass admission
+	// entirely; workers invalidate written keys on apply, so a cached
+	// value is never served past the acknowledgement of a write that
+	// supersedes it. Built fresh at Open — it never survives a crash or
+	// restore, so it cannot resurrect pre-reopen state.
+	cache *hotcache.Cache
 }
 
 var _ kv.Engine = (*Store)(nil)
@@ -55,6 +64,9 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("core: replication log size must match worker count")
 	}
 	s := &Store{opts: opts}
+	if opts.HotCacheBytes > 0 {
+		s.cache = hotcache.New(opts.HotCacheBytes)
+	}
 
 	var filter func(gsn uint64) bool
 	if opts.TxnFS != nil {
@@ -78,6 +90,7 @@ func Open(opts Options) (*Store, error) {
 		w := newWorker(i, engine, opts)
 		w.gsnSrc = &s.gsn
 		w.txn = s.txn
+		w.cache = s.cache
 		s.workers = append(s.workers, w)
 	}
 	for _, w := range s.workers {
@@ -293,12 +306,23 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	return s.GetCtx(nil, key)
 }
 
-// GetCtx is Get bounded by a context.
+// GetCtx is Get bounded by a context. With the hot-key cache enabled, a
+// hit is served here — no queue admission, no worker round-trip; a miss
+// snapshots the key's invalidation watermark before the read is
+// submitted and fills the cache only if no write bumped it meanwhile.
 func (s *Store) GetCtx(ctx context.Context, key []byte) ([]byte, error) {
+	if v, neg, ok := s.cache.Get(key); ok {
+		if neg {
+			return nil, kv.ErrNotFound
+		}
+		return v, nil
+	}
+	ticket := s.cache.Snapshot(key)
 	r := &request{typ: reqRead, key: key}
 	if err := s.submitCtx(ctx, s.pick(key), r); err != nil {
 		return nil, err
 	}
+	s.cache.Fill(key, r.val, !r.found, ticket)
 	if !r.found {
 		return nil, kv.ErrNotFound
 	}
@@ -311,14 +335,26 @@ func (s *Store) GetAsync(key []byte, cb func([]byte, error)) error {
 	return s.GetAsyncCtx(nil, key, cb)
 }
 
-// GetAsyncCtx is GetAsync under a context.
+// GetAsyncCtx is GetAsync under a context. A hot-cache hit runs cb
+// synchronously, before GetAsyncCtx returns — the read never enters a
+// queue.
 func (s *Store) GetAsyncCtx(ctx context.Context, key []byte, cb func([]byte, error)) error {
+	if v, neg, ok := s.cache.Get(key); ok {
+		if neg {
+			cb(nil, kv.ErrNotFound)
+		} else {
+			cb(v, nil)
+		}
+		return nil
+	}
+	ticket := s.cache.Snapshot(key)
 	r := &request{typ: reqRead, key: key}
 	r.callback = func(err error) {
 		if err != nil {
 			cb(nil, err)
 			return
 		}
+		s.cache.Fill(key, r.val, !r.found, ticket)
 		if !r.found {
 			cb(nil, kv.ErrNotFound)
 			return
@@ -339,7 +375,11 @@ func (s *Store) MultiGet(keys [][]byte) ([][]byte, error) {
 }
 
 // MultiGetCtx is MultiGet bounded by one shared context: every per-worker
-// read leg carries the same deadline.
+// read leg carries the same deadline. Hot-cache hits (positive and
+// negative) are resolved up front without admission; only the misses
+// travel as read legs. The first admission failure short-circuits the
+// remaining legs — a rejected multiget must not keep pushing work at
+// queues that are already refusing it.
 func (s *Store) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error) {
 	if s.closed.Load() {
 		return nil, kv.ErrClosed
@@ -350,6 +390,13 @@ func (s *Store) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error
 	var firstErr error
 	var mu sync.Mutex
 	for i, k := range keys {
+		if v, neg, ok := s.cache.Get(k); ok {
+			if !neg {
+				out[i] = v
+			}
+			continue // negative hit: out[i] stays nil = not found
+		}
+		ticket := s.cache.Snapshot(k)
 		r := &request{typ: reqRead, key: k}
 		reqs[i] = r
 		wg.Add(1)
@@ -360,11 +407,14 @@ func (s *Store) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error
 					firstErr = err
 				}
 				mu.Unlock()
+			} else {
+				s.cache.Fill(r.key, r.val, !r.found, ticket)
 			}
 			wg.Done()
 		}
 		if err := s.admit(ctx, s.pick(k), r); err != nil {
 			r.callback(err)
+			break // short-circuit: don't amplify overload with more legs
 		}
 	}
 	if err := waitCtx(liveCtx(ctx), &wg); err != nil {
@@ -376,7 +426,7 @@ func (s *Store) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error
 		return nil, firstErr
 	}
 	for i, r := range reqs {
-		if r.found {
+		if r != nil && r.found {
 			out[i] = r.val
 		}
 	}

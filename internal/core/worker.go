@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2kvs/internal/hotcache"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/metrics"
 	"p2kvs/internal/repl"
@@ -67,6 +68,16 @@ type worker struct {
 	repl   *repl.Log
 	gsnSrc *atomic.Uint64
 	txn    *txnLog
+
+	// cache is the store's hot-key read cache (nil when disabled). The
+	// worker bumps the invalidation watermark of every written key after
+	// the engine applied the batch and before any submitter is woken:
+	// once a write is acknowledged, no reader can be served a cached
+	// value that predates it. Failed writes bump too — a fault-injected
+	// engine may have partially applied the batch, so the cached value
+	// can no longer be trusted. cacheInv counts the bumps.
+	cache    *hotcache.Cache
+	cacheInv atomic.Int64
 
 	// Overload / lifecycle stats. rejected counts admission-control
 	// rejections (ErrOverloaded), expired counts requests whose context
@@ -223,6 +234,15 @@ func (w *worker) executeWrites(reqs []*request) {
 				w.lastGSN.Store(gsn)
 			}
 		}
+		if w.cache != nil {
+			// Invalidate before completing: the bump must be visible
+			// before any submitter observes the acknowledgement. Bump on
+			// error too — a failed write may have partially applied.
+			for _, op := range b.Ops() {
+				w.cache.Invalidate(op.Key)
+			}
+			w.cacheInv.Add(int64(b.Len()))
+		}
 		for _, r := range reqs {
 			r.complete(err)
 		}
@@ -244,6 +264,12 @@ func (w *worker) executeWrites(reqs []*request) {
 		}
 		if err == nil && w.repl != nil {
 			w.ship(r.streamGSN, r.gsn, batchOps(r.batch.ops))
+		}
+		if w.cache != nil {
+			for _, op := range r.batch.ops {
+				w.cache.Invalidate(op.key)
+			}
+			w.cacheInv.Add(int64(len(r.batch.ops)))
 		}
 		r.complete(err)
 	}
@@ -449,6 +475,9 @@ type WorkerStats struct {
 	// of its most recently applied-and-shipped write batch. Zero when
 	// replication is disabled (Options.ReplLog nil).
 	ReplLastGSN uint64
+	// CacheInvalidations counts hot-cache watermark bumps this worker
+	// performed on applied writes. Zero when the cache is disabled.
+	CacheInvalidations int64
 }
 
 func (w *worker) stats() WorkerStats {
@@ -477,5 +506,6 @@ func (w *worker) stats() WorkerStats {
 	if w.repl != nil {
 		st.ReplLastGSN = w.lastGSN.Load()
 	}
+	st.CacheInvalidations = w.cacheInv.Load()
 	return st
 }

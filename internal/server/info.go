@@ -67,6 +67,17 @@ func (s *Server) infoText() string {
 	fmt.Fprintf(&b, "store_compaction_slowdown_us:%d\r\n", agg.CompactionSlowdownUs)
 	fmt.Fprintf(&b, "store_compaction_slowdowns:%d\r\n", agg.CompactionSlowdowns)
 
+	fmt.Fprintf(&b, "# Cache\r\n")
+	fmt.Fprintf(&b, "cache_enabled:%d\r\n", boolInt(snap.CacheEnabled))
+	fmt.Fprintf(&b, "cache_hits:%d\r\n", snap.CacheHits)
+	fmt.Fprintf(&b, "cache_neg_hits:%d\r\n", snap.CacheNegHits)
+	fmt.Fprintf(&b, "cache_misses:%d\r\n", snap.CacheMisses)
+	fmt.Fprintf(&b, "cache_fills:%d\r\n", snap.CacheFills)
+	fmt.Fprintf(&b, "cache_evictions:%d\r\n", snap.CacheEvictions)
+	fmt.Fprintf(&b, "cache_invalidations:%d\r\n", snap.CacheInvalidations)
+	fmt.Fprintf(&b, "cache_bytes:%d\r\n", snap.CacheBytes)
+	fmt.Fprintf(&b, "cache_entries:%d\r\n", snap.CacheEntries)
+
 	fmt.Fprintf(&b, "# Robustness\r\n")
 	fmt.Fprintf(&b, "store_degraded:%d\r\n", boolInt(agg.Health == "read-only"))
 	fmt.Fprintf(&b, "store_disk_full:%d\r\n", boolInt(agg.DiskFull))

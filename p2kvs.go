@@ -215,6 +215,13 @@ type Options struct {
 	// repair a quarantined file in place. Empty disables self-repair;
 	// corruption is then contained until an operator restores.
 	RepairFrom string
+	// HotCacheBytes, when non-zero, enables the sharded hot-key read
+	// cache above the worker queues: Get/MultiGet hits are served
+	// without queue admission, and writers invalidate by GSN-ordered
+	// watermark bumps so a hit is never stale. Positive values set the
+	// byte budget; negative selects the default 32 MiB. Zero (the
+	// default) disables the cache.
+	HotCacheBytes int64
 	// ReplBacklogBytes, when non-zero, enables GSN log-shipping
 	// replication: every applied write batch is retained (with its
 	// apply-time Global Sequence Number) in an in-memory backlog that
@@ -291,6 +298,7 @@ func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
 	}
 	copts.ScrubInterval = opts.ScrubInterval
 	copts.ScrubRate = opts.ScrubRate
+	copts.HotCacheBytes = opts.HotCacheBytes
 	if opts.ReplBacklogBytes != 0 {
 		copts.ReplLog = repl.NewLog(opts.Workers, opts.ReplBacklogBytes)
 	}

@@ -17,7 +17,7 @@ go build -o "$BIN/p2kvs-server" ./cmd/p2kvs-server
 go build -o "$BIN/netbench" ./cmd/netbench
 
 "$BIN/p2kvs-server" -addr "$ADDR" -inmemory -workers 8 -cmd_timeout 5s \
-    -checkpoint_dir "$BIN/backup" >"$LOG" 2>&1 &
+    -hot_cache -1 -checkpoint_dir "$BIN/backup" >"$LOG" 2>&1 &
 SRV_PID=$!
 
 for i in $(seq 1 50); do
@@ -79,6 +79,29 @@ for counter in coalesced_set_ops coalesced_get_ops store_batch_write_ops store_m
         exit 1
     fi
 done
+
+# Hot-key cache: a skewed GET run against the cache-enabled server must
+# actually serve hits (zipfian re-reads the hot set), and the cache_*
+# counter group must surface through INFO.
+CACHE_OUT=$("$BIN/netbench" -addr "$ADDR" -benchmarks get -conns 4 -pipeline 16 \
+    -num 8000 -dist zipfian -verify)
+echo "$CACHE_OUT" | grep -q "silent mismatches" || {
+    echo "serve-smoke: zipfian netbench -verify did not report its corruption tally" >&2
+    exit 1
+}
+HITS=$(echo "$CACHE_OUT" | grep -o "cache_hits=[0-9]*" | head -1 | cut -d= -f2)
+if [ -z "${HITS:-}" ] || [ "$HITS" -le 0 ]; then
+    echo "serve-smoke: expected cache_hits > 0 under zipfian load (got '${HITS:-missing}')" >&2
+    exit 1
+fi
+for counter in cache_misses cache_fills cache_invalidations cache_bytes cache_entries; do
+    n=$(echo "$CACHE_OUT" | grep -o "${counter}=[0-9]*" | head -1 | cut -d= -f2)
+    if [ -z "${n:-}" ]; then
+        echo "serve-smoke: cache counter $counter missing from server INFO" >&2
+        exit 1
+    fi
+done
+echo "serve-smoke: hot cache served hits under zipfian load: $(echo "$CACHE_OUT" | grep -o 'cache_[a-z_]*=[0-9]*' | tr '\n' ' ')"
 
 # The compaction-scheduler counters must be present in INFO (values may
 # legitimately be zero on a short in-memory run; only absence is a bug).
