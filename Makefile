@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVE_ADDR ?= 127.0.0.1:6380
 
-.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress repl-stress cache-stress serve netbench serve-smoke ci clean
+.PHONY: build test test-race vet fuzz-short torture-short compaction-stress backup-stress crash-stress scrub-stress repl-stress cache-stress reshard-stress serve netbench serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,22 @@ cache-stress:
 	$(GO) test -race -timeout 5m ./internal/hotcache
 	$(GO) test -race -short -timeout 5m -run 'HotCache|MultiGetAdmit|ShardDistribution|OversizedPut' ./internal/core ./internal/cache ./internal/torture
 	$(GO) run ./cmd/dbbench -hotcache_bench -num 20000 -threads 4 -p2 -workers 4 -devscale 0.2
+
+# Online-reshard stress: the crash/fault shadow-model torture with live
+# reshards (short: one seed), the ring/moved-range property tests, the
+# core reshard battery (grow, shrink, abort, reopen, cleanup recovery,
+# Migrate ≡ Reshard, txns through the cutover), the server RESHARD
+# tests and the elastic facade tests — all race-enabled — then a live
+# dbbench 4→5 reshard under a zipfian update mix with -verify, which
+# fails the run on any lost/duplicated acked write or a cutover pause
+# over budget.
+reshard-stress:
+	$(GO) test -race -short -timeout 10m -run 'ReshardTorture' ./internal/torture
+	$(GO) test -race -timeout 5m ./internal/reshard ./internal/keyspace
+	$(GO) test -race -timeout 10m -run 'Reshard|MigrateMatchesReshard' ./internal/core ./internal/server
+	$(GO) test -race -timeout 5m -run 'FacadeElastic' .
+	$(GO) run ./cmd/dbbench -p2 -workers 4 -elastic -num 60000 -threads 4 \
+		-benchmarks fillrandom,updatezipfian -reshard_at 30000 -reshard_to 5 -verify
 
 # Run the RESP server in-memory on SERVE_ADDR (redis-cli compatible).
 serve:

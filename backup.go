@@ -81,8 +81,14 @@ func Restore(backupDir string, opts Options) (*Store, error) {
 	if want, got := engineFamily(EngineKind(m.Engine)), engineFamily(opts.Engine); want != got {
 		return nil, fmt.Errorf("p2kvs: backup holds a %s-family image, cannot open as %s-family engine %q", want, got, opts.Engine)
 	}
-	if m.Partitioner != "" && m.Partitioner != "hash" {
-		return nil, fmt.Errorf("p2kvs: backup was taken with partitioner %q; this build restores only hash-partitioned images", m.Partitioner)
+	switch m.Partitioner {
+	case "", "hash":
+	case "consistent":
+		// An elastic store's image: reopen it elastic so keys route by
+		// the same consistent-hash ring they were placed with.
+		opts.Elastic = true
+	default:
+		return nil, fmt.Errorf("p2kvs: backup was taken with partitioner %q; this build cannot restore it", m.Partitioner)
 	}
 	if fs.Exists(fmt.Sprintf("%s/inst-%02d", opts.Dir, 0)) {
 		return nil, fmt.Errorf("p2kvs: %s already holds a store; restore needs an empty destination", opts.Dir)

@@ -55,6 +55,10 @@ func main() {
 		verify     = flag.Bool("verify", false, "paranoid reads: check every read value against the workload pattern; corruption errors are counted, a silently wrong value is fatal")
 		hotCache   = flag.Int64("hot_cache", 0, "hot-key read cache budget in bytes; hits bypass queue admission (-1 = default 32 MiB; 0 disables)")
 		hcBench    = flag.Bool("hotcache_bench", false, "run the hot-cache before/after benchmark instead of -benchmarks: zipfian YCSB-C and YCSB-B phases against cache-off and cache-on stores, emitted as a BENCH json line")
+		elastic    = flag.Bool("elastic", false, "open the store elastic (consistent-hash ring + online resharding)")
+		reshardAt  = flag.Int("reshard_at", 0, "trigger an online reshard after this many completed ops (0 = never; requires -elastic)")
+		reshardTo  = flag.Int("reshard_to", 0, "worker count the -reshard_at reshard grows/shrinks to")
+		cutoverBgt = flag.Duration("cutover_budget", 0, "max writer pause per reshard cutover attempt (0 = default 10ms); with -verify, a pause over budget fails the run")
 	)
 	flag.Parse()
 	verifier.on = *verify
@@ -100,6 +104,9 @@ func main() {
 		L0SlowdownTrigger:        *l0Slowdown,
 
 		HotCacheBytes: *hotCache,
+
+		Elastic:       *elastic,
+		CutoverBudget: *cutoverBgt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbbench:", err)
@@ -109,6 +116,17 @@ func main() {
 
 	if *ckptEvery > 0 {
 		saver.start(store, *ckptEvery, *ckptDir)
+	}
+	if *reshardAt > 0 {
+		if !*elastic {
+			fmt.Fprintln(os.Stderr, "dbbench: -reshard_at requires -elastic")
+			os.Exit(2)
+		}
+		if *reshardTo < 1 {
+			fmt.Fprintln(os.Stderr, "dbbench: -reshard_at requires -reshard_to >= 1")
+			os.Exit(2)
+		}
+		resharder.arm(store, int64(*reshardAt), *reshardTo)
 	}
 
 	fmt.Printf("engine=%s p2=%v workers=%d threads=%d num=%d value=%dB device=%q\n",
@@ -124,7 +142,8 @@ func main() {
 		if name == "" {
 			continue
 		}
-		needsData := name == "readseq" || name == "readrandom" || name == "updaterandom" || name == "scan"
+		needsData := name == "readseq" || name == "readrandom" || name == "updaterandom" || name == "scan" ||
+			name == "readzipfian" || name == "updatezipfian"
 		if needsData && !loaded {
 			fmt.Fprintf(os.Stderr, "(implicit fillseq to populate %d keys)\n", *num)
 			runOne(store, "fillseq", *num, *valueSize, 1, *scanSize, 0, false)
@@ -137,7 +156,9 @@ func main() {
 		latencies = append(latencies, namedSummary{name, h.Summary()})
 	}
 	saver.stop()
+	resharder.wait()
 	reportVerify()
+	reportReshard(store, *cutoverBgt)
 	reportRobustness(store)
 	reportOverload(store)
 	reportCompaction(store)
@@ -176,6 +197,84 @@ func reportVerify() {
 		verifier.reads.Load(), verifier.corruptions.Load(), verifier.mismatches.Load())
 	if verifier.mismatches.Load() > 0 {
 		fmt.Fprintln(os.Stderr, "dbbench: FATAL: store served silently wrong values")
+		os.Exit(1)
+	}
+}
+
+// liveResharder fires one online reshard mid-workload: once the worker
+// threads have completed -reshard_at ops, a dedicated goroutine calls
+// Store.Reshard(-reshard_to) while the workload keeps hammering the
+// store — the elasticity claim measured, not simulated.
+type liveResharder struct {
+	at    int64
+	to    int
+	store *p2kvs.Store
+	ops   atomic.Int64
+	done  chan struct{}
+	err   error
+	took  time.Duration
+}
+
+var resharder liveResharder
+
+func (r *liveResharder) arm(store *p2kvs.Store, at int64, to int) {
+	r.store, r.at, r.to = store, at, to
+	r.done = make(chan struct{})
+}
+
+// tick is called by every worker thread after each completed op; the
+// thread that crosses the threshold launches the reshard.
+func (r *liveResharder) tick() {
+	if r.at == 0 {
+		return
+	}
+	if r.ops.Add(1) != r.at {
+		return
+	}
+	go func() {
+		defer close(r.done)
+		fmt.Fprintf(os.Stderr, "(reshard to %d workers starting at op %d)\n", r.to, r.at)
+		start := time.Now()
+		r.err = r.store.Reshard(context.Background(), r.to)
+		r.took = time.Since(start)
+	}()
+}
+
+// wait blocks until a launched reshard finishes; a threshold never
+// reached (num < reshard_at) is reported, not hung on.
+func (r *liveResharder) wait() {
+	if r.at == 0 {
+		return
+	}
+	if r.ops.Load() < r.at {
+		fmt.Fprintf(os.Stderr, "dbbench: -reshard_at %d never reached (%d ops ran); reshard skipped\n", r.at, r.ops.Load())
+		return
+	}
+	<-r.done
+}
+
+// reportReshard prints the online-reshard summary and enforces the
+// acceptance gates: a failed reshard is always fatal; under -verify a
+// cutover pause over budget is too.
+func reportReshard(store *p2kvs.Store, budget time.Duration) {
+	if resharder.at == 0 || resharder.ops.Load() < resharder.at {
+		return
+	}
+	if resharder.err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench: FATAL: reshard failed:", resharder.err)
+		os.Exit(1)
+	}
+	if budget == 0 {
+		budget = 10 * time.Millisecond
+	}
+	st := store.ReshardStats()
+	fmt.Printf("reshard        : %d->%d workers in %.1fms; moved %d keys (%d bytes); double_writes=%d stale_skipped=%d; cutover pause=%.1fus (budget %.1fus, retries=%d)\n",
+		st.From, st.To, float64(resharder.took.Microseconds())/1000,
+		st.MovedKeys, st.MovedBytes, st.DoubleWrites, st.SkippedStale,
+		float64(st.BarrierNs)/1000, float64(budget.Microseconds()), st.CutoverRetries)
+	if verifier.on && st.BarrierNs > budget.Nanoseconds() {
+		fmt.Fprintf(os.Stderr, "dbbench: FATAL: cutover paused writers %.1fus, over the %.1fus budget\n",
+			float64(st.BarrierNs)/1000, float64(budget.Microseconds()))
 		os.Exit(1)
 	}
 }
@@ -377,11 +476,14 @@ func runOne(store *p2kvs.Store, name string, num, valueSize, threads, scanSize i
 }
 
 func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, scanSize int, opDeadline time.Duration, h *histogram.H, dropped *atomic.Int64) error {
-	kind, isRead, isScan := parseWorkload(name)
+	kind, isRead, isScan, isZipf := parseWorkload(name)
 	var ch workload.Chooser
-	if isScan {
+	switch {
+	case isScan:
 		ch = workload.NewUniform(uint64(num), int64(tid+1))
-	} else {
+	case isZipf:
+		ch = workload.NewZipfian(uint64(num), int64(tid+1))
+	default:
 		ch = workload.Micro(kind, uint64(num), int64(tid+1))
 	}
 	for i := 0; i < perThread; i++ {
@@ -413,6 +515,7 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 		cancel()
 		h.Record(time.Since(opStart))
 		saver.tick()
+		resharder.tick()
 		if verifier.on && errors.Is(err, kv.ErrCorruption) {
 			// A loud corruption error is the store refusing to lie; paranoid
 			// mode counts it and keeps going so the damage extent shows in
@@ -431,20 +534,24 @@ func runThread(store *p2kvs.Store, name string, tid, perThread, num, valueSize, 
 	return nil
 }
 
-func parseWorkload(name string) (kind workload.MicroKind, isRead, isScan bool) {
+func parseWorkload(name string) (kind workload.MicroKind, isRead, isScan, isZipf bool) {
 	switch name {
 	case "fillseq":
-		return workload.FillSeq, false, false
+		return workload.FillSeq, false, false, false
 	case "fillrandom":
-		return workload.FillRandom, false, false
+		return workload.FillRandom, false, false, false
 	case "updaterandom":
-		return workload.UpdateRandom, false, false
+		return workload.UpdateRandom, false, false, false
+	case "updatezipfian":
+		return "", false, false, true
 	case "readseq":
-		return workload.ReadSeq, true, false
+		return workload.ReadSeq, true, false, false
 	case "readrandom":
-		return workload.ReadRandom, true, false
+		return workload.ReadRandom, true, false, false
+	case "readzipfian":
+		return "", true, false, true
 	case "scan":
-		return "", false, true
+		return "", false, true, false
 	default:
 		fmt.Fprintf(os.Stderr, "dbbench: unknown workload %q\n", name)
 		os.Exit(2)

@@ -29,34 +29,36 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:6380", "TCP listen address")
-		debugAddr    = flag.String("debug_addr", "", "HTTP debug listen address (/metrics, /debug/pprof); empty disables")
-		dir          = flag.String("dir", "p2kvs-server-db", "data directory")
-		inMemory     = flag.Bool("inmemory", false, "use the in-memory filesystem (data lost on exit)")
-		engine       = flag.String("engine", "rocksdb", "engine: rocksdb, leveldb, pebblesdb, wiredtiger, kvell")
-		workers      = flag.Int("workers", 8, "worker count")
-		admission    = flag.String("admission", "reject", "admission policy: block, reject, wait")
-		queueDepth   = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
-		maxBatch     = flag.Int("max_batch", 0, "OBM batch cap (0 = default 32)")
-		syncWAL      = flag.Bool("sync", false, "fsync per commit")
-		walSync      = flag.String("wal_sync", "", "WAL durability policy: never, commit, or an interval like 100ms; empty defers to -sync")
-		cmdTimeout   = flag.Duration("cmd_timeout", 0, "per-command deadline (0 = none)")
-		maxConns     = flag.Int("max_conns", 1024, "max concurrent client connections")
-		maxPipeline  = flag.Int("max_pipeline", 128, "max pipelined commands coalesced per read window")
-		idleTimeout  = flag.Duration("conn_idle_timeout", 0, "close connections idle for this long (0 = never)")
-		writeTimeout = flag.Duration("conn_write_timeout", 0, "per-flush write deadline for slow clients (0 = none)")
-		drainTimeout = flag.Duration("drain_timeout", 30*time.Second, "graceful shutdown bound (connections and store drain)")
-		maxBgComp    = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
-		subComp      = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
-		l0Slowdown   = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
-		ckptDir      = flag.String("checkpoint_dir", "", "backup set BGSAVE writes into; empty disables BGSAVE")
-		scrubIvl     = flag.Duration("scrub_interval", 0, "background at-rest integrity scrub cadence (0 = disabled; SCRUB stays available)")
-		scrubRate    = flag.Int64("scrub_rate", 0, "scrub read-bandwidth budget in bytes/sec (0 = unthrottled)")
-		repairFrom   = flag.String("repair_from", "", "backup directory engines may pull verified files from to self-repair quarantined data; defaults to -checkpoint_dir")
-		hotCache     = flag.Int64("hot_cache", 0, "hot-key read cache budget in bytes; hits bypass queue admission (-1 = default 32 MiB; 0 disables)")
-		replicaOf    = flag.String("replicaof", "", "start as a read-only replica of a primary at host:port (also settable at runtime via REPLICAOF)")
-		replBacklog  = flag.Int64("repl_backlog", 0, "replication backlog retention in bytes; any non-zero value enables replication (-1 = default 16 MiB; 0 disables unless -replicaof or -repl_dir is set)")
-		replDir      = flag.String("repl_dir", "", "replication working directory for full-sync images and replica cursor state (default <dir>-repl when replication is enabled)")
+		addr          = flag.String("addr", "127.0.0.1:6380", "TCP listen address")
+		debugAddr     = flag.String("debug_addr", "", "HTTP debug listen address (/metrics, /debug/pprof); empty disables")
+		dir           = flag.String("dir", "p2kvs-server-db", "data directory")
+		inMemory      = flag.Bool("inmemory", false, "use the in-memory filesystem (data lost on exit)")
+		engine        = flag.String("engine", "rocksdb", "engine: rocksdb, leveldb, pebblesdb, wiredtiger, kvell")
+		workers       = flag.Int("workers", 8, "worker count")
+		admission     = flag.String("admission", "reject", "admission policy: block, reject, wait")
+		queueDepth    = flag.Int("queue_depth", 0, "per-worker queue depth (0 = default 4096)")
+		maxBatch      = flag.Int("max_batch", 0, "OBM batch cap (0 = default 32)")
+		syncWAL       = flag.Bool("sync", false, "fsync per commit")
+		walSync       = flag.String("wal_sync", "", "WAL durability policy: never, commit, or an interval like 100ms; empty defers to -sync")
+		cmdTimeout    = flag.Duration("cmd_timeout", 0, "per-command deadline (0 = none)")
+		maxConns      = flag.Int("max_conns", 1024, "max concurrent client connections")
+		maxPipeline   = flag.Int("max_pipeline", 128, "max pipelined commands coalesced per read window")
+		idleTimeout   = flag.Duration("conn_idle_timeout", 0, "close connections idle for this long (0 = never)")
+		writeTimeout  = flag.Duration("conn_write_timeout", 0, "per-flush write deadline for slow clients (0 = none)")
+		drainTimeout  = flag.Duration("drain_timeout", 30*time.Second, "graceful shutdown bound (connections and store drain)")
+		maxBgComp     = flag.Int("max_bg_compactions", 0, "concurrent compactions per LSM instance (0 = default 2)")
+		subComp       = flag.Int("subcompactions", 0, "parallel key-range splits per compaction (0 = default 1, off)")
+		l0Slowdown    = flag.Int("l0_slowdown", 0, "L0 file count that soft-delays writers (0 = engine default)")
+		ckptDir       = flag.String("checkpoint_dir", "", "backup set BGSAVE writes into; empty disables BGSAVE")
+		scrubIvl      = flag.Duration("scrub_interval", 0, "background at-rest integrity scrub cadence (0 = disabled; SCRUB stays available)")
+		scrubRate     = flag.Int64("scrub_rate", 0, "scrub read-bandwidth budget in bytes/sec (0 = unthrottled)")
+		repairFrom    = flag.String("repair_from", "", "backup directory engines may pull verified files from to self-repair quarantined data; defaults to -checkpoint_dir")
+		hotCache      = flag.Int64("hot_cache", 0, "hot-key read cache budget in bytes; hits bypass queue admission (-1 = default 32 MiB; 0 disables)")
+		replicaOf     = flag.String("replicaof", "", "start as a read-only replica of a primary at host:port (also settable at runtime via REPLICAOF)")
+		replBacklog   = flag.Int64("repl_backlog", 0, "replication backlog retention in bytes; any non-zero value enables replication (-1 = default 16 MiB; 0 disables unless -replicaof or -repl_dir is set)")
+		replDir       = flag.String("repl_dir", "", "replication working directory for full-sync images and replica cursor state (default <dir>-repl when replication is enabled)")
+		elastic       = flag.Bool("elastic", false, "place keys on a consistent-hash ring and enable online resharding via RESHARD <n>; -workers only seeds the first open (incompatible with replication)")
+		cutoverBudget = flag.Duration("cutover_budget", 0, "max writer pause per reshard cutover attempt (0 = default 10ms)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -131,6 +133,9 @@ func main() {
 
 		HotCacheBytes:    *hotCache,
 		ReplBacklogBytes: backlog,
+
+		Elastic:       *elastic,
+		CutoverBudget: *cutoverBudget,
 	}
 	store, err := p2kvs.Open(storeOpts)
 	if err != nil {

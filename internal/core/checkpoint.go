@@ -47,7 +47,13 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
-	for _, w := range s.workers {
+	// Capture one routing generation: a reshard cutover mid-checkpoint
+	// must not change the worker set being imaged. The captured set stays
+	// valid either way — a checkpoint of the pre-cutover shape is a
+	// correct image of that epoch (restore opens at the manifest's worker
+	// count), and retired workers' engines stay open until Close.
+	workers := s.ws()
+	for _, w := range workers {
 		if _, ok := w.engine.(kv.Checkpointer); !ok {
 			return nil, fmt.Errorf("%w (worker %d)", ErrCheckpointUnsupported, w.id)
 		}
@@ -72,7 +78,7 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	start := time.Now()
 	var ready sync.WaitGroup
 	release := make(chan struct{})
-	barriers := make([]*request, 0, len(s.workers))
+	barriers := make([]*request, 0, len(workers))
 	abort := func(err error) (*checkpoint.Manifest, error) {
 		close(release)
 		for _, r := range barriers {
@@ -80,7 +86,7 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 		}
 		return nil, err
 	}
-	for _, w := range s.workers {
+	for _, w := range workers {
 		r := &request{
 			typ:            reqBarrier,
 			noMerge:        true,
@@ -104,10 +110,10 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	// IO) so the pause stays short; the barrier duration is surfaced as
 	// checkpoint_barrier_ns.
 	gsn := s.gsn.Load()
-	workerGSN := make([]uint64, len(s.workers))
-	writers := make([]kv.CheckpointWriter, len(s.workers))
+	workerGSN := make([]uint64, len(workers))
+	writers := make([]kv.CheckpointWriter, len(workers))
 	var prepErr error
-	for i, w := range s.workers {
+	for i, w := range workers {
 		workerGSN[i] = w.lastGSN.Load()
 		cw, err := w.engine.(kv.Checkpointer).PrepareCheckpoint()
 		if err != nil {
@@ -119,7 +125,7 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	txnSize := int64(-1)
 	var txnFloors []uint64
 	if prepErr == nil && s.txn != nil {
-		txnSize, txnFloors = s.txn.checkpointCut(len(s.workers))
+		txnSize, txnFloors = s.txn.checkpointCut(len(workers))
 	}
 	close(release)
 	for _, r := range barriers {
@@ -154,7 +160,7 @@ func (s *Store) Checkpoint(fs vfs.FS, dir string) (*checkpoint.Manifest, error) 
 	// --- Writes resumed: emit the image, then commit the manifest. ---
 	m := &checkpoint.Manifest{
 		Seq:         seq,
-		Workers:     len(s.workers),
+		Workers:     len(workers),
 		Engine:      engineLabel(s.opts.EngineName),
 		Partitioner: partitionerName(s.opts.Partitioner),
 		GSN:         gsn,
@@ -235,7 +241,7 @@ func partitionerName(p keyspace.Partitioner) string {
 	switch p.(type) {
 	case keyspace.Hash:
 		return "hash"
-	case keyspace.Consistent:
+	case keyspace.Consistent, *keyspace.Ring:
 		return "consistent"
 	case keyspace.Range:
 		return "range"

@@ -1,18 +1,39 @@
 package core
 
 import (
+	"p2kvs/internal/keyspace"
 	"p2kvs/internal/kv"
 )
 
+// consistentOf resolves the concrete consistent-hash ring behind a
+// partitioner: a plain keyspace.Consistent, or the current generation of
+// an epoch-versioned keyspace.Ring.
+func consistentOf(p keyspace.Partitioner) (keyspace.Consistent, bool) {
+	switch v := p.(type) {
+	case keyspace.Consistent:
+		return v, true
+	case *keyspace.Ring:
+		c, _ := v.Snapshot()
+		return c, true
+	}
+	return keyspace.Consistent{}, false
+}
+
 // Migrate streams every live pair from src into dst, in batches. It is
-// the offline resharding path the paper defers to future work (§4.2:
-// "Extending N or adjusting hash function may lead to a reconstruction
-// of the entire set of KVS instances"): open a new store with the new
-// worker count or partitioner, Migrate, then retire the old store.
+// the offline resharding path (§4.2 defers elasticity to "a
+// reconstruction of the entire set of KVS instances"): open a new store
+// with the new worker count or partitioner, Migrate, then retire the old
+// store. The online path is Store.Reshard; both compute destinations
+// from the same keyspace.MovedRanges plan, so an offline migration and
+// an online reshard between the same two ring generations land every key
+// on the same worker.
 //
-// With a consistent-hash partitioner on both sides, most batches land on
-// the partition that already holds neighbouring data, so the rewrite
-// volume approaches the theoretical minimum moved-key fraction.
+// With consistent-hash partitioning on both sides, a pair keeps its
+// worker id unless the plan moved its arc — most batches land on the
+// partition that already holds neighbouring data, and the rewrite volume
+// approaches the theoretical minimum moved-key fraction. Other
+// partitioner combinations fall back to routing every pair through dst's
+// generic write path.
 //
 // src is read through a snapshot-consistent global iterator; writes to
 // src during migration are not reflected in dst (offline semantics).
@@ -26,6 +47,52 @@ func Migrate(src, dst *Store, batchSize int) (pairs int64, err error) {
 	}
 	defer it.Close()
 
+	srcC, okSrc := consistentOf(src.route.Load().part)
+	dstC, okDst := consistentOf(dst.route.Load().part)
+	if okSrc && okDst {
+		// Plan-based path: the exact moved-arc set of the src→dst ring
+		// transition — shared with the online Reshard — names the
+		// destination worker per key without consulting dst's router.
+		plan := keyspace.NewMovedSet(keyspace.MovedRanges(srcC, dstC))
+		dstWorkers := dst.ws()
+		pending := make(map[int][]wop)
+		flush := func(to int) error {
+			ops := pending[to]
+			if len(ops) == 0 {
+				return nil
+			}
+			delete(pending, to)
+			return applyQueued(dstWorkers[to], ops)
+		}
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			to := srcC.Pick(it.Key())
+			if mr, ok := plan.FindKey(it.Key()); ok {
+				to = mr.To
+			}
+			op := wop{
+				key:   append([]byte(nil), it.Key()...),
+				value: append([]byte(nil), it.Value()...),
+			}
+			pending[to] = append(pending[to], op)
+			pairs++
+			if len(pending[to]) >= batchSize {
+				if err := flush(to); err != nil {
+					return pairs, err
+				}
+			}
+		}
+		if err := it.Error(); err != nil {
+			return pairs, err
+		}
+		for to := range pending {
+			if err := flush(to); err != nil {
+				return pairs, err
+			}
+		}
+		return pairs, nil
+	}
+
+	// Generic fallback: route every pair through dst's write path.
 	var b kv.Batch
 	flush := func() error {
 		if b.Len() == 0 {

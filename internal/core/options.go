@@ -112,6 +112,18 @@ type Options struct {
 	// Positive values set the byte budget; negative selects the default
 	// 32 MiB. Zero (the default) disables the cache.
 	HotCacheBytes int64
+	// InstanceReset, when non-nil, deletes worker workerID's on-disk
+	// instance state so EngineFactory(workerID, …) opens a blank engine.
+	// Online resharding requires it: growing wipes the target directories
+	// before seeding them (a crashed earlier attempt may have left a
+	// partial copy), and shrinking retires the dropped workers' state.
+	InstanceReset func(workerID int) error
+	// CutoverBudget bounds the writer pause of one reshard cutover
+	// attempt (the time routing is frozen for the ring swap). An attempt
+	// that cannot commit inside the budget releases the barrier, lets
+	// writers resume, and retries. Zero selects DefaultCutoverBudget
+	// (10ms).
+	CutoverBudget time.Duration
 	// ReplLog, when non-nil, enables replication: every applied write
 	// batch is recorded in this backlog under a GSN assigned at apply
 	// time, each worker's lastGSN watermark becomes its stream cursor

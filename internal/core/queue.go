@@ -9,9 +9,12 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"p2kvs/internal/keyspace"
 	"p2kvs/internal/kv"
+	"p2kvs/internal/reshard"
 )
 
 // reqType is the request-type OBM merges by: consecutive same-type
@@ -44,14 +47,32 @@ type request struct {
 	// recover filter checks against the committed-transaction map.
 	streamGSN uint64
 
+	// Resharding bulk-copy payload: when copySeen is non-nil this write
+	// carries snapshot-pinned pairs streamed to a new owner, and the
+	// worker re-checks each key against the double-write SeenSet at apply
+	// time — a key mirrored after copyFloor has a fresher value already
+	// in (or ahead in) this queue, so the stale copy is dropped and
+	// counted in copySkip. The check must happen at apply, not enqueue:
+	// a mirror racing with this batch records its key before enqueueing,
+	// so whichever order the two land in the queue, the mirror's value
+	// survives.
+	copySeen  *reshard.SeenSet
+	copyFloor uint64
+	copySkip  *atomic.Int64
+
 	// Read-type payload.
 	key []byte
 
 	// Scan payload. scanEnd, when non-nil, bounds a RANGE leg
-	// (inclusive); scanLimit bounds a SCAN leg.
+	// (inclusive); scanLimit bounds a SCAN leg. scanPart, when non-nil,
+	// restricts the leg to keys owned by partition scanSelf under that
+	// partitioner snapshot (elastic stores: a worker's engine may hold
+	// foreign keys mid-reshard); skipped keys do not consume scanLimit.
 	scanStart []byte
 	scanEnd   []byte
 	scanLimit int
+	scanPart  keyspace.Partitioner
+	scanSelf  int
 
 	// Results.
 	val     []byte

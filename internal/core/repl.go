@@ -27,8 +27,9 @@ import (
 // so local allocations (transaction legs, checkpoint watermarks, a later
 // promotion to primary) always continue the sequence.
 func (s *Store) ApplyRepl(worker int, gsn uint64, ops []kv.BatchOp) error {
-	if worker < 0 || worker >= len(s.workers) {
-		return fmt.Errorf("core: ApplyRepl: worker %d out of range [0,%d)", worker, len(s.workers))
+	workers := s.ws()
+	if worker < 0 || worker >= len(workers) {
+		return fmt.Errorf("core: ApplyRepl: worker %d out of range [0,%d)", worker, len(workers))
 	}
 	if len(ops) == 0 {
 		return nil
@@ -42,7 +43,7 @@ func (s *Store) ApplyRepl(worker int, gsn uint64, ops []kv.BatchOp) error {
 			break
 		}
 	}
-	w := s.workers[worker]
+	w := workers[worker]
 	wops := make([]wop, len(ops))
 	for i, op := range ops {
 		wops[i] = wop{del: op.Kind == kv.OpDelete, key: op.Key, value: op.Value}
@@ -75,8 +76,9 @@ func (s *Store) ReplLastGSN() []uint64 {
 	if s.opts.ReplLog == nil {
 		return nil
 	}
-	out := make([]uint64, len(s.workers))
-	for i, w := range s.workers {
+	workers := s.ws()
+	out := make([]uint64, len(workers))
+	for i, w := range workers {
 		out[i] = w.lastGSN.Load()
 	}
 	return out

@@ -1,0 +1,641 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2kvs/internal/keyspace"
+	"p2kvs/internal/kv"
+	"p2kvs/internal/reshard"
+)
+
+// Online elastic resharding: Store.Reshard grows or shrinks a live store
+// from N to N±1 (or any N') workers with no downtime — the operation
+// §4.2 of the paper defers to "a reconstruction of the entire set of KVS
+// instances". The protocol:
+//
+//  1. Prepare. New workers (a grow) are spawned on blank engines and
+//     started, but receive no routed traffic: the routing generation
+//     still maps every key to its old owner. The moved key ranges are
+//     computed once from the old and new consistent-hash rings
+//     (keyspace.MovedRanges) — the same plan the offline Migrate path
+//     shares.
+//
+//  2. Copy + double-write. A short barrier parks each source worker (an
+//     old owner losing arcs) just long enough to activate the
+//     double-write interceptor and pin an engine snapshot; from then on
+//     every applied write whose key has moved is synchronously mirrored
+//     by the source worker to the new owner, GSN-tagged in a SeenSet.
+//     The coordinator then streams the snapshot-pinned image of the
+//     moved ranges to the new owners, while writes keep flowing. A
+//     bulk-copied pair whose key was mirrored after the snapshot floor
+//     is dropped at apply time on the target — the mirror is fresher.
+//     Because the mirror wait is synchronous, an acknowledged write is
+//     durable on both owners, so cutover needs no drain phase and reads
+//     after the flip observe every pre-flip acknowledged write.
+//
+//  3. Cutover. A bounded barrier re-parks the source workers; within the
+//     pause budget (Options.CutoverBudget, default 10ms) the coordinator
+//     waits for prepared cross-partition transactions to settle, commits
+//     the new topology (the crash-recovery pivot), and atomically swaps
+//     the epoch-versioned ring and the routing generation. If the budget
+//     cannot be met the barrier is released, writers resume, and the
+//     cutover retries — writers never pause longer than the budget per
+//     attempt. After the flip the moved ranges are deleted from their
+//     old owners (grow) or the retired workers are parked (shrink), and
+//     the topology returns to the active state.
+//
+//  4. Abort. Any failure before the topology commit rolls back cleanly:
+//     the interceptor is removed, spawned workers are stopped and their
+//     instances wiped, pairs bulk-copied onto survivors are deleted, and
+//     the store keeps serving at the old shape.
+//
+// Crash safety: the TOPOLOGY file in the transaction directory is the
+// commit point. A crash before it commits recovers at the old shape
+// (partially copied target instances are wiped at the next prepare or by
+// Open). A crash after it commits recovers at the new shape, and Open
+// finishes the interrupted cleanup before serving. The store is never
+// reopened at a mix of the two.
+
+// ErrReshardUnsupported reports a Reshard call on a store that was not
+// opened in the elastic configuration.
+var ErrReshardUnsupported = errors.New("core: resharding requires an elastic store (a keyspace.Ring partitioner, a transaction directory, an InstanceReset hook, and no replication)")
+
+// errBarrierTimeout is the internal signal that one cutover attempt could
+// not park the source workers inside the pause budget.
+var errBarrierTimeout = errors.New("core: reshard barrier timed out")
+
+// DefaultCutoverBudget bounds the writer pause of one cutover attempt
+// when Options.CutoverBudget is zero.
+const DefaultCutoverBudget = 10 * time.Millisecond
+
+const (
+	// copyBatchSize is the number of pairs per bulk-copy (and cleanup
+	// delete) request.
+	copyBatchSize = 256
+	// cutoverAttempts bounds cutover retries before the reshard aborts.
+	cutoverAttempts = 400
+	// cutoverRetrySleep spaces cutover attempts so writers make progress
+	// between pauses.
+	cutoverRetrySleep = 2 * time.Millisecond
+	// parkTimeout bounds how long one cutover attempt waits for the
+	// source workers to reach their barriers (a submitter's asynchronous
+	// completion callback may itself be issuing store operations that
+	// block on the routing lock the cutover holds — the bounded wait
+	// breaks that cycle by releasing and retrying).
+	parkTimeout = 250 * time.Millisecond
+)
+
+// reshardRun is the state an in-flight reshard shares with the workers:
+// the moved-range plan, the double-write SeenSet with its snapshot GSN
+// floor, and the target worker for every new-shape worker id.
+type reshardRun struct {
+	plan    *keyspace.MovedSet
+	seen    *reshard.SeenSet
+	floor   uint64
+	targets []*worker // indexed by new-shape worker id
+	tracker *reshard.Tracker
+}
+
+func (run *reshardRun) fail(err error) { run.tracker.Fail(err) }
+func (run *reshardRun) failed() bool   { return run.tracker.Failed() }
+
+// ReshardStats reports the resharding subsystem's counters (current or
+// most recent run; zero-valued when no reshard has run).
+func (s *Store) ReshardStats() reshard.Stats { return s.tracker.Snapshot() }
+
+// Epoch reports the committed ring epoch (0 until the first reshard).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Elastic reports whether this store satisfies Reshard's preconditions
+// (ring partitioner, transaction log, instance-reset hook, no
+// replication) — i.e. whether Reshard can ever succeed on it.
+func (s *Store) Elastic() bool {
+	return s.ring != nil && s.txn != nil && s.opts.ReplLog == nil && s.opts.InstanceReset != nil
+}
+
+// Reshard changes the worker count of a live elastic store to newN with
+// no downtime. It returns once the new shape is committed and cleaned
+// up; concurrent reads and writes are served throughout, with writer
+// pauses bounded by Options.CutoverBudget per cutover attempt. Reshard
+// calls serialize; a failed run aborts back to the old shape.
+func (s *Store) Reshard(ctx context.Context, newN int) error {
+	if s.ring == nil || s.txn == nil || s.opts.ReplLog != nil || s.opts.InstanceReset == nil {
+		return ErrReshardUnsupported
+	}
+	if newN < 1 {
+		return fmt.Errorf("core: Reshard to %d workers: at least one required", newN)
+	}
+	if s.closed.Load() {
+		return kv.ErrClosed
+	}
+	s.reshMu.Lock()
+	defer s.reshMu.Unlock()
+
+	oldRT := s.route.Load()
+	oldN := len(oldRT.workers)
+	if newN == oldN {
+		return nil
+	}
+	oldC, ok := oldRT.part.(keyspace.Consistent)
+	if !ok {
+		return ErrReshardUnsupported
+	}
+	s.tracker.Begin(oldN, newN, s.epoch.Load())
+
+	// --- Prepare: plan the move, spawn new workers on blank engines. ---
+	newC := keyspace.NewConsistent(newN, s.ring.Replicas())
+	moved := keyspace.MovedRanges(oldC, newC)
+	plan := keyspace.NewMovedSet(moved)
+
+	var added []*worker
+	if newN > oldN {
+		for id := oldN; id < newN; id++ {
+			// Wipe first: a crashed earlier attempt may have left a
+			// partial copy in this instance directory.
+			if err := s.opts.InstanceReset(id); err != nil {
+				return s.abortReshard(nil, added, oldRT, newN, fmt.Errorf("core: resetting instance %d: %w", id, err))
+			}
+			engine, err := s.opts.EngineFactory(id, nil)
+			if err != nil {
+				return s.abortReshard(nil, added, oldRT, newN, fmt.Errorf("core: opening instance %d: %w", id, err))
+			}
+			w := newWorker(id, engine, s.opts)
+			w.gsnSrc = &s.gsn
+			w.txn = s.txn
+			w.cache = s.cache
+			w.resh = &s.resh
+			w.start()
+			added = append(added, w)
+		}
+	}
+	var newWorkers []*worker
+	if newN > oldN {
+		newWorkers = append(append([]*worker{}, oldRT.workers...), added...)
+	} else {
+		newWorkers = append([]*worker{}, oldRT.workers[:newN]...)
+	}
+
+	// sources are the old owners losing arcs — the workers that must
+	// double-write and be barriered. Grow moves arcs only old→added;
+	// shrink only retired→survivor.
+	fromIDs := map[int]bool{}
+	for _, mr := range moved {
+		fromIDs[mr.From] = true
+	}
+	sources := make([]*worker, 0, len(fromIDs))
+	for id := range fromIDs {
+		sources = append(sources, oldRT.workers[id])
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].id < sources[j].id })
+
+	run := &reshardRun{plan: plan, seen: reshard.NewSeenSet(), targets: newWorkers, tracker: &s.tracker}
+
+	// --- Snapshot barrier: activate double-writes, pin the copy image. ---
+	// The barrier closes the torn window where a worker loaded a nil run
+	// just before activation and commits its batch unmirrored after the
+	// snapshot: a batch that saw no run was dequeued before the barrier
+	// landed, so it is applied before the worker parks — inside the
+	// pinned iterators; everything applied after the park is mirrored.
+	// No routing lock is needed (or wanted: the park wait is unbounded,
+	// and a submitter's completion callback may itself submit) — the
+	// floor only has to precede the run's publication, so every mirror
+	// GSN exceeds it.
+	run.floor = s.gsn.Load()
+	s.resh.Store(run)
+	release, err := barrierWorkers(sources, nil)
+	if err != nil {
+		return s.abortReshard(run, added, oldRT, newN, fmt.Errorf("core: reshard snapshot barrier: %w", err))
+	}
+	its := make([]kv.Iterator, len(sources))
+	for i, w := range sources {
+		it, ierr := w.engine.NewIterator()
+		if ierr != nil {
+			err = fmt.Errorf("core: pinning snapshot of worker %d: %w", w.id, ierr)
+			break
+		}
+		its[i] = it
+	}
+	close(release)
+	closeIters := func() {
+		for _, it := range its {
+			if it != nil {
+				it.Close()
+			}
+		}
+	}
+	if err != nil {
+		closeIters()
+		return s.abortReshard(run, added, oldRT, newN, err)
+	}
+
+	// --- Copy: stream the pinned image of the moved ranges. ---
+	s.tracker.SetState(reshard.StateCopy)
+	err = s.copyMoved(ctx, run, sources, its)
+	closeIters()
+	if err == nil && run.failed() {
+		err = errors.New("core: reshard failed during copy (see reshard_last_err)")
+	}
+	if err != nil {
+		return s.abortReshard(run, added, oldRT, newN, err)
+	}
+
+	// --- Cutover: commit the topology and flip the ring, bounded pause. ---
+	s.tracker.SetState(reshard.StateCutover)
+	newEpoch := s.epoch.Load() + 1
+	err = s.cutover(ctx, run, sources, newWorkers, newC, oldN, newN, newEpoch)
+	if err != nil {
+		return s.abortReshard(run, added, oldRT, newN, err)
+	}
+
+	// --- Cleanup: drop the moved ranges from their old owners. ---
+	// The new shape is committed; a cleanup failure leaves TOPOLOGY in
+	// the cleanup state, and the next Open finishes the job before
+	// serving.
+	s.tracker.SetState(reshard.StateCleanup)
+	if newN > oldN {
+		for _, w := range sources {
+			keys, _, cerr := collectForeign(w, newC, w.id)
+			if cerr == nil {
+				cerr = s.deleteKeysQueued(w, keys)
+			}
+			if cerr != nil && !s.closed.Load() {
+				s.tracker.Fail(fmt.Errorf("core: reshard cleanup on worker %d: %w", w.id, cerr))
+				return fmt.Errorf("core: reshard committed but cleanup failed (reopen to finish): %w", cerr)
+			}
+		}
+	} else {
+		// Retired workers stop serving but keep their engines open:
+		// merged iterators created before the cutover may still be
+		// reading them. Close closes the engines; the stale instance
+		// directories are wiped by the next grow's prepare or by Open's
+		// cleanup recovery.
+		retired := oldRT.workers[newN:]
+		for _, w := range retired {
+			w.park()
+		}
+		s.retiredMu.Lock()
+		s.retired = append(s.retired, retired...)
+		s.retiredMu.Unlock()
+	}
+	topo := reshard.Topology{Workers: newN, PrevWorkers: oldN, Epoch: newEpoch, State: reshard.TopologyActive}
+	if err := reshard.SaveTopology(s.opts.TxnFS, s.opts.TxnDir, topo); err != nil && !s.closed.Load() {
+		s.tracker.Fail(err)
+		return fmt.Errorf("core: reshard committed but topology finalize failed (reopen to finish): %w", err)
+	}
+	s.tracker.Complete(newEpoch)
+	return nil
+}
+
+// cutover runs the bounded-pause retry loop: park the sources, drain
+// prepared transactions, commit TOPOLOGY, swap the ring and the routing
+// generation. One attempt never pauses writers longer than the budget
+// (plus the topology fsync); an attempt that cannot make it releases the
+// barrier and retries.
+func (s *Store) cutover(ctx context.Context, run *reshardRun, sources, newWorkers []*worker, newC keyspace.Consistent, oldN, newN int, newEpoch uint64) error {
+	budget := s.opts.CutoverBudget
+	if budget <= 0 {
+		budget = DefaultCutoverBudget
+	}
+	for attempt := 0; ; attempt++ {
+		if s.closed.Load() {
+			return kv.ErrClosed
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: reshard cutover: %w", err)
+			}
+		}
+		if run.failed() {
+			return errors.New("core: reshard failed before cutover (see reshard_last_err)")
+		}
+		if attempt >= cutoverAttempts {
+			return fmt.Errorf("core: reshard cutover could not meet the %v pause budget in %d attempts", budget, cutoverAttempts)
+		}
+		committed, barrierNs, err := s.tryCutover(run, sources, newWorkers, newC, oldN, newN, newEpoch, budget)
+		if err != nil {
+			return err
+		}
+		if committed {
+			s.tracker.SetBarrierNs(barrierNs)
+			return nil
+		}
+		s.tracker.AddCutoverRetry()
+		time.Sleep(cutoverRetrySleep)
+	}
+}
+
+// tryCutover is one cutover attempt. committed == false with a nil error
+// means "budget missed, retry"; a non-nil error aborts the reshard.
+func (s *Store) tryCutover(run *reshardRun, sources, newWorkers []*worker, newC keyspace.Consistent, oldN, newN int, newEpoch uint64, budget time.Duration) (committed bool, barrierNs int64, err error) {
+	timeout := make(chan struct{})
+	timer := time.AfterFunc(parkTimeout, func() { close(timeout) })
+	defer timer.Stop()
+
+	s.routeMu.Lock()
+	start := time.Now()
+	release, err := barrierWorkers(sources, timeout)
+	if err != nil {
+		s.routeMu.Unlock()
+		if errors.Is(err, errBarrierTimeout) {
+			return false, 0, nil
+		}
+		return false, 0, fmt.Errorf("core: reshard cutover barrier: %w", err)
+	}
+	abandon := func() {
+		close(release)
+		s.routeMu.Unlock()
+	}
+	// Sources are parked and no new request can be admitted: every
+	// acknowledged write to a moved key is on both owners (the mirror
+	// wait is synchronous), so only prepared-but-uncommitted
+	// cross-partition transactions can still straddle the flip. Wait
+	// them out inside the budget.
+	deadline := start.Add(budget)
+	for s.preparedTxns.Load() != 0 {
+		if time.Now().After(deadline) {
+			abandon()
+			return false, 0, nil
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	if time.Since(start) > budget {
+		abandon()
+		return false, 0, nil
+	}
+	if run.failed() {
+		abandon()
+		return false, 0, errors.New("core: reshard failed at cutover (see reshard_last_err)")
+	}
+	// Commit point. Inside the pause by design: committing the new ring
+	// while writers still run would open a crash window where the
+	// topology names the new shape but a late unmirrored write lands on
+	// an old owner.
+	topo := reshard.Topology{Workers: newN, PrevWorkers: oldN, Epoch: newEpoch, State: reshard.TopologyCleanup}
+	if err := reshard.SaveTopology(s.opts.TxnFS, s.opts.TxnDir, topo); err != nil {
+		abandon()
+		return false, 0, fmt.Errorf("core: committing reshard topology: %w", err)
+	}
+	s.epoch.Store(newEpoch)
+	s.ring.Advance(newC)
+	s.route.Store(&routing{part: newC, workers: newWorkers})
+	s.resh.Store(nil)
+	close(release)
+	barrierNs = time.Since(start).Nanoseconds()
+	s.routeMu.Unlock()
+	return true, barrierNs, nil
+}
+
+// barrierWorkers pushes a barrier to every listed worker and waits for
+// all of them to park. timeout, when non-nil, bounds both the queue-space
+// wait and the park wait; a miss returns errBarrierTimeout with every
+// already-pushed barrier released. On success the workers are parked and
+// the caller owns the returned release channel.
+func barrierWorkers(workers []*worker, timeout <-chan struct{}) (release chan struct{}, err error) {
+	release = make(chan struct{})
+	var ready sync.WaitGroup
+	for _, w := range workers {
+		r := &request{
+			typ:            reqBarrier,
+			noMerge:        true,
+			barrierReady:   &ready,
+			barrierRelease: release,
+			done:           make(chan struct{}),
+		}
+		ready.Add(1)
+		if perr := w.q.pushWait(timeout, r); perr != nil {
+			ready.Done()
+			close(release)
+			if errors.Is(perr, kv.ErrDeadlineExceeded) {
+				return nil, errBarrierTimeout
+			}
+			return nil, perr
+		}
+	}
+	parked := make(chan struct{})
+	go func() {
+		ready.Wait()
+		close(parked)
+	}()
+	select {
+	case <-parked:
+		return release, nil
+	case <-timeout:
+		close(release)
+		return nil, errBarrierTimeout
+	}
+}
+
+// copyMoved streams every moved pair from the pinned source iterators to
+// its new owner, in batches through the target queues. Target workers
+// drop pairs superseded by a double-write at apply time (filterCopied).
+func (s *Store) copyMoved(ctx context.Context, run *reshardRun, sources []*worker, its []kv.Iterator) error {
+	ctx = liveCtx(ctx)
+	for si, src := range sources {
+		pending := make(map[int][]wop)
+		flush := func(to int) error {
+			ops := pending[to]
+			if len(ops) == 0 {
+				return nil
+			}
+			delete(pending, to)
+			if s.closed.Load() {
+				return kv.ErrClosed
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: reshard copy: %w", err)
+				}
+			}
+			if run.failed() {
+				return errors.New("core: reshard failed during copy (see reshard_last_err)")
+			}
+			var bytes int64
+			for _, op := range ops {
+				bytes += int64(len(op.key) + len(op.value))
+			}
+			r := &request{
+				typ:       reqWrite,
+				batch:     batchRef{ops: ops},
+				copySeen:  run.seen,
+				copyFloor: run.floor,
+				copySkip:  s.tracker.SkippedStale(),
+				done:      make(chan struct{}),
+			}
+			if err := run.targets[to].q.pushWait(nil, r); err != nil {
+				return fmt.Errorf("core: reshard copy to worker %d: %w", to, err)
+			}
+			<-r.done
+			if r.err != nil {
+				return fmt.Errorf("core: reshard copy apply on worker %d: %w", to, r.err)
+			}
+			s.tracker.AddMoved(int64(len(ops)), bytes)
+			return nil
+		}
+		it := its[si]
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			mr, ok := run.plan.Find(keyspace.KeyPoint(it.Key()))
+			// Only arcs this worker owned under the old ring travel: a
+			// stale foreign leftover (from an earlier failed run) must
+			// not shadow the authoritative copy its real owner streams.
+			if !ok || mr.From != src.id {
+				continue
+			}
+			op := wop{
+				key:   append([]byte(nil), it.Key()...),
+				value: append([]byte(nil), it.Value()...),
+			}
+			pending[mr.To] = append(pending[mr.To], op)
+			if len(pending[mr.To]) >= copyBatchSize {
+				if err := flush(mr.To); err != nil {
+					return err
+				}
+			}
+		}
+		if err := it.Error(); err != nil {
+			return fmt.Errorf("core: reshard copy scan of worker %d: %w", src.id, err)
+		}
+		for to := range pending {
+			if err := flush(to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// abortReshard rolls a failed pre-commit run back to the old shape:
+// deactivate double-writes, stop and wipe spawned workers, and (shrink)
+// delete pairs bulk-copied onto survivors. The old routing generation
+// was never replaced, so serving continues uninterrupted.
+func (s *Store) abortReshard(run *reshardRun, added []*worker, oldRT *routing, newN int, cause error) error {
+	if run != nil {
+		s.resh.Store(nil)
+	}
+	for _, w := range added {
+		_ = w.stop(time.Time{})
+	}
+	if s.opts.InstanceReset != nil {
+		for _, w := range added {
+			_ = s.opts.InstanceReset(w.id)
+		}
+	}
+	if run != nil && newN < len(oldRT.workers) && !s.closed.Load() {
+		// Shrink: survivors received copies and mirrors of moved pairs;
+		// under the still-active old ring those are foreign. Best-effort
+		// removal — leftovers are invisible (scans and iterators filter
+		// by ownership) and the next successful run re-copies them.
+		for _, w := range oldRT.workers[:newN] {
+			if keys, _, err := collectForeign(w, oldRT.part, w.id); err == nil {
+				_ = s.deleteKeysQueued(w, keys)
+			}
+		}
+	}
+	s.tracker.Abort(cause)
+	return cause
+}
+
+// collectForeign returns (deep-copied) keys in w's engine that partition
+// part does not assign to worker self, with their total byte volume.
+func collectForeign(w *worker, part keyspace.Partitioner, self int) ([][]byte, int64, error) {
+	it, err := w.engine.NewIterator()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer it.Close()
+	var keys [][]byte
+	var bytes int64
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if part.Pick(it.Key()) != self {
+			keys = append(keys, append([]byte(nil), it.Key()...))
+			bytes += int64(len(it.Key()) + len(it.Value()))
+		}
+	}
+	return keys, bytes, it.Error()
+}
+
+// applyQueued pushes one write batch through w's queue and waits for the
+// engine to acknowledge it — ordered with concurrent writes and
+// invalidating the hot cache like any other write. Shared by the reshard
+// cleanup/abort paths and the offline Migrate.
+func applyQueued(w *worker, ops []wop) error {
+	r := &request{typ: reqWrite, batch: batchRef{ops: ops}, done: make(chan struct{})}
+	if err := w.q.pushWait(nil, r); err != nil {
+		return err
+	}
+	<-r.done
+	return r.err
+}
+
+// deleteKeysQueued deletes keys from w through its request queue, in
+// copyBatchSize batches.
+func (s *Store) deleteKeysQueued(w *worker, keys [][]byte) error {
+	for len(keys) > 0 {
+		n := copyBatchSize
+		if n > len(keys) {
+			n = len(keys)
+		}
+		ops := make([]wop, n)
+		for i, k := range keys[:n] {
+			ops[i] = wop{del: true, key: k}
+		}
+		keys = keys[n:]
+		if err := applyQueued(w, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteForeignDirect removes keys partition part does not assign to
+// worker self straight through the engine — the pre-serve path of Open's
+// interrupted-cleanup recovery, before any worker goroutine starts.
+func deleteForeignDirect(engine kv.Engine, part keyspace.Partitioner, self int) (int, error) {
+	it, err := engine.NewIterator()
+	if err != nil {
+		return 0, err
+	}
+	var keys [][]byte
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if part.Pick(it.Key()) != self {
+			keys = append(keys, append([]byte(nil), it.Key()...))
+		}
+	}
+	if err := it.Error(); err != nil {
+		it.Close()
+		return 0, err
+	}
+	if err := it.Close(); err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for len(keys) > 0 {
+		n := copyBatchSize
+		if n > len(keys) {
+			n = len(keys)
+		}
+		var b kv.Batch
+		for _, k := range keys[:n] {
+			b.Delete(k)
+		}
+		keys = keys[n:]
+		if bw, ok := engine.(kv.BatchWriter); ok {
+			if err := bw.Write(&b); err != nil {
+				return deleted, err
+			}
+		} else {
+			for _, op := range b.Ops() {
+				if err := engine.Delete(op.Key); err != nil {
+					return deleted, err
+				}
+			}
+		}
+		deleted += n
+	}
+	return deleted, nil
+}
+

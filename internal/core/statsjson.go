@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"p2kvs/internal/kv"
+	"p2kvs/internal/reshard"
 )
 
 // WorkerStatsJSON is the stable JSON projection of WorkerStats. Durations
@@ -106,6 +107,9 @@ type StatsSnapshot struct {
 	CacheInvalidations int64 `json:"cache_invalidations"`
 	CacheBytes         int64 `json:"cache_bytes"`
 	CacheEntries       int64 `json:"cache_entries"`
+	// Reshard carries the online-resharding subsystem's counters (zero
+	// state "idle" when no reshard has run).
+	Reshard reshard.Stats `json:"reshard"`
 }
 
 func workerStatsJSON(ws WorkerStats) WorkerStatsJSON {
@@ -231,6 +235,7 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 		snap.ReplTrimmed = rs.Trimmed
 		snap.ReplPins = rs.Pins
 	}
+	snap.Reshard = s.tracker.Snapshot()
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		snap.CacheEnabled = true

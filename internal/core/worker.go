@@ -79,6 +79,13 @@ type worker struct {
 	cache    *hotcache.Cache
 	cacheInv atomic.Int64
 
+	// resh points at the store's active-reshard slot. On every applied
+	// write batch the worker consults it and synchronously double-writes
+	// ops whose keys have moved to a new owner — the worker, not the
+	// submitter, mirrors, so the mirror stream preserves this instance's
+	// apply order per key.
+	resh *atomic.Pointer[reshardRun]
+
 	// Overload / lifecycle stats. rejected counts admission-control
 	// rejections (ErrOverloaded), expired counts requests whose context
 	// ended before or while being submitted (caller-visible deadline
@@ -199,11 +206,98 @@ func (w *worker) executeBarrier(r *request) {
 	r.complete(nil)
 }
 
+// filterCopied drops ops from reshard bulk-copy requests whose keys were
+// double-written after the copy snapshot's GSN floor: the mirrored value
+// is fresher than the snapshot-pinned one (it is already applied, or
+// strictly ahead of this request in this FIFO queue, since mirrors record
+// their key before enqueueing). Checked at apply time, not enqueue time,
+// so every interleaving of copy batch vs racing mirror resolves in the
+// mirror's favour.
+func filterCopied(reqs []*request) {
+	for _, r := range reqs {
+		if r.copySeen == nil {
+			continue
+		}
+		kept := r.batch.ops[:0]
+		for _, op := range r.batch.ops {
+			if r.copySeen.Seen(op.key, r.copyFloor) {
+				r.copySkip.Add(1)
+				continue
+			}
+			kept = append(kept, op)
+		}
+		r.batch.ops = kept
+	}
+}
+
+// mirrorMoved synchronously double-writes applied ops whose keys have
+// moved to another worker under the in-flight reshard (nil run in steady
+// state: one pointer load). Per moved target: copy the op bytes (the
+// submitter may reuse its buffers once acked), record every key in the
+// run's SeenSet under a fresh GSN before enqueueing, then wait for the
+// target to apply. The wait is what makes an acknowledged write durable
+// on both owners — cutover needs no drain phase, and a read after the
+// flip sees every pre-flip acked write. Self-owned keys (this worker is
+// the target: copy batches and incoming mirrors) are skipped, which also
+// terminates the forwarding chain. A mirror failure latches the run as
+// failed — the reshard aborts — but does not fail the primary write,
+// whose own engine already committed it.
+func (w *worker) mirrorMoved(reqs []*request) {
+	run := w.resh.Load()
+	if run == nil {
+		return
+	}
+	var mirrors map[int]*request
+	for _, r := range reqs {
+		for _, op := range r.batch.ops {
+			mr, ok := run.plan.FindKey(op.key)
+			if !ok || mr.To == w.id {
+				continue
+			}
+			if mirrors == nil {
+				mirrors = make(map[int]*request)
+			}
+			m := mirrors[mr.To]
+			if m == nil {
+				m = &request{typ: reqWrite, done: make(chan struct{})}
+				mirrors[mr.To] = m
+			}
+			cop := wop{del: op.del, key: append([]byte(nil), op.key...)}
+			if !op.del {
+				cop.value = append([]byte(nil), op.value...)
+			}
+			m.batch.ops = append(m.batch.ops, cop)
+		}
+	}
+	if mirrors == nil {
+		return
+	}
+	for to, m := range mirrors {
+		g := w.gsnSrc.Add(1)
+		for _, op := range m.batch.ops {
+			run.seen.Record(op.key, g)
+		}
+		if err := run.targets[to].q.pushWait(nil, m); err != nil {
+			run.fail(fmt.Errorf("core: reshard mirror to worker %d: %w", to, err))
+			m.err = err
+			close(m.done)
+		}
+		run.tracker.AddDoubleWrites(int64(len(m.batch.ops)))
+	}
+	for to, m := range mirrors {
+		<-m.done
+		if m.err != nil {
+			run.fail(fmt.Errorf("core: reshard mirror apply on worker %d: %w", to, m.err))
+		}
+	}
+}
+
 // executeWrites applies a run of write-type requests. With OBM and an
 // engine that supports WriteBatch, the whole run commits as a single
 // batch — one log IO instead of len(reqs) (Figure 10a). The batch-write
 // path is also what a single multi-op user WriteBatch takes.
 func (w *worker) executeWrites(reqs []*request) {
+	filterCopied(reqs)
 	if bw, ok := w.engine.(kv.BatchWriter); ok && w.caps.BatchWrite {
 		var b kv.Batch
 		gsn := reqs[0].gsn
@@ -213,6 +307,14 @@ func (w *worker) executeWrites(reqs []*request) {
 				uniformGSN = false
 			}
 			appendOps(&b, r)
+		}
+		if b.Len() == 0 {
+			// Every op was a stale bulk-copy duplicate; nothing for the
+			// engine.
+			for _, r := range reqs {
+				r.complete(nil)
+			}
+			return
 		}
 		if b.Len() > 1 {
 			w.batchWriteOps.Add(int64(b.Len()))
@@ -233,6 +335,7 @@ func (w *worker) executeWrites(reqs []*request) {
 			} else if uniformGSN && gsn > w.lastGSN.Load() {
 				w.lastGSN.Store(gsn)
 			}
+			w.mirrorMoved(reqs)
 		}
 		if w.cache != nil {
 			// Invalidate before completing: the bump must be visible
@@ -262,8 +365,11 @@ func (w *worker) executeWrites(reqs []*request) {
 				break
 			}
 		}
-		if err == nil && w.repl != nil {
-			w.ship(r.streamGSN, r.gsn, batchOps(r.batch.ops))
+		if err == nil {
+			if w.repl != nil {
+				w.ship(r.streamGSN, r.gsn, batchOps(r.batch.ops))
+			}
+			w.mirrorMoved([]*request{r})
 		}
 		if w.cache != nil {
 			for _, op := range r.batch.ops {
@@ -376,7 +482,12 @@ func (w *worker) doGet(r *request) {
 	}
 }
 
-// executeScan serves one SCAN leg on this worker's instance.
+// executeScan serves one SCAN leg on this worker's instance. With an
+// ownership filter set (elastic stores), keys this worker does not own
+// under the captured ring generation — stale moved ranges awaiting
+// cleanup, or mid-copy duplicates — are skipped without consuming the
+// leg's limit, so a SCAN n during a reshard still fills n slots with
+// owned keys.
 func (w *worker) executeScan(r *request) {
 	it, err := w.engine.NewIterator()
 	if err != nil {
@@ -393,11 +504,22 @@ func (w *worker) executeScan(r *request) {
 		if r.scanEnd != nil && bytes.Compare(it.Key(), r.scanEnd) > 0 {
 			break
 		}
+		if r.scanPart != nil && r.scanPart.Pick(it.Key()) != r.scanSelf {
+			continue
+		}
 		k := append([]byte(nil), it.Key()...)
 		v := append([]byte(nil), it.Value()...)
 		r.scanOut = append(r.scanOut, [2][]byte{k, v})
 	}
 	r.complete(it.Error())
+}
+
+// park drains and joins the worker like stop but leaves its engine open:
+// a shrink retires workers whose engines may still back merged iterators
+// created before the cutover. The store closes retired engines at Close.
+func (w *worker) park() {
+	w.q.close()
+	w.wg.Wait()
 }
 
 // stop drains and joins the worker, then closes its engine. A non-zero

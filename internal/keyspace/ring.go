@@ -1,0 +1,188 @@
+package keyspace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// KeyPoint returns key's position on the consistent-hash ring — the same
+// hash Consistent.Pick routes by. Exported so the resharding planner can
+// reason about keys and ring arcs in one coordinate system.
+func KeyPoint(key []byte) uint64 { return fnv64(key) }
+
+// PickPoint returns the worker owning ring position h: the owner of the
+// first virtual point clockwise from h (wrapping past the highest point
+// back to the lowest).
+func (c Consistent) PickPoint(h uint64) int {
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i] >= h })
+	if i == len(c.points) {
+		i = 0
+	}
+	return c.owner[i]
+}
+
+// MovedRange is one arc of the hash ring whose owner differs between two
+// ring generations. Membership is the half-open arc (Lo, Hi] in ring
+// coordinates; a range with Lo >= Hi wraps through zero (h > Lo || h <=
+// Hi). From is the arc's owner under the old ring, To under the new one.
+type MovedRange struct {
+	Lo, Hi   uint64
+	From, To int
+}
+
+// Contains reports whether ring position h falls inside the arc.
+func (r MovedRange) Contains(h uint64) bool {
+	if r.Lo < r.Hi {
+		return h > r.Lo && h <= r.Hi
+	}
+	return h > r.Lo || h <= r.Hi
+}
+
+// MovedRanges computes the exact set of ring arcs whose owner changes
+// between two consistent-hash generations — the single source of truth
+// for which keys an old→new transition relocates, shared by the offline
+// Migrate path and the online resharding copy/double-write planner.
+//
+// The construction merges both rings' virtual points; between two
+// adjacent merged points the owner is constant under either ring (no
+// point of either ring splits the arc), so comparing the owners at each
+// merged point enumerates every moved arc with no false positives or
+// negatives.
+func MovedRanges(oldRing, newRing Consistent) []MovedRange {
+	pts := make([]uint64, 0, len(oldRing.points)+len(newRing.points))
+	pts = append(pts, oldRing.points...)
+	pts = append(pts, newRing.points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	// Dedup in place.
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	pts = uniq
+	var out []MovedRange
+	for j, hi := range pts {
+		lo := pts[(j+len(pts)-1)%len(pts)] // j == 0 wraps: arc (max, min]
+		from, to := oldRing.PickPoint(hi), newRing.PickPoint(hi)
+		if from != to {
+			out = append(out, MovedRange{Lo: lo, Hi: hi, From: from, To: to})
+		}
+	}
+	return out
+}
+
+// MovedSet indexes a MovedRanges result for O(log n) key membership
+// tests: the copy planner asks "is this key moved, and to whom" once per
+// scanned key, and the double-write interceptor once per written key.
+type MovedSet struct {
+	ranges []MovedRange // non-wrapping, sorted by Hi ascending
+	wrap   []MovedRange // the at-most-one arc wrapping through zero
+}
+
+// NewMovedSet builds the index. The input is a MovedRanges result; order
+// does not matter.
+func NewMovedSet(ranges []MovedRange) *MovedSet {
+	m := &MovedSet{}
+	for _, r := range ranges {
+		if r.Lo < r.Hi {
+			m.ranges = append(m.ranges, r)
+		} else {
+			m.wrap = append(m.wrap, r)
+		}
+	}
+	sort.Slice(m.ranges, func(i, j int) bool { return m.ranges[i].Hi < m.ranges[j].Hi })
+	return m
+}
+
+// Find returns the moved arc containing ring position h, if any.
+func (m *MovedSet) Find(h uint64) (MovedRange, bool) {
+	i := sort.Search(len(m.ranges), func(i int) bool { return m.ranges[i].Hi >= h })
+	if i < len(m.ranges) && m.ranges[i].Contains(h) {
+		return m.ranges[i], true
+	}
+	for _, r := range m.wrap {
+		if r.Contains(h) {
+			return r, true
+		}
+	}
+	return MovedRange{}, false
+}
+
+// FindKey returns the moved arc containing key, if any.
+func (m *MovedSet) FindKey(key []byte) (MovedRange, bool) {
+	return m.Find(KeyPoint(key))
+}
+
+// Moved reports whether key changes owner in this transition.
+func (m *MovedSet) Moved(key []byte) bool {
+	_, ok := m.FindKey(key)
+	return ok
+}
+
+// Len reports the number of moved arcs.
+func (m *MovedSet) Len() int { return len(m.ranges) + len(m.wrap) }
+
+// Ring is an epoch-versioned consistent-hash partitioner whose generation
+// can be swapped atomically — the routing pivot of online resharding. A
+// Pick observes exactly one generation; Advance installs the next ring
+// and bumps the epoch in a single pointer swap, so no reader ever sees a
+// half-updated mapping. Callers that must pair the generation with other
+// state (the worker set it maps into) serialize the swap externally.
+type Ring struct {
+	replicas int
+	v        atomic.Pointer[ringGen]
+}
+
+type ringGen struct {
+	ring  Consistent
+	epoch uint64
+}
+
+// NewRing creates a ring partitioner over n workers at epoch 0. replicas
+// <= 0 selects DefaultReplicas; every generation of one Ring uses the
+// same replica count, so worker virtual points are stable across epochs.
+func NewRing(n, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	r.v.Store(&ringGen{ring: NewConsistent(n, replicas)})
+	return r
+}
+
+// Pick implements Partitioner against the current generation.
+func (r *Ring) Pick(key []byte) int { return r.v.Load().ring.Pick(key) }
+
+// N implements Partitioner: the current generation's worker count.
+func (r *Ring) N() int { return r.v.Load().ring.N() }
+
+// Epoch reports the current generation number (0 at creation, +1 per
+// Advance).
+func (r *Ring) Epoch() uint64 { return r.v.Load().epoch }
+
+// Replicas reports the virtual-point count per worker.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Snapshot returns the current generation's ring and epoch as one
+// consistent pair.
+func (r *Ring) Snapshot() (Consistent, uint64) {
+	g := r.v.Load()
+	return g.ring, g.epoch
+}
+
+// Advance atomically installs next as the new generation and returns the
+// new epoch.
+func (r *Ring) Advance(next Consistent) uint64 {
+	g := r.v.Load()
+	ng := &ringGen{ring: next, epoch: g.epoch + 1}
+	r.v.Store(ng)
+	return ng.epoch
+}
+
+// AdvanceTo builds a ring over n workers (same replica count) and
+// installs it, returning the ring and the new epoch.
+func (r *Ring) AdvanceTo(n int) (Consistent, uint64) {
+	next := NewConsistent(n, r.replicas)
+	return next, r.Advance(next)
+}

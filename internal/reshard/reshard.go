@@ -1,0 +1,377 @@
+// Package reshard holds the bookkeeping of online elastic resharding —
+// the state the paper's §4.2 declares out of scope when it notes that
+// changing the worker count "may lead to a reconstruction of the entire
+// set of KVS instances". The execution glue (barriers, queues, engine
+// copies) lives in internal/core; this package owns the three pieces that
+// are pure data: the crash-safe persisted topology record whose rename is
+// the cutover commit point, the double-write SeenSet that reconciles the
+// bulk copy with the live write stream, and the progress tracker behind
+// reshard_* stats and RESHARD STATUS.
+package reshard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"p2kvs/internal/vfs"
+)
+
+// ---------------------------------------------------------------------------
+// Phase state machine
+// ---------------------------------------------------------------------------
+
+// State is the phase of a resharding operation.
+type State int32
+
+// Reshard phases.
+const (
+	// StateIdle: no reshard has run or the last one finished.
+	StateIdle State = iota
+	// StatePrepare: new workers are being spawned on fresh instances.
+	StatePrepare
+	// StateCopy: the checkpoint-pinned image of the moved ranges is
+	// streaming to the new owners while live writes double-write.
+	StateCopy
+	// StateCutover: workers are paused at the GSN barrier for the
+	// atomic ring swap.
+	StateCutover
+	// StateCleanup: the ring has flipped; moved ranges are being deleted
+	// from their old owners (traffic already routes to the new ring).
+	StateCleanup
+	// StateDone: the most recent reshard completed.
+	StateDone
+	// StateAborted: the most recent reshard rolled back to the old ring.
+	StateAborted
+)
+
+// String implements fmt.Stringer with the stable labels INFO exposes.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StatePrepare:
+		return "prepare"
+	case StateCopy:
+		return "copy"
+	case StateCutover:
+		return "cutover"
+	case StateCleanup:
+		return "cleanup"
+	case StateDone:
+		return "done"
+	case StateAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Double-write SeenSet
+// ---------------------------------------------------------------------------
+
+// SeenSet records every key the double-write interceptor mirrored during
+// a reshard's copy window, tagged with the apply-time GSN of the mirror.
+// The copy stream checks it at apply time: a copied pair whose key was
+// double-written after the snapshot floor is stale by construction (the
+// mirror already delivered a fresher value through the same FIFO queue)
+// and is dropped. Record-before-enqueue on the mirror side plus FIFO
+// apply order on the new owner make the reconciliation deterministic:
+// a live write and the bulk copy can land in either order, but the
+// fresher value always survives.
+type SeenSet struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// NewSeenSet returns an empty set.
+func NewSeenSet() *SeenSet {
+	return &SeenSet{m: make(map[string]uint64)}
+}
+
+// Record notes that key was double-written under gsn. Later records for
+// the same key keep the highest GSN.
+func (s *SeenSet) Record(key []byte, gsn uint64) {
+	s.mu.Lock()
+	if gsn > s.m[string(key)] {
+		s.m[string(key)] = gsn
+	}
+	s.mu.Unlock()
+}
+
+// Seen reports whether key was recorded with a GSN above floor.
+func (s *SeenSet) Seen(key []byte, floor uint64) bool {
+	s.mu.Lock()
+	g, ok := s.m[string(key)]
+	s.mu.Unlock()
+	return ok && g > floor
+}
+
+// Len reports how many distinct keys have been recorded.
+func (s *SeenSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// ---------------------------------------------------------------------------
+// Persisted topology
+// ---------------------------------------------------------------------------
+
+// TopologyFile is the topology record's name inside the store's
+// transaction directory.
+const TopologyFile = "TOPOLOGY"
+
+// Topology states.
+const (
+	// TopologyActive: the recorded worker count is fully consistent on
+	// disk — no cleanup owed.
+	TopologyActive = "active"
+	// TopologyCleanup: the ring flip committed but moved ranges may
+	// still exist on their old owners (and, on a shrink, retired
+	// instance directories may remain); recovery must finish the
+	// cleanup before serving.
+	TopologyCleanup = "cleanup"
+)
+
+// Topology is the persisted worker-count record of an elastic store. Its
+// atomic tmp+rename install is the reshard commit point: a crash before
+// the rename recovers at the old worker count (the prepared instances are
+// wiped and the copy restarts from scratch); a crash after it recovers at
+// the new count and finishes cleanup. There is never a state in which
+// half the keys route one way and half the other.
+type Topology struct {
+	// Workers is the committed worker count.
+	Workers int `json:"workers"`
+	// PrevWorkers is the count before the most recent transition (equal
+	// to Workers when none has happened).
+	PrevWorkers int `json:"prev_workers"`
+	// Epoch counts committed ring generations.
+	Epoch uint64 `json:"epoch"`
+	// State is TopologyActive or TopologyCleanup.
+	State string `json:"state"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveTopology durably installs t as dir's topology record via
+// tmp+sync+rename, guarded by a CRC-32C over the payload.
+func SaveTopology(fs vfs.FS, dir string, t Topology) error {
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	body := []byte(fmt.Sprintf("%08x\n%s", crc32.Checksum(payload, crcTable), payload))
+	tmp := dir + "/" + TopologyFile + ".tmp"
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, dir+"/"+TopologyFile)
+}
+
+// LoadTopology reads dir's topology record. A missing record returns
+// (nil, nil) — the store predates elasticity or never resharded. A
+// present but corrupt record is an explicit error: guessing a worker
+// count would route keys to the wrong instances.
+func LoadTopology(fs vfs.FS, dir string) (*Topology, error) {
+	path := dir + "/" + TopologyFile
+	if !fs.Exists(path) {
+		return nil, nil
+	}
+	body, err := vfs.ReadFile(fs, path)
+	if err != nil {
+		return nil, fmt.Errorf("reshard: reading topology: %w", err)
+	}
+	if len(body) < 9 || body[8] != '\n' {
+		return nil, fmt.Errorf("reshard: topology record malformed (%d bytes)", len(body))
+	}
+	var wantCRC uint32
+	if _, err := fmt.Sscanf(string(body[:8]), "%08x", &wantCRC); err != nil {
+		return nil, fmt.Errorf("reshard: topology checksum unparseable: %w", err)
+	}
+	payload := body[9:]
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("reshard: topology checksum mismatch (%08x != %08x)", got, wantCRC)
+	}
+	var t Topology
+	if err := json.Unmarshal(payload, &t); err != nil {
+		return nil, fmt.Errorf("reshard: topology payload: %w", err)
+	}
+	if t.Workers < 1 {
+		return nil, fmt.Errorf("reshard: topology records %d workers", t.Workers)
+	}
+	return &t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Progress tracker
+// ---------------------------------------------------------------------------
+
+// Tracker is the lock-free progress record of a store's resharding
+// activity: the current phase, lifetime counters, and the failure latch
+// the double-write interceptor trips so the coordinator aborts before
+// cutover instead of committing a ring that missed mirrored writes.
+type Tracker struct {
+	state          atomic.Int32
+	epoch          atomic.Uint64
+	from           atomic.Int64
+	to             atomic.Int64
+	completed      atomic.Int64
+	aborted        atomic.Int64
+	movedKeys      atomic.Int64
+	movedBytes     atomic.Int64
+	doubleWrites   atomic.Int64
+	skippedStale   atomic.Int64
+	barrierNs      atomic.Int64
+	cutoverRetries atomic.Int64
+	failed         atomic.Bool
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+// Stats is the JSON/INFO projection of a Tracker.
+type Stats struct {
+	// State is the current phase label (idle/prepare/copy/cutover/
+	// cleanup/done/aborted).
+	State string `json:"reshard_state"`
+	// Epoch is the committed ring generation.
+	Epoch uint64 `json:"reshard_epoch"`
+	// From/To are the worker counts of the most recent transition.
+	From int `json:"reshard_from"`
+	To   int `json:"reshard_to"`
+	// Completed and Aborted count finished transitions either way.
+	Completed int64 `json:"reshard_completed"`
+	Aborted   int64 `json:"reshard_aborted"`
+	// MovedKeys/MovedBytes tally the bulk copy; DoubleWrites counts ops
+	// mirrored to new owners by the interceptor; SkippedStale counts
+	// copied pairs dropped because a fresher double-write superseded
+	// them.
+	MovedKeys    int64 `json:"reshard_moved_keys"`
+	MovedBytes   int64 `json:"reshard_moved_bytes"`
+	DoubleWrites int64 `json:"reshard_double_writes"`
+	SkippedStale int64 `json:"reshard_skipped_stale"`
+	// BarrierNs is the cutover pause: the wall time routing was frozen
+	// for the ring swap (the p99-writer-pause budget applies to this).
+	BarrierNs int64 `json:"reshard_barrier_ns"`
+	// CutoverRetries counts cutover attempts released and retried
+	// because in-flight prepared transactions would have overrun the
+	// pause budget.
+	CutoverRetries int64 `json:"reshard_cutover_retries"`
+	// LastErr is the most recent abort cause, empty when none.
+	LastErr string `json:"reshard_last_err,omitempty"`
+}
+
+// Begin records the start of a from->to transition.
+func (t *Tracker) Begin(from, to int, epoch uint64) {
+	t.from.Store(int64(from))
+	t.to.Store(int64(to))
+	t.epoch.Store(epoch)
+	t.failed.Store(false)
+	t.setErr(nil)
+	t.state.Store(int32(StatePrepare))
+}
+
+// SetState advances the phase.
+func (t *Tracker) SetState(s State) { t.state.Store(int32(s)) }
+
+// State reports the current phase.
+func (t *Tracker) State() State { return State(t.state.Load()) }
+
+// Fail latches a double-write (or copy) failure; the first error wins.
+func (t *Tracker) Fail(err error) {
+	if t.failed.CompareAndSwap(false, true) {
+		t.setErr(err)
+	}
+}
+
+// Failed reports whether the failure latch tripped.
+func (t *Tracker) Failed() bool { return t.failed.Load() }
+
+// Complete records a committed transition at the given epoch.
+func (t *Tracker) Complete(epoch uint64) {
+	t.epoch.Store(epoch)
+	t.completed.Add(1)
+	t.state.Store(int32(StateDone))
+}
+
+// Abort records a rolled-back transition.
+func (t *Tracker) Abort(err error) {
+	t.aborted.Add(1)
+	if err != nil {
+		t.setErr(err)
+	}
+	t.state.Store(int32(StateAborted))
+}
+
+// AddMoved tallies copied pairs.
+func (t *Tracker) AddMoved(keys, bytes int64) {
+	t.movedKeys.Add(keys)
+	t.movedBytes.Add(bytes)
+}
+
+// AddDoubleWrites tallies mirrored ops.
+func (t *Tracker) AddDoubleWrites(n int64) { t.doubleWrites.Add(n) }
+
+// SkippedStale exposes the stale-copy drop counter for the apply path.
+func (t *Tracker) SkippedStale() *atomic.Int64 { return &t.skippedStale }
+
+// SetBarrierNs records the cutover pause duration.
+func (t *Tracker) SetBarrierNs(ns int64) { t.barrierNs.Store(ns) }
+
+// AddCutoverRetry counts a released-and-retried cutover attempt.
+func (t *Tracker) AddCutoverRetry() { t.cutoverRetries.Add(1) }
+
+// SetEpoch records the committed ring generation (used at open, when the
+// persisted topology carries an epoch from a previous process).
+func (t *Tracker) SetEpoch(e uint64) { t.epoch.Store(e) }
+
+func (t *Tracker) setErr(err error) {
+	t.errMu.Lock()
+	if err == nil {
+		t.lastErr = ""
+	} else {
+		t.lastErr = err.Error()
+	}
+	t.errMu.Unlock()
+}
+
+// Snapshot captures the tracker as Stats.
+func (t *Tracker) Snapshot() Stats {
+	t.errMu.Lock()
+	lastErr := t.lastErr
+	t.errMu.Unlock()
+	return Stats{
+		State:          t.State().String(),
+		Epoch:          t.epoch.Load(),
+		From:           int(t.from.Load()),
+		To:             int(t.to.Load()),
+		Completed:      t.completed.Load(),
+		Aborted:        t.aborted.Load(),
+		MovedKeys:      t.movedKeys.Load(),
+		MovedBytes:     t.movedBytes.Load(),
+		DoubleWrites:   t.doubleWrites.Load(),
+		SkippedStale:   t.skippedStale.Load(),
+		BarrierNs:      t.barrierNs.Load(),
+		CutoverRetries: t.cutoverRetries.Load(),
+		LastErr:        lastErr,
+	}
+}

@@ -1,0 +1,167 @@
+package reshard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"p2kvs/internal/vfs"
+)
+
+func TestTopologyRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	if tp, err := LoadTopology(fs, "db/txn"); err != nil || tp != nil {
+		t.Fatalf("absent topology: got %+v, %v; want nil, nil", tp, err)
+	}
+	want := Topology{Workers: 5, PrevWorkers: 4, Epoch: 3, State: TopologyCleanup}
+	if err := SaveTopology(fs, "db/txn", want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadTopology(fs, "db/txn")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if *got != want {
+		t.Fatalf("round trip: got %+v want %+v", *got, want)
+	}
+	// Overwrite must be atomic through the same tmp+rename path.
+	want2 := Topology{Workers: 5, PrevWorkers: 4, Epoch: 3, State: TopologyActive}
+	if err := SaveTopology(fs, "db/txn", want2); err != nil {
+		t.Fatalf("re-save: %v", err)
+	}
+	got, err = LoadTopology(fs, "db/txn")
+	if err != nil || *got != want2 {
+		t.Fatalf("after re-save: got %+v, %v", got, err)
+	}
+}
+
+func TestTopologyCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := SaveTopology(fs, "db", Topology{Workers: 4, PrevWorkers: 4, State: TopologyActive}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := vfs.ReadFile(fs, "db/"+TopologyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	body[len(body)-2] ^= 0x40
+	if err := vfs.WriteFile(fs, "db/"+TopologyFile, body); err != nil {
+		t.Fatal(err)
+	}
+	if tp, err := LoadTopology(fs, "db"); err == nil {
+		t.Fatalf("corrupt topology loaded as %+v", tp)
+	}
+	// Truncated below the header is malformed, not treated as absent.
+	if err := vfs.WriteFile(fs, "db/"+TopologyFile, body[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(fs, "db"); err == nil {
+		t.Fatal("truncated topology loaded without error")
+	}
+}
+
+func TestSeenSetFloorAndSupersede(t *testing.T) {
+	s := NewSeenSet()
+	key := []byte("k1")
+	if s.Seen(key, 0) {
+		t.Fatal("empty set reports key as seen")
+	}
+	s.Record(key, 10)
+	if !s.Seen(key, 5) {
+		t.Fatal("gsn 10 not seen above floor 5")
+	}
+	if s.Seen(key, 10) {
+		t.Fatal("gsn 10 seen above floor 10 (floor is exclusive)")
+	}
+	// A stale re-record must not lower the retained GSN.
+	s.Record(key, 7)
+	if !s.Seen(key, 9) {
+		t.Fatal("re-record with lower gsn clobbered the higher one")
+	}
+	s.Record(key, 20)
+	if !s.Seen(key, 19) || s.Seen(key, 20) {
+		t.Fatal("highest gsn not retained")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSeenSetConcurrent(t *testing.T) {
+	s := NewSeenSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("key-%03d", i%100))
+				s.Record(k, uint64(g*1000+i))
+				s.Seen(k, 50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	var tr Tracker
+	if tr.State() != StateIdle {
+		t.Fatalf("zero tracker state = %v", tr.State())
+	}
+	tr.Begin(4, 5, 0)
+	if tr.State() != StatePrepare || tr.Failed() {
+		t.Fatalf("after Begin: state=%v failed=%v", tr.State(), tr.Failed())
+	}
+	tr.SetState(StateCopy)
+	tr.AddMoved(10, 2048)
+	tr.AddDoubleWrites(3)
+	tr.SkippedStale().Add(2)
+	tr.SetState(StateCutover)
+	tr.AddCutoverRetry()
+	tr.SetBarrierNs(123456)
+	tr.Complete(1)
+	st := tr.Snapshot()
+	want := Stats{
+		State: "done", Epoch: 1, From: 4, To: 5, Completed: 1,
+		MovedKeys: 10, MovedBytes: 2048, DoubleWrites: 3, SkippedStale: 2,
+		BarrierNs: 123456, CutoverRetries: 1,
+	}
+	if st != want {
+		t.Fatalf("snapshot:\n got %+v\nwant %+v", st, want)
+	}
+
+	// A failed run latches the first error and surfaces it through Abort.
+	tr.Begin(5, 6, 1)
+	if tr.Snapshot().LastErr != "" {
+		t.Fatal("Begin did not clear last error")
+	}
+	tr.Fail(errors.New("mirror enqueue failed"))
+	tr.Fail(errors.New("second error must not win"))
+	if !tr.Failed() {
+		t.Fatal("failure latch did not trip")
+	}
+	tr.Abort(nil)
+	st = tr.Snapshot()
+	if st.State != "aborted" || st.Aborted != 1 || st.LastErr != "mirror enqueue failed" {
+		t.Fatalf("after abort: %+v", st)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		StateIdle: "idle", StatePrepare: "prepare", StateCopy: "copy",
+		StateCutover: "cutover", StateCleanup: "cleanup", StateDone: "done",
+		StateAborted: "aborted", State(99): "unknown",
+	}
+	for s, label := range want {
+		if s.String() != label {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), label)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -283,6 +284,8 @@ func (c *conn) execOne(cmd [][]byte) {
 		c.wr.WriteBulkString(c.srv.infoText())
 	case "BGSAVE":
 		c.execBgsave()
+	case "RESHARD":
+		c.execReshard(cmd)
 	case "SCRUB":
 		c.execScrub()
 	case "PSYNC":
@@ -328,6 +331,50 @@ func (c *conn) execBgsave() {
 		return
 	}
 	c.wr.WriteSimple("Background saving started")
+}
+
+// execReshard handles RESHARD <N> (start an online reshard to N workers
+// in the background, BGSAVE-style) and RESHARD STATUS (report the
+// current or last run's counters). The acknowledgement means the
+// reshard started; completion is observable via RESHARD STATUS's
+// reshard_completed / reshard_state fields, or INFO's # Reshard section.
+func (c *conn) execReshard(cmd [][]byte) {
+	if len(cmd) != 2 {
+		c.argErr("reshard")
+		return
+	}
+	arg := strings.ToUpper(string(cmd[1]))
+	if arg == "STATUS" {
+		st := c.srv.store().ReshardStats()
+		var b strings.Builder
+		fmt.Fprintf(&b, "reshard_in_progress:%d\r\n", boolInt(c.srv.resharding.Load()))
+		writeReshardStats(&b, st)
+		c.wr.WriteBulkString(b.String())
+		return
+	}
+	n, err := strconv.Atoi(string(cmd[1]))
+	if err != nil || n < 1 {
+		c.wr.WriteError("ERR RESHARD needs a worker count >= 1 or STATUS")
+		return
+	}
+	store := c.srv.store()
+	if !store.Elastic() {
+		c.wr.WriteError("ERR RESHARD unsupported: server started without -elastic")
+		return
+	}
+	if n == store.Workers() {
+		c.wr.WriteSimple("OK already at " + strconv.Itoa(n) + " workers")
+		return
+	}
+	if c.srv.repl.isReplica() {
+		c.wr.WriteError("READONLY replica: RESHARD must go to the primary")
+		return
+	}
+	if !c.srv.reshard(n) {
+		c.wr.WriteError("ERR Reshard already in progress")
+		return
+	}
+	c.wr.WriteSimple("Background resharding started")
 }
 
 // execScrub runs one synchronous, unthrottled integrity pass over every

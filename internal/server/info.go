@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"p2kvs/internal/reshard"
 )
 
 // infoText renders the INFO reply: redis-style "key:value" lines in
@@ -113,8 +115,35 @@ func (s *Server) infoText() string {
 		fmt.Fprintf(&b, "store_last_checkpoint_error:%s\r\n", strings.ReplaceAll(err.Error(), "\r\n", " "))
 	}
 
+	fmt.Fprintf(&b, "# Reshard\r\n")
+	fmt.Fprintf(&b, "reshard_in_progress:%d\r\n", boolInt(s.resharding.Load()))
+	writeReshardStats(&b, snap.Reshard)
+	if err := s.lastReshardError(); err != nil {
+		fmt.Fprintf(&b, "reshard_last_run_error:%s\r\n", strings.ReplaceAll(err.Error(), "\r\n", " "))
+	}
+
 	s.repl.infoSection(&b, st)
 	return b.String()
+}
+
+// writeReshardStats renders the resharding counters as INFO-style lines;
+// shared by the # Reshard section and the RESHARD STATUS reply.
+func writeReshardStats(b *strings.Builder, st reshard.Stats) {
+	fmt.Fprintf(b, "reshard_state:%s\r\n", st.State)
+	fmt.Fprintf(b, "reshard_epoch:%d\r\n", st.Epoch)
+	fmt.Fprintf(b, "reshard_from:%d\r\n", st.From)
+	fmt.Fprintf(b, "reshard_to:%d\r\n", st.To)
+	fmt.Fprintf(b, "reshard_completed:%d\r\n", st.Completed)
+	fmt.Fprintf(b, "reshard_aborted:%d\r\n", st.Aborted)
+	fmt.Fprintf(b, "reshard_moved_keys:%d\r\n", st.MovedKeys)
+	fmt.Fprintf(b, "reshard_moved_bytes:%d\r\n", st.MovedBytes)
+	fmt.Fprintf(b, "reshard_double_writes:%d\r\n", st.DoubleWrites)
+	fmt.Fprintf(b, "reshard_skipped_stale:%d\r\n", st.SkippedStale)
+	fmt.Fprintf(b, "reshard_barrier_ns:%d\r\n", st.BarrierNs)
+	fmt.Fprintf(b, "reshard_cutover_retries:%d\r\n", st.CutoverRetries)
+	if st.LastErr != "" {
+		fmt.Fprintf(b, "reshard_last_err:%s\r\n", strings.ReplaceAll(st.LastErr, "\r\n", " "))
+	}
 }
 
 func boolInt(b bool) int {

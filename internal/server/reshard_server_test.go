@@ -1,0 +1,223 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2kvs"
+	"p2kvs/internal/server"
+)
+
+// respClient is a minimal single-connection RESP client for this file.
+type respClient struct {
+	nc net.Conn
+	rd *server.Reader
+	wr *server.Writer
+}
+
+func dialResp(t *testing.T, addr string) *respClient {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &respClient{nc: nc, rd: server.NewReader(nc), wr: server.NewWriter(nc)}
+}
+
+func (c *respClient) do(args ...string) (server.Reply, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	c.wr.WriteCommand(bs...)
+	if err := c.wr.Flush(); err != nil {
+		return server.Reply{}, err
+	}
+	return c.rd.ReadReply()
+}
+
+func (c *respClient) must(t *testing.T, args ...string) server.Reply {
+	t.Helper()
+	rep, err := c.do(args...)
+	if err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return rep
+}
+
+// TestReshardUnderLoad drives GET/SET/MGET traffic through a live
+// RESHARD to one more worker: no request may fail, reads stay
+// read-your-writes across the cutover, and INFO reports the completed
+// reshard at the new worker count.
+func TestReshardUnderLoad(t *testing.T) {
+	store, err := p2kvs.Open(p2kvs.Options{
+		Dir:      t.TempDir(),
+		Workers:  3,
+		InMemory: true,
+		Elastic:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store, CommandTimeout: 10 * time.Second})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	defer func() {
+		srv.Shutdown(t.Context())
+		<-serveDone
+	}()
+	addr := lis.Addr().String()
+
+	ctl := dialResp(t, addr)
+	const preload = 500
+	for i := 0; i < preload; i++ {
+		if rep := ctl.must(t, "SET", fmt.Sprintf("key-%04d", i), fmt.Sprintf("v%d", i)); string(rep.Str) != "OK" {
+			t.Fatalf("preload SET: %v", rep)
+		}
+	}
+
+	// Background load: each goroutine owns one connection and one hot
+	// key; every SET is immediately read back (read-your-writes must
+	// hold through the cutover), plus an MGET over preloaded keys.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var loadErr atomic.Value
+	fail := func(format string, args ...any) {
+		loadErr.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	for g := 0; g < 4; g++ {
+		cl := dialResp(t, addr)
+		wg.Add(1)
+		go func(g int, cl *respClient) {
+			defer wg.Done()
+			key := fmt.Sprintf("hot-%d", g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val := fmt.Sprintf("%d", i)
+				rep, err := cl.do("SET", key, val)
+				if err != nil || rep.Kind == '-' {
+					fail("SET %s during reshard: %v %v", key, rep, err)
+					return
+				}
+				rep, err = cl.do("GET", key)
+				if err != nil || rep.Kind == '-' {
+					fail("GET %s during reshard: %v %v", key, rep, err)
+					return
+				}
+				if string(rep.Str) != val {
+					fail("read-your-writes violated on %s: wrote %q, read %q", key, val, rep.Str)
+					return
+				}
+				k1 := fmt.Sprintf("key-%04d", (g*131+i)%preload)
+				k2 := fmt.Sprintf("key-%04d", (g*137+i*3)%preload)
+				rep, err = cl.do("MGET", k1, k2)
+				if err != nil || rep.Kind == '-' || len(rep.Elems) != 2 {
+					fail("MGET during reshard: %v %v", rep, err)
+					return
+				}
+				for j, k := range []string{k1, k2} {
+					var want string
+					fmt.Sscanf(k, "key-%s", &want)
+					_ = want
+					if rep.Elems[j].Nil {
+						fail("MGET lost preloaded key %s during reshard", k)
+						return
+					}
+				}
+			}
+		}(g, cl)
+	}
+
+	if rep := ctl.must(t, "RESHARD", "4"); !strings.Contains(string(rep.Str), "started") {
+		t.Fatalf("RESHARD 4: %v", rep)
+	}
+	// Poll RESHARD STATUS until the background run commits.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rep := ctl.must(t, "RESHARD", "STATUS")
+		txt := string(rep.Str)
+		if strings.Contains(txt, "reshard_completed:1") && strings.Contains(txt, "reshard_in_progress:0") {
+			break
+		}
+		if strings.Contains(txt, "reshard_aborted:1") {
+			t.Fatalf("reshard aborted: %s", txt)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reshard did not complete: %s", txt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if msg := loadErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	info := string(ctl.must(t, "INFO").Str)
+	for _, want := range []string{"workers:4", "reshard_completed:1", "reshard_state:done", "reshard_epoch:1"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+	// Every preloaded key survived the move.
+	for i := 0; i < preload; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		rep := ctl.must(t, "GET", k)
+		if string(rep.Str) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("GET %s after reshard: %v", k, rep)
+		}
+	}
+	// Idempotent target: resharding to the current count is a no-op OK.
+	if rep := ctl.must(t, "RESHARD", "4"); rep.Kind == '-' {
+		t.Fatalf("RESHARD to current count: %v", rep)
+	}
+	// Bad arguments are rejected without touching the store.
+	if rep := ctl.must(t, "RESHARD", "zero"); rep.Kind != '-' {
+		t.Fatalf("RESHARD zero: %v", rep)
+	}
+	if rep := ctl.must(t, "RESHARD", "0"); rep.Kind != '-' {
+		t.Fatalf("RESHARD 0: %v", rep)
+	}
+}
+
+// TestReshardNotElastic: a server over a fixed-hash store refuses
+// RESHARD with a clear error instead of a background failure.
+func TestReshardNotElastic(t *testing.T) {
+	store, err := p2kvs.Open(p2kvs.Options{Dir: t.TempDir(), Workers: 2, InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	defer func() {
+		srv.Shutdown(t.Context())
+		<-serveDone
+	}()
+	cl := dialResp(t, lis.Addr().String())
+	rep := cl.must(t, "RESHARD", "3")
+	if rep.Kind != '-' || !strings.Contains(string(rep.Str), "unsupported") {
+		t.Fatalf("RESHARD on fixed store: %v", rep)
+	}
+	if rep := cl.must(t, "RESHARD", "STATUS"); rep.Kind == '-' {
+		t.Fatalf("RESHARD STATUS should work everywhere: %v", rep)
+	}
+}

@@ -168,6 +168,14 @@ type Server struct {
 	saveErrMu   sync.Mutex
 	lastSaveErr error
 
+	// RESHARD state, mirroring the BGSAVE shape: one online reshard at a
+	// time, acknowledged immediately, completion observable via
+	// RESHARD STATUS and INFO's # Reshard section.
+	resharding     atomic.Bool
+	reshardWG      sync.WaitGroup
+	reshardErrMu   sync.Mutex
+	lastReshardErr error
+
 	start time.Time
 }
 
@@ -202,6 +210,35 @@ func (s *Server) lastSaveError() error {
 	s.saveErrMu.Lock()
 	defer s.saveErrMu.Unlock()
 	return s.lastSaveErr
+}
+
+// reshard starts an online reshard to n workers in the background. It
+// returns false when one is already running.
+func (s *Server) reshard(n int) bool {
+	if !s.resharding.CompareAndSwap(false, true) {
+		return false
+	}
+	s.reshardWG.Add(1)
+	go func() {
+		defer s.reshardWG.Done()
+		defer s.resharding.Store(false)
+		err := s.store().Reshard(context.Background(), n)
+		s.reshardErrMu.Lock()
+		s.lastReshardErr = err
+		s.reshardErrMu.Unlock()
+		if err != nil {
+			s.cfg.Logf("p2kvs-server: reshard to %d workers failed: %v", n, err)
+		} else {
+			s.cfg.Logf("p2kvs-server: reshard to %d workers complete", n)
+		}
+	}()
+	return true
+}
+
+func (s *Server) lastReshardError() error {
+	s.reshardErrMu.Lock()
+	defer s.reshardErrMu.Unlock()
+	return s.lastReshardErr
 }
 
 // New builds a Server; call Serve or ListenAndServe to run it.
@@ -384,8 +421,11 @@ func (s *Server) shutdown(ctx context.Context) error {
 		s.debug.close()
 	}
 	// A background save still writing its image must finish before the
-	// store closes underneath it.
+	// store closes underneath it; likewise an in-flight reshard runs to
+	// completion (or abort) so the committed topology is never torn by
+	// the close.
 	s.saveWG.Wait()
+	s.reshardWG.Wait()
 	s.cfg.Logf("p2kvs-server: drained, closing store")
 	if err := s.store().Close(); err != nil && drainErr == nil {
 		drainErr = err

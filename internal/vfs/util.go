@@ -3,6 +3,7 @@ package vfs
 import (
 	"hash/crc32"
 	"io"
+	"os"
 )
 
 // ReadFile returns the full contents of name.
@@ -121,6 +122,42 @@ func LinkOrCopy(fs FS, oldname, newname string) (linked bool, err error) {
 		return true, nil
 	}
 	return false, CopyFile(fs, oldname, fs, newname)
+}
+
+// RemoveTree deletes dir and everything beneath it, tolerating an absent
+// dir. It is how resharding resets an engine instance directory to a
+// blank slate — before seeding a fresh worker, and when rolling back an
+// aborted or crash-interrupted transition. FS.List only enumerates plain
+// files, so tree removal needs per-implementation help: OSFS defers to
+// os.RemoveAll, implementations exposing their own RemoveTree (MemFS's
+// flat namespace makes it a prefix delete) are delegated to, wrappers
+// exposing Inner() are unwrapped, and anything else gets a flat
+// List+Remove (sufficient for the flat layouts engines use).
+func RemoveTree(fs FS, dir string) error {
+	for {
+		switch t := fs.(type) {
+		case OSFS:
+			return os.RemoveAll(dir)
+		case interface{ RemoveTree(string) error }:
+			return t.RemoveTree(dir)
+		case interface{ Inner() FS }:
+			fs = t.Inner()
+			continue
+		}
+		names, err := fs.List(dir)
+		if err != nil {
+			if !fs.Exists(dir) {
+				return nil
+			}
+			return err
+		}
+		for _, n := range names {
+			if err := fs.Remove(dir + "/" + n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // Checksum returns the CRC-32C of the file's full contents along with its

@@ -160,6 +160,24 @@ func (fs *MemFS) Remove(name string) error {
 	return nil
 }
 
+// RemoveTree deletes dir and everything beneath it. MemFS's namespace is
+// a flat path map, so the whole subtree is the set of keys under the
+// dir/ prefix; deleting an absent tree is a no-op.
+func (fs *MemFS) RemoveTree(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	prefix := clean(dir)
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			delete(fs.files, name)
+		}
+	}
+	return nil
+}
+
 // Rename implements FS.
 func (fs *MemFS) Rename(oldname, newname string) error {
 	fs.mu.Lock()

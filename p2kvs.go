@@ -29,10 +29,12 @@ import (
 	"p2kvs/internal/btreekv"
 	"p2kvs/internal/core"
 	"p2kvs/internal/device"
+	"p2kvs/internal/keyspace"
 	"p2kvs/internal/kv"
 	"p2kvs/internal/kvell"
 	"p2kvs/internal/lsm"
 	"p2kvs/internal/repl"
+	"p2kvs/internal/reshard"
 	"p2kvs/internal/vfs"
 	"p2kvs/internal/wal"
 )
@@ -58,6 +60,9 @@ type (
 	// WorkerStatsJSON is the JSON form of one worker's stats inside a
 	// StatsSnapshot.
 	WorkerStatsJSON = core.WorkerStatsJSON
+	// ReshardStats reports the state and counters of the last (or
+	// in-flight) online reshard; see Store.ReshardStats.
+	ReshardStats = reshard.Stats
 	// AdmissionPolicy selects the overload behaviour of request
 	// submission (see the AdmitBlock/AdmitReject/AdmitWait constants).
 	AdmissionPolicy = core.AdmissionPolicy
@@ -109,6 +114,10 @@ var ErrOverloaded = kv.ErrOverloaded
 // ErrDeadlineExceeded is returned when a request's context ends before
 // the request reaches the engine; the operation was never applied.
 var ErrDeadlineExceeded = kv.ErrDeadlineExceeded
+
+// ErrReshardUnsupported is returned by Store.Reshard on a store that was
+// not opened with Options.Elastic.
+var ErrReshardUnsupported = core.ErrReshardUnsupported
 
 // EngineKind selects the per-worker storage engine.
 type EngineKind string
@@ -222,6 +231,20 @@ type Options struct {
 	// byte budget; negative selects the default 32 MiB. Zero (the
 	// default) disables the cache.
 	HotCacheBytes int64
+	// Elastic enables online resharding: keys are placed by an
+	// epoch-versioned consistent-hash ring instead of the modular hash,
+	// and Store.Reshard(ctx, n) grows or shrinks the store to n workers
+	// while it keeps serving. Open then adopts the worker count committed
+	// by the last reshard (the TOPOLOGY file under Dir/txn); Workers only
+	// seeds the very first Open of the directory. Mutually exclusive with
+	// ReplBacklogBytes — replication logs are sized to a fixed worker
+	// count.
+	Elastic bool
+	// CutoverBudget bounds the writer pause of one reshard cutover
+	// attempt; an attempt that cannot commit inside it releases the
+	// writers and retries. Zero selects the 10ms default. Only meaningful
+	// with Elastic.
+	CutoverBudget time.Duration
 	// ReplBacklogBytes, when non-zero, enables GSN log-shipping
 	// replication: every applied write batch is retained (with its
 	// apply-time Global Sequence Number) in an in-memory backlog that
@@ -273,7 +296,25 @@ func buildFS(opts Options) (Options, vfs.FS, error) {
 	return opts, fs, nil
 }
 
+// ringReplicas is the virtual-node count per worker of elastic stores'
+// consistent-hash ring (the moved fraction of a grow N→N+1 approaches
+// the ideal 1/(N+1) as replicas grows; 64 keeps lookup cheap).
+const ringReplicas = 64
+
 func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
+	if opts.Elastic {
+		if opts.ReplBacklogBytes != 0 {
+			return nil, errors.New("p2kvs: Elastic and ReplBacklogBytes are mutually exclusive")
+		}
+		// A committed reshard owns the worker count from here on.
+		topo, err := reshard.LoadTopology(fs, opts.Dir+"/txn")
+		if err != nil {
+			return nil, err
+		}
+		if topo != nil {
+			opts.Workers = topo.Workers
+		}
+	}
 	factory, err := engineFactory(fs, opts)
 	if err != nil {
 		return nil, err
@@ -301,6 +342,13 @@ func openWithFS(opts Options, fs vfs.FS) (*Store, error) {
 	copts.HotCacheBytes = opts.HotCacheBytes
 	if opts.ReplBacklogBytes != 0 {
 		copts.ReplLog = repl.NewLog(opts.Workers, opts.ReplBacklogBytes)
+	}
+	if opts.Elastic {
+		copts.Partitioner = keyspace.NewRing(opts.Workers, ringReplicas)
+		copts.CutoverBudget = opts.CutoverBudget
+		copts.InstanceReset = func(id int) error {
+			return vfs.RemoveTree(fs, fmt.Sprintf("%s/inst-%02d", opts.Dir, id))
+		}
 	}
 	return core.Open(copts)
 }

@@ -130,3 +130,61 @@ func TestFacadeValidation(t *testing.T) {
 		t.Fatal("bogus device must fail")
 	}
 }
+
+func TestFacadeElastic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Workers: 2, Elastic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Reshard(context.Background(), 3); err != nil {
+		t.Fatalf("Reshard: %v", err)
+	}
+	if got := s.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d", got)
+	}
+	rs := s.ReshardStats()
+	if rs.Completed != 1 || rs.State != "done" {
+		t.Fatalf("reshard stats: %+v", rs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with the stale pre-reshard worker count: the TOPOLOGY file
+	// wins and the store comes back at 3 workers with all data.
+	s2, err := Open(Options{Dir: dir, Workers: 2, Elastic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Workers(); got != 3 {
+		t.Fatalf("Workers() after reopen = %d, want 3 (from TOPOLOGY)", got)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if v, err := s2.Get([]byte(k)); err != nil || string(v) != k {
+			t.Fatalf("Get(%s) after reopen = %q %v", k, v, err)
+		}
+	}
+}
+
+func TestFacadeElasticValidation(t *testing.T) {
+	if _, err := Open(Options{Dir: "x", InMemory: true, Elastic: true, ReplBacklogBytes: 1 << 20}); err == nil {
+		t.Fatal("Elastic+ReplBacklogBytes must fail")
+	}
+	s, err := Open(Options{Dir: "x", InMemory: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Reshard(context.Background(), 3); !errors.Is(err, ErrReshardUnsupported) {
+		t.Fatalf("non-elastic Reshard err = %v", err)
+	}
+}
